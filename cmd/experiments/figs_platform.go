@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"tqsim"
+	"tqsim/internal/cluster"
+	"tqsim/internal/graphs"
+	"tqsim/internal/metrics"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/workloads"
+)
+
+// runFig13 reports modeled strong and weak scaling on the simulated
+// cluster.
+func runFig13(cfg config) {
+	m := noise.NewSycamore()
+	nodes := []int{1, 2, 4, 8, 16, 32}
+	shots := 128
+
+	fmt.Println("strong scaling (modeled speedup over 1 node):")
+	fmt.Printf("%-10s", "Circuit")
+	for _, n := range nodes {
+		fmt.Printf(" %7s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Println()
+	for _, w := range []int{22, 24, 26, 28, 30} {
+		for _, kind := range []string{"BV", "QFT"} {
+			var c *tqsim.Circuit
+			if kind == "BV" {
+				c = workloads.BV(w, workloads.BVSecret(w))
+			} else {
+				c = workloads.QFT(w, true)
+			}
+			points := cluster.StrongScaling(c, m, shots, nodes)
+			fmt.Printf("%-10s", fmt.Sprintf("%s %d", kind, w))
+			for _, p := range points {
+				fmt.Printf(" %7.2f", p.Speedup)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("shape check: wider circuits scale further before communication dominates")
+
+	fmt.Println("\nweak scaling (modeled hours; nodes double with qubits 24..29):")
+	fmt.Printf("%-7s %6s %12s %12s %12s %12s\n",
+		"Qubits", "Nodes", "BV base", "BV TQSim", "QFT base", "QFT TQSim")
+	weakShots := 8192
+	for i, w := range []int{24, 25, 26, 27, 28, 29} {
+		n := 1 << uint(i)
+		cfgNet := cluster.DefaultNetwork(n)
+		row := []float64{}
+		for _, kind := range []string{"BV", "QFT"} {
+			var c *tqsim.Circuit
+			if kind == "BV" {
+				c = workloads.BV(w, workloads.BVSecret(w))
+			} else {
+				c = workloads.QFT(w, true)
+			}
+			base := cfgNet.EstimateBaseline(c, m, weakShots)
+			plan := partition.Dynamic(c, m, weakShots,
+				partition.DCPOptions{CopyCost: 30})
+			tq := cfgNet.EstimatePlan(plan, m)
+			row = append(row, base.TotalSec/3600, tq.TotalSec/3600)
+		}
+		fmt.Printf("%-7d %6d %12.2f %12.2f %12.2f %12.2f\n",
+			w, n, row[0], row[1], row[2], row[3])
+	}
+	fmt.Println("shape check: TQSim undercuts the baseline at every point; times grow with")
+	fmt.Println("gate count as qubits rise (Figure 13b)")
+}
+
+// runFig18 regenerates the QAOA max-cut cost landscapes.
+func runFig18(cfg config) {
+	type study struct {
+		name  string
+		graph *graphs.Graph
+	}
+	gridN := 9
+	shots := 300
+	studies := []study{
+		{"random-6", graphs.Random(6, 0.5, 11)},
+		{"star-6", graphs.Star(6)},
+		{"3regular-8", graphs.Regular3(8)},
+	}
+	if cfg.full {
+		gridN, shots = 15, 1000
+		studies = []study{
+			{"random-9", graphs.Random(9, 0.5, 11)},
+			{"star-9", graphs.Star(9)},
+			{"3regular-12", graphs.Regular3(12)},
+		}
+	}
+	opt := expOptions(cfg)
+	m := tqsim.SycamoreNoise()
+	fmt.Printf("%-12s %7s %7s %9s %9s %8s\n",
+		"Graph", "Qubits", "Points", "Base(s)", "TQSim(s)", "MSE")
+	for _, s := range studies {
+		var baseLand, tqLand []float64
+		var baseSec, tqSec float64
+		for i := 0; i < gridN; i++ {
+			for j := 0; j < gridN; j++ {
+				gamma := -math.Pi + 2*math.Pi*float64(i)/float64(gridN-1)
+				beta := -math.Pi + 2*math.Pi*float64(j)/float64(gridN-1)
+				c := workloads.QAOA(s.graph, []workloads.QAOAParams{{Gamma: gamma, Beta: beta}})
+				seed := cfg.seed + uint64(i*gridN+j)
+				baseOpt := opt
+				baseOpt.Seed = seed
+				base := tqsim.RunBaseline(c, m, shots, baseOpt)
+				baseSec += base.Elapsed.Seconds()
+				baseLand = append(baseLand, workloads.QAOAExpectedCutCounts(s.graph, base.Counts))
+				runOpt := opt
+				runOpt.Seed = seed + 1
+				res, err := tqsim.RunTQSim(c, m, shots, runOpt)
+				if err != nil {
+					fmt.Printf("%-12s error: %v\n", s.name, err)
+					return
+				}
+				tqSec += res.Elapsed.Seconds()
+				tqLand = append(tqLand, workloads.QAOAExpectedCutCounts(s.graph, res.Counts))
+			}
+		}
+		// Normalize cuts to [0,1] by the optimum so MSE compares to the
+		// paper's scale.
+		opt := float64(s.graph.MaxCut())
+		for i := range baseLand {
+			baseLand[i] /= opt
+			tqLand[i] /= opt
+		}
+		mse := metrics.MSE(baseLand, tqLand)
+		fmt.Printf("%-12s %7d %7d %9.2f %9.2f %8.5f\n",
+			s.name, s.graph.N, gridN*gridN, baseSec, tqSec, mse)
+	}
+	fmt.Println("shape check: TQSim's landscape matches the baseline's (paper MSE 0.001-0.002)")
+	fmt.Println("at a clear wall-time saving over the grid search")
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+
+	"tqsim"
+	"tqsim/internal/metrics"
+	"tqsim/internal/stabilizer"
+	"tqsim/internal/workloads"
+)
+
+// runSensitivity reproduces the paper's §4.3 shot-count sensitivity study:
+// reduced budgets (1,000 and 3,200 shots) magnify the statistical noise;
+// TQSim's fidelity must keep tracking the baseline's while the speedup
+// band persists.
+func runSensitivity(cfg config) {
+	shotsList := []int{1000, 3200}
+	if cfg.full {
+		shotsList = append(shotsList, 10000)
+	}
+	names := []string{"bv_n10", "qpe_n9_0", "qft_n10", "qsc_n10"}
+	opt := expOptions(cfg)
+	fmt.Printf("%-12s %7s %-16s %8s %9s %9s\n",
+		"Circuit", "Shots", "Structure", "Speedup", "WorkRatio", "FidDiff")
+	for _, name := range names {
+		c := tqsim.BenchmarkByName(name)
+		if c == nil {
+			continue
+		}
+		for _, shots := range shotsList {
+			var spd, wr, fd []float64
+			var structure string
+			for rep := 0; rep < 3; rep++ {
+				o := opt
+				o.Seed = cfg.seed + uint64(rep)*4421
+				cmp, err := tqsim.Compare(c, tqsim.SycamoreNoise(), shots, o)
+				if err != nil {
+					fmt.Printf("%-12s %7d error: %v\n", name, shots, err)
+					break
+				}
+				structure = cmp.Structure
+				spd = append(spd, cmp.Speedup)
+				wr = append(wr, cmp.WorkRatio)
+				fd = append(fd, cmp.FidelityDiff)
+			}
+			if len(spd) == 0 {
+				continue
+			}
+			fmt.Printf("%-12s %7d %-16s %7.2fx %9.3f %9.4f\n",
+				name, shots, structure,
+				metrics.Mean(spd), metrics.Mean(wr), metrics.Mean(fd))
+		}
+	}
+	fmt.Println("shape check: fewer shots shrink A0's budget and the tree depth, but the")
+	fmt.Println("fidelity difference stays in the statistical-noise band (paper §4.3)")
+}
+
+// runOracle cross-checks the trajectory engine against the independent CHP
+// stabilizer simulator on noisy Clifford circuits — the exact-oracle check
+// the paper's §4.2 "why BV" discussion enables.
+func runOracle(cfg config) {
+	shots := 20000
+	if cfg.full {
+		shots = 100000
+	}
+	p1, p2 := 0.005, 0.02
+	fmt.Printf("depolarizing rates: 1q %.3f, 2q %.3f; %d shots per engine\n", p1, p2, shots)
+	fmt.Printf("%-10s %6s %8s\n", "Circuit", "Gates", "TVD")
+	for _, w := range []int{6, 8, 10, 12} {
+		c := workloads.BV(w, workloads.BVSecret(w))
+		stab, err := stabilizer.Counts(c, p1, p2, shots, cfg.seed)
+		if err != nil {
+			fmt.Printf("%-10s error: %v\n", c.Name, err)
+			continue
+		}
+		sv := tqsim.RunBaseline(c, tqsim.DepolarizingNoise(p1, p2), shots,
+			tqsim.Options{Seed: cfg.seed + 1, Parallelism: 8})
+		a := metrics.FromCounts(stab, 1<<uint(w))
+		b := metrics.FromCounts(sv.Counts, 1<<uint(w))
+		fmt.Printf("%-10s %6d %8.4f\n", c.Name, c.Len(), metrics.TVD(a, b))
+	}
+	fmt.Println("shape check: two independent simulation formalisms (tableau vs state")
+	fmt.Println("vector) agree to sampling noise on noisy Clifford workloads")
+}

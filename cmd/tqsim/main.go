@@ -1,0 +1,191 @@
+// Command tqsim simulates a benchmark circuit (or an OpenQASM 2.0 file)
+// under a noise model, either with the conventional baseline simulator,
+// with TQSim's tree-based reuse, or with both for a side-by-side comparison.
+//
+// Examples:
+//
+//	tqsim -circuit qft_n12 -shots 2000                  # compare (default)
+//	tqsim -circuit qv_n10 -mode tqsim -structure 64,4,4 # explicit tree
+//	tqsim -qasm prog.qasm -noise TRR -mode baseline
+//	tqsim -list                                         # suite inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tqsim"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "suite circuit name (e.g. qft_n12); see -list")
+		qasmPath    = flag.String("qasm", "", "OpenQASM 2.0 file to simulate instead of a suite circuit")
+		noiseName   = flag.String("noise", "DC", "noise model: DC, DCR, TR, TRR, AD, ADR, PD, PDR, ALL, ideal")
+		shots       = flag.Int("shots", 2000, "number of shots")
+		seed        = flag.Uint64("seed", 1, "trajectory stream seed")
+		mode        = flag.String("mode", "compare", "baseline | tqsim | compare | ideal")
+		structure   = flag.String("structure", "", "explicit tree structure, e.g. 64,4,4 (tqsim mode)")
+		copyCost    = flag.Float64("copycost", 0, "state copy cost in gate-equivalents (0 = profile)")
+		fusionFlag  = flag.Bool("fusion", false, "use the gate-fusion backend")
+		topK        = flag.Int("top", 8, "top outcomes to print")
+		list        = flag.Bool("list", false, "list the benchmark suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		printSuite()
+		return
+	}
+	c, err := loadCircuit(*circuitName, *qasmPath)
+	if err != nil {
+		fatal(err)
+	}
+	model := tqsim.NoiseByName(*noiseName)
+	opt := tqsim.Options{
+		Seed:             *seed,
+		CopyCost:         *copyCost,
+		UseFusionBackend: *fusionFlag,
+	}
+	if opt.CopyCost == 0 {
+		opt.CopyCost = tqsim.ProfileCopyCost(min(c.NumQubits, 14), 200)
+		// Pure-Go gate kernels can be slower than memcpy, which would let
+		// DCP cut single-gate subcircuits; clamp to the lowest published
+		// Figure 10 machine value so plans match optimized backends.
+		if opt.CopyCost < 5 {
+			opt.CopyCost = 5
+		}
+	}
+	fmt.Printf("circuit %s: %d qubits, %d gates, depth %d | noise %s | copy cost %.1f\n",
+		c.Name, c.NumQubits, c.Len(), c.Depth(), model.Name(), opt.CopyCost)
+
+	switch *mode {
+	case "ideal":
+		res := tqsim.RunIdeal(c, *shots, *seed)
+		fmt.Printf("ideal: %d shots in %v\n", res.Shots, res.Elapsed)
+		printCounts(res.Counts, c.NumQubits, *topK)
+	case "baseline":
+		res := tqsim.RunBaseline(c, model, *shots, opt)
+		fmt.Printf("baseline: %d shots, %d kernel ops in %v\n",
+			res.Shots, res.GateApplications, res.Elapsed)
+		printCounts(res.Counts, c.NumQubits, *topK)
+	case "tqsim":
+		var res *tqsim.TreeResult
+		if *structure != "" {
+			arities, err := parseStructure(*structure)
+			if err != nil {
+				fatal(err)
+			}
+			res, err = tqsim.RunPlan(tqsim.PlanStructure(c, arities), model, opt)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			res, err = tqsim.RunTQSim(c, model, *shots, opt)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("tqsim %s: %d outcomes, %d kernel ops, %d copies, peak %.1f MiB in %v\n",
+			res.Structure, res.Outcomes, res.GateApplications, res.StateCopies,
+			float64(res.PeakStateBytes)/(1<<20), res.Elapsed)
+		printCounts(res.Counts, c.NumQubits, *topK)
+	case "compare":
+		cmp, err := tqsim.Compare(c, model, *shots, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("structure   %s (%d outcomes)\n", cmp.Structure, cmp.Outcomes)
+		fmt.Printf("baseline    %v  (fidelity %.4f)\n", cmp.BaselineTime, cmp.BaselineFidelity)
+		fmt.Printf("tqsim       %v  (fidelity %.4f)\n", cmp.TQSimTime, cmp.TQSimFidelity)
+		fmt.Printf("speedup     %.2fx (work ratio %.3f)\n", cmp.Speedup, cmp.WorkRatio)
+		fmt.Printf("fid. diff   %.4f\n", cmp.FidelityDiff)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func loadCircuit(name, path string) (*tqsim.Circuit, error) {
+	switch {
+	case name != "" && path != "":
+		return nil, fmt.Errorf("use either -circuit or -qasm, not both")
+	case path != "":
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return tqsim.ParseQASM(path, string(src))
+	case name != "":
+		c := tqsim.BenchmarkByName(name)
+		if c == nil {
+			return nil, fmt.Errorf("unknown suite circuit %q (see -list)", name)
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("pass -circuit <name> or -qasm <file>; -list shows the suite")
+}
+
+func parseStructure(s string) ([]int, error) {
+	parts := strings.Split(strings.Trim(s, "() "), ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad structure element %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func printSuite() {
+	fmt.Println("benchmark suite (48 circuits, 8 classes):")
+	for _, b := range tqsim.BenchmarkSuite(0) {
+		c := b.Circuit
+		fmt.Printf("  %-14s %2d qubits %5d gates\n", c.Name, c.NumQubits, c.Len())
+	}
+}
+
+func printCounts(counts map[uint64]int, n, top int) {
+	type kv struct {
+		k uint64
+		v int
+	}
+	var rows []kv
+	total := 0
+	for k, v := range counts {
+		rows = append(rows, kv{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	if top > len(rows) {
+		top = len(rows)
+	}
+	for _, r := range rows[:top] {
+		fmt.Printf("  |%0*b>  %6d  (%.3f)\n", n, r.k, r.v, float64(r.v)/float64(total))
+	}
+	if len(rows) > top {
+		fmt.Printf("  ... %d more outcomes\n", len(rows)-top)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tqsim:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

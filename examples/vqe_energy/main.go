@@ -1,0 +1,74 @@
+// VQE energy estimation: evaluate a variational ansatz's energy under a
+// transverse-field Ising Hamiltonian with both simulators — the §5.7
+// workload class (each optimizer step of a VQA needs one such ensemble
+// estimate, so the per-point speedup multiplies across the whole run).
+//
+//	go run ./examples/vqe_energy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tqsim"
+)
+
+// ansatz builds a hardware-efficient variational circuit: layers of RY
+// rotations and a CX entangling ladder.
+func ansatz(n, layers int, theta float64) *tqsim.Circuit {
+	c := tqsim.NewCircuit(fmt.Sprintf("hea_%d_l%d", n, layers), n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(theta*float64(l+1)+0.3*float64(q), q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.RY(0.5*theta, q)
+	}
+	return c
+}
+
+func main() {
+	const (
+		n      = 8
+		layers = 4
+		shots  = 1500
+	)
+	ham := tqsim.TransverseFieldIsing(n, 1.0, 0.6)
+	noise := tqsim.SycamoreNoise()
+	opt := tqsim.Options{Seed: 5, CopyCost: 5, Epsilon: 0.05, Parallelism: 4}
+
+	fmt.Printf("H = %s\n", ham)
+	fmt.Printf("%-8s %10s %14s %16s %10s\n",
+		"theta", "ideal", "baseline", "tqsim", "speedup")
+
+	// Sweep the variational parameter as an optimizer would.
+	for _, theta := range []float64{0.2, 0.6, 1.0, 1.4} {
+		c := ansatz(n, layers, theta)
+		ideal := tqsim.ExactExpectation(c, ham)
+
+		base, err := tqsim.EstimateExpectationBaseline(c, noise, ham, shots, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tq, run, err := tqsim.EstimateExpectationTQSim(c, noise, ham, shots, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Work-based speedup: kernel ops per estimate.
+		baseOps := float64(shots) * float64(c.Len())
+		speedup := baseOps / float64(run.GateApplications)
+		fmt.Printf("%-8.2f %10.4f %9.4f±%.3f %11.4f±%.3f %9.2fx\n",
+			theta, ideal, base.Mean, base.StdErr, tq.Mean, tq.StdErr, speedup)
+		if math.Abs(base.Mean-tq.Mean) > 5*(base.StdErr+tq.StdErr)+0.05 {
+			fmt.Println("  WARNING: estimates disagree beyond the error bars")
+		}
+	}
+	fmt.Println("\nboth estimators agree within Equation 2's standard error; noise pulls")
+	fmt.Println("the energy toward zero (mixed-state limit), which is exactly what VQA")
+	fmt.Println("designers use noisy simulation to quantify")
+}

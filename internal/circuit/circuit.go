@@ -1,0 +1,215 @@
+// Package circuit defines the quantum circuit intermediate representation
+// used everywhere in the simulator: an ordered gate list over a fixed qubit
+// register, a fluent builder, slicing into subcircuits (the unit TQSim
+// partitions and reuses), and basic structural statistics.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"tqsim/internal/gate"
+)
+
+// Circuit is an ordered list of gates over NumQubits qubits. Measurement is
+// implicit: simulators sample all qubits in the computational basis at the
+// end of the circuit. Name is a human-readable identifier such as "qft_14".
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []gate.Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(name string, n int) *Circuit {
+	if n <= 0 {
+		panic("circuit: qubit count must be positive")
+	}
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Append adds gates to the end of the circuit, validating qubit bounds.
+func (c *Circuit) Append(gs ...gate.Gate) *Circuit {
+	for _, g := range gs {
+		if err := g.Validate(); err != nil {
+			panic(fmt.Sprintf("circuit %q: %v", c.Name, err))
+		}
+		for _, q := range g.Qubits {
+			if q >= c.NumQubits {
+				panic(fmt.Sprintf("circuit %q: gate %s uses qubit %d outside register of %d",
+					c.Name, g, q, c.NumQubits))
+			}
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	return c
+}
+
+// Convenience builders. Each appends one gate and returns the circuit so
+// construction chains naturally: c.H(0).CX(0, 1).RZ(0.3, 1).
+func (c *Circuit) I(q int) *Circuit   { return c.Append(gate.New(gate.KindI, q)) }
+func (c *Circuit) X(q int) *Circuit   { return c.Append(gate.New(gate.KindX, q)) }
+func (c *Circuit) Y(q int) *Circuit   { return c.Append(gate.New(gate.KindY, q)) }
+func (c *Circuit) Z(q int) *Circuit   { return c.Append(gate.New(gate.KindZ, q)) }
+func (c *Circuit) H(q int) *Circuit   { return c.Append(gate.New(gate.KindH, q)) }
+func (c *Circuit) S(q int) *Circuit   { return c.Append(gate.New(gate.KindS, q)) }
+func (c *Circuit) Sdg(q int) *Circuit { return c.Append(gate.New(gate.KindSdg, q)) }
+func (c *Circuit) T(q int) *Circuit   { return c.Append(gate.New(gate.KindT, q)) }
+func (c *Circuit) Tdg(q int) *Circuit { return c.Append(gate.New(gate.KindTdg, q)) }
+func (c *Circuit) SX(q int) *Circuit  { return c.Append(gate.New(gate.KindSX, q)) }
+func (c *Circuit) SY(q int) *Circuit  { return c.Append(gate.New(gate.KindSY, q)) }
+func (c *Circuit) SW(q int) *Circuit  { return c.Append(gate.New(gate.KindSW, q)) }
+func (c *Circuit) CX(ctl, tgt int) *Circuit {
+	return c.Append(gate.New(gate.KindCX, ctl, tgt))
+}
+func (c *Circuit) CY(ctl, tgt int) *Circuit {
+	return c.Append(gate.New(gate.KindCY, ctl, tgt))
+}
+func (c *Circuit) CZ(a, b int) *Circuit { return c.Append(gate.New(gate.KindCZ, a, b)) }
+func (c *Circuit) CH(ctl, tgt int) *Circuit {
+	return c.Append(gate.New(gate.KindCH, ctl, tgt))
+}
+func (c *Circuit) SWAP(a, b int) *Circuit { return c.Append(gate.New(gate.KindSWAP, a, b)) }
+func (c *Circuit) CCX(c0, c1, t int) *Circuit {
+	return c.Append(gate.New(gate.KindCCX, c0, c1, t))
+}
+func (c *Circuit) RX(theta float64, q int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindRX, []float64{theta}, q))
+}
+func (c *Circuit) RY(theta float64, q int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindRY, []float64{theta}, q))
+}
+func (c *Circuit) RZ(theta float64, q int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindRZ, []float64{theta}, q))
+}
+func (c *Circuit) P(theta float64, q int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindP, []float64{theta}, q))
+}
+func (c *Circuit) U3(theta, phi, lambda float64, q int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindU3, []float64{theta, phi, lambda}, q))
+}
+func (c *Circuit) CP(theta float64, ctl, tgt int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindCP, []float64{theta}, ctl, tgt))
+}
+func (c *Circuit) CRZ(theta float64, ctl, tgt int) *Circuit {
+	return c.Append(gate.NewParam(gate.KindCRZ, []float64{theta}, ctl, tgt))
+}
+
+// Len returns the gate count ("circuit length" in the paper's terms).
+func (c *Circuit) Len() int { return len(c.Gates) }
+
+// Width returns the qubit count ("circuit width" in the paper's terms).
+func (c *Circuit) Width() int { return c.NumQubits }
+
+// TwoQubitGates returns the count of gates acting on two or more qubits.
+func (c *Circuit) TwoQubitGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Arity() >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth: the longest chain of gates that must run
+// sequentially because they share qubits.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		d := 0
+		for _, q := range g.Qubits {
+			if level[q] > d {
+				d = level[q]
+			}
+		}
+		d++
+		for _, q := range g.Qubits {
+			level[q] = d
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// Clone returns a deep copy; gate slices are copied, matrices shared
+// (gates are immutable by convention).
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.Name, c.NumQubits)
+	out.Gates = append([]gate.Gate(nil), c.Gates...)
+	return out
+}
+
+// Slice returns the subcircuit containing gates [from, to). The result
+// shares gate storage with the parent.
+func (c *Circuit) Slice(from, to int) *Circuit {
+	if from < 0 || to > len(c.Gates) || from > to {
+		panic(fmt.Sprintf("circuit %q: bad slice [%d,%d) of %d gates",
+			c.Name, from, to, len(c.Gates)))
+	}
+	return &Circuit{
+		Name:      fmt.Sprintf("%s[%d:%d]", c.Name, from, to),
+		NumQubits: c.NumQubits,
+		Gates:     c.Gates[from:to:to],
+	}
+}
+
+// SplitAt cuts the circuit into len(bounds)+1 consecutive subcircuits at the
+// given gate-index boundaries. Bounds must be strictly increasing and within
+// (0, Len).
+func (c *Circuit) SplitAt(bounds ...int) []*Circuit {
+	prev := 0
+	parts := make([]*Circuit, 0, len(bounds)+1)
+	for _, b := range bounds {
+		if b <= prev || b >= len(c.Gates) {
+			panic(fmt.Sprintf("circuit %q: bad split bound %d (prev %d, len %d)",
+				c.Name, b, prev, len(c.Gates)))
+		}
+		parts = append(parts, c.Slice(prev, b))
+		prev = b
+	}
+	parts = append(parts, c.Slice(prev, len(c.Gates)))
+	return parts
+}
+
+// Inverse returns the adjoint circuit: gates reversed, each replaced by its
+// dagger. Useful for QPE's inverse QFT and for mirror-circuit testing.
+func (c *Circuit) Inverse() *Circuit {
+	out := New(c.Name+"_inv", c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		out.Append(c.Gates[i].Dagger())
+	}
+	return out
+}
+
+// Concat appends a full copy of other's gates to c. Widths must match.
+func (c *Circuit) Concat(other *Circuit) *Circuit {
+	if other.NumQubits != c.NumQubits {
+		panic(fmt.Sprintf("circuit: concat width mismatch %d vs %d",
+			c.NumQubits, other.NumQubits))
+	}
+	return c.Append(other.Gates...)
+}
+
+// String renders the circuit one gate per line, QASM-like.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s: %d qubits, %d gates\n", c.Name, c.NumQubits, len(c.Gates))
+	for _, g := range c.Gates {
+		b.WriteString(g.String())
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+// GateKindCounts tallies gates by kind mnemonic, for reporting.
+func (c *Circuit) GateKindCounts() map[string]int {
+	m := map[string]int{}
+	for _, g := range c.Gates {
+		m[g.Kind.String()]++
+	}
+	return m
+}

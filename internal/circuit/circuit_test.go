@@ -1,0 +1,176 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"tqsim/internal/gate"
+)
+
+func bell() *Circuit {
+	return New("bell", 2).H(0).CX(0, 1)
+}
+
+func TestBuilderChaining(t *testing.T) {
+	c := New("chain", 3).H(0).CX(0, 1).RZ(0.5, 2).CCX(0, 1, 2).SWAP(0, 2)
+	if c.Len() != 5 {
+		t.Fatalf("len %d, want 5", c.Len())
+	}
+	if c.Width() != 3 {
+		t.Fatalf("width %d", c.Width())
+	}
+}
+
+func TestAppendValidatesBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range qubit accepted")
+		}
+	}()
+	New("bad", 2).X(2)
+}
+
+func TestAppendValidatesGate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid gate accepted")
+		}
+	}()
+	New("bad", 2).Append(gate.Gate{Kind: gate.KindCX, Qubits: []int{0}})
+}
+
+func TestDepth(t *testing.T) {
+	// H(0) H(1) run in parallel; CX serializes; X(0) adds one more level.
+	c := New("d", 2).H(0).H(1).CX(0, 1).X(0)
+	if got := c.Depth(); got != 3 {
+		t.Fatalf("depth %d, want 3", got)
+	}
+	if got := New("e", 4).Depth(); got != 0 {
+		t.Fatalf("empty depth %d", got)
+	}
+}
+
+func TestTwoQubitGates(t *testing.T) {
+	c := New("2q", 3).H(0).CX(0, 1).CZ(1, 2).T(2).CCX(0, 1, 2)
+	if got := c.TwoQubitGates(); got != 3 {
+		t.Fatalf("two-qubit count %d, want 3", got)
+	}
+}
+
+func TestSliceSharing(t *testing.T) {
+	c := New("s", 2).H(0).CX(0, 1).X(1).Z(0)
+	sl := c.Slice(1, 3)
+	if sl.Len() != 2 {
+		t.Fatalf("slice len %d", sl.Len())
+	}
+	if sl.Gates[0].Kind != gate.KindCX || sl.Gates[1].Kind != gate.KindX {
+		t.Fatal("slice picked wrong gates")
+	}
+	// Full-capacity slicing must protect the parent from appends.
+	sl.Append(gate.New(gate.KindH, 0))
+	if c.Gates[3].Kind != gate.KindZ {
+		t.Fatal("appending to a slice clobbered the parent circuit")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	c := bell()
+	for _, bad := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() { recover() }()
+			c.Slice(bad[0], bad[1])
+			t.Fatalf("bad slice %v accepted", bad)
+		}()
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	c := New("sp", 2).H(0).X(1).CX(0, 1).Z(0).H(1)
+	parts := c.SplitAt(2, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts %d", len(parts))
+	}
+	if parts[0].Len() != 2 || parts[1].Len() != 1 || parts[2].Len() != 2 {
+		t.Fatalf("part lengths %d %d %d", parts[0].Len(), parts[1].Len(), parts[2].Len())
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != c.Len() {
+		t.Fatal("split lost gates")
+	}
+}
+
+func TestSplitAtRejectsBadBounds(t *testing.T) {
+	c := New("sp", 2).H(0).X(1).CX(0, 1)
+	for _, bad := range [][]int{{0}, {3}, {2, 2}, {2, 1}} {
+		func() {
+			defer func() { recover() }()
+			c.SplitAt(bad...)
+			t.Fatalf("bad bounds %v accepted", bad)
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := bell()
+	cl := c.Clone()
+	cl.X(0)
+	if c.Len() != 2 {
+		t.Fatal("clone shares gate slice growth with parent")
+	}
+}
+
+func TestInverseReversesAndDaggers(t *testing.T) {
+	c := New("inv", 2).H(0).S(1).CX(0, 1).T(0)
+	inv := c.Inverse()
+	if inv.Len() != c.Len() {
+		t.Fatal("inverse changed length")
+	}
+	if inv.Gates[0].Kind != gate.KindTdg {
+		t.Fatalf("first inverse gate %v", inv.Gates[0].Kind)
+	}
+	if inv.Gates[3].Kind != gate.KindH {
+		t.Fatalf("last inverse gate %v", inv.Gates[3].Kind)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := bell()
+	b := New("x", 2).X(0)
+	a.Concat(b)
+	if a.Len() != 3 {
+		t.Fatal("concat failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch accepted")
+		}
+	}()
+	a.Concat(New("w", 3))
+}
+
+func TestStringRendering(t *testing.T) {
+	s := bell().String()
+	if !strings.Contains(s, "h q[0];") || !strings.Contains(s, "cx q[0],q[1];") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+}
+
+func TestGateKindCounts(t *testing.T) {
+	c := New("k", 2).H(0).H(1).CX(0, 1)
+	m := c.GateKindCounts()
+	if m["h"] != 2 || m["cx"] != 1 {
+		t.Fatalf("counts %v", m)
+	}
+}
+
+func TestNewRejectsZeroQubits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-width circuit accepted")
+		}
+	}()
+	New("z", 0)
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+	"tqsim/internal/workloads"
+)
+
+// randomGateStream builds a 1q/2q gate mix touching local and global qubits.
+func randomGateStream(n int, count int, seed uint64) []gate.Gate {
+	r := rng.New(seed)
+	var gs []gate.Gate
+	for len(gs) < count {
+		switch r.Intn(5) {
+		case 0:
+			gs = append(gs, gate.New(gate.KindH, r.Intn(n)))
+		case 1:
+			gs = append(gs, gate.NewParam(gate.KindRZ, []float64{r.Float64()}, r.Intn(n)))
+		case 2:
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				gs = append(gs, gate.New(gate.KindCX, a, b))
+			}
+		case 3:
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				gs = append(gs, gate.NewParam(gate.KindCP, []float64{r.Float64()}, a, b))
+			}
+		case 4:
+			u := qmath.RandomUnitary(4, r)
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				gs = append(gs, gate.NewUnitary(u, "su4", a, b))
+			}
+		}
+	}
+	return gs
+}
+
+func TestDistStateMatchesSingleNode(t *testing.T) {
+	const n = 6
+	gs := randomGateStream(n, 40, 3)
+	ref := statevec.NewZero(n)
+	for _, g := range gs {
+		ref.Apply(g)
+	}
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		d := NewDistState(n, nodes)
+		for _, g := range gs {
+			d.Apply(g)
+		}
+		got := d.Gather()
+		if dist := qmath.VecDistance(got.Amplitudes(), ref.Amplitudes()); dist > 1e-9 {
+			t.Errorf("%d nodes: distributed result deviates by %v", nodes, dist)
+		}
+	}
+}
+
+func TestDistStateCommunicationAccounting(t *testing.T) {
+	const n = 5
+	d := NewDistState(n, 4) // global qubits: 3, 4
+	d.Apply(gate.New(gate.KindH, 0))
+	if d.BytesSent != 0 {
+		t.Fatalf("local gate sent %d bytes", d.BytesSent)
+	}
+	d.Apply(gate.New(gate.KindH, 4))
+	if d.BytesSent == 0 {
+		t.Fatal("global gate sent nothing")
+	}
+	before := d.BytesSent
+	d.Apply(gate.New(gate.KindCX, 3, 4)) // both global
+	if d.BytesSent <= before {
+		t.Fatal("global 2q gate sent nothing")
+	}
+}
+
+func TestDistStateMixedLocalityGate(t *testing.T) {
+	const n = 5
+	gs := []gate.Gate{
+		gate.New(gate.KindH, 0),
+		gate.New(gate.KindCX, 0, 4),   // local control, global target
+		gate.New(gate.KindCX, 4, 1),   // global control, local target
+		gate.New(gate.KindCZ, 3, 4),   // both global
+		gate.New(gate.KindSWAP, 2, 3), // local/global
+	}
+	ref := statevec.NewZero(n)
+	for _, g := range gs {
+		ref.Apply(g)
+	}
+	d := NewDistState(n, 4)
+	for _, g := range gs {
+		d.Apply(g)
+	}
+	if dist := qmath.VecDistance(d.Gather().Amplitudes(), ref.Amplitudes()); dist > 1e-10 {
+		t.Fatalf("mixed locality deviates by %v", dist)
+	}
+}
+
+func TestDistStateCloneAndReset(t *testing.T) {
+	d := NewDistState(4, 2)
+	d.Apply(gate.New(gate.KindH, 0))
+	c := d.Clone()
+	c.Apply(gate.New(gate.KindX, 3))
+	if qmath.VecDistance(c.Gather().Amplitudes(), d.Gather().Amplitudes()) < 1e-12 {
+		t.Fatal("clone aliases parent")
+	}
+	d.ResetZero()
+	if d.Gather().Prob(0) != 1 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDistStateRejectsBadShapes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDistState(4, 3) }, // not a power of two
+		func() { NewDistState(2, 8) }, // more shards than amplitudes/2
+		func() { NewDistState(3, 8).Apply(gate.New(gate.KindCCX, 0, 1, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad shape accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCostModelStrongScalingShape(t *testing.T) {
+	// Figure 13a's shape: larger circuits scale better because compute
+	// per node shrinks slower than communication grows.
+	m := noise.NewSycamore()
+	nodes := []int{1, 2, 4, 8, 16, 32}
+	small := StrongScaling(workloads.BV(22, workloads.BVSecret(22)), m, 100, nodes)
+	large := StrongScaling(workloads.QFT(28, true), m, 100, nodes)
+	if small[len(small)-1].Speedup >= float64(nodes[len(nodes)-1]) {
+		t.Fatalf("small circuit scaled perfectly (%v), expected comm-bound", small[len(small)-1].Speedup)
+	}
+	if large[len(large)-1].Speedup <= small[len(small)-1].Speedup {
+		t.Fatalf("large circuit (%v) does not outscale small (%v)",
+			large[len(large)-1].Speedup, small[len(small)-1].Speedup)
+	}
+	// Speedups increase with nodes for the large circuit.
+	for i := 1; i < len(large); i++ {
+		if large[i].Speedup < large[i-1].Speedup*0.9 {
+			t.Fatalf("large circuit speedup regressed at %d nodes", large[i].Nodes)
+		}
+	}
+}
+
+func TestCostModelTQSimBeatsBaseline(t *testing.T) {
+	// Figure 13b: TQSim's modeled time undercuts the baseline's at every
+	// node count.
+	m := noise.NewSycamore()
+	c := workloads.QFT(24, true)
+	plan := partition.Dynamic(c, m, 4000, partition.DCPOptions{CopyCost: 30})
+	if plan.Levels() < 2 {
+		t.Fatalf("DCP degenerate: %v", plan.Structure())
+	}
+	for _, nodes := range []int{1, 4, 16} {
+		cfg := DefaultNetwork(nodes)
+		base := cfg.EstimateBaseline(c, m, plan.TotalOutcomes())
+		tq := cfg.EstimatePlan(plan, m)
+		if tq.TotalSec >= base.TotalSec {
+			t.Fatalf("%d nodes: TQSim %v >= baseline %v", nodes, tq.TotalSec, base.TotalSec)
+		}
+		speedup := base.TotalSec / tq.TotalSec
+		if speedup > 6 {
+			t.Fatalf("%d nodes: implausible modeled speedup %v", nodes, speedup)
+		}
+	}
+}
+
+func TestCostReportComposition(t *testing.T) {
+	m := noise.NewSycamore()
+	c := workloads.QFT(20, true)
+	cfg := DefaultNetwork(4)
+	rep := cfg.EstimateBaseline(c, m, 10)
+	if rep.TotalSec <= 0 || rep.ComputeSec <= 0 || rep.CopySec <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	if math.Abs(rep.TotalSec-(rep.ComputeSec+rep.CommSec+rep.CopySec)) > 1e-12 {
+		t.Fatal("total != sum of parts")
+	}
+	if rep.GlobalGateShare <= 0 || rep.GlobalGateShare >= 1 {
+		t.Fatalf("global gate share %v", rep.GlobalGateShare)
+	}
+	// Single node: no communication.
+	rep1 := DefaultNetwork(1).EstimateBaseline(c, m, 10)
+	if rep1.CommSec != 0 {
+		t.Fatalf("1-node comm %v", rep1.CommSec)
+	}
+}
+
+func TestShardBytes(t *testing.T) {
+	d := NewDistState(10, 4)
+	if d.ShardBytes() != 16*(1<<8) {
+		t.Fatalf("shard bytes %d", d.ShardBytes())
+	}
+	if d.LocalQubits() != 8 || d.Nodes() != 4 || d.NumQubits() != 10 {
+		t.Fatal("shape accessors wrong")
+	}
+}

@@ -1,0 +1,237 @@
+// Package cluster implements the multi-node substrate of the paper's
+// Section 5.3 (the qHiPSTER role): a distributed state-vector simulator
+// whose 2^n amplitudes are sharded over P (power-of-two) nodes, plus an
+// interconnect cost model that turns the real communication volumes of the
+// gate stream into modeled wall time for strong- and weak-scaling studies
+// (Figure 13).
+//
+// DistState executes gates for real across shard boundaries — qubits in the
+// top log2(P) positions are "global" and require pairwise amplitude
+// exchange between node shards, exactly as on a real cluster — so its
+// numerics are testable against the single-node engine. The cost model then
+// prices each gate's compute and communication with configurable node and
+// network parameters, which is how a single machine reproduces the *shape*
+// of 32-node scaling (see DESIGN.md's substitution table).
+package cluster
+
+import (
+	"fmt"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/statevec"
+)
+
+// DistState is an n-qubit state distributed over Nodes shards.
+// Qubits [0, n-g) are node-local; qubits [n-g, n) are global, where
+// g = log2(Nodes).
+type DistState struct {
+	n      int
+	nodes  int
+	global int // log2(nodes)
+	shards [][]complex128
+	// BytesSent accumulates the total amplitude traffic between shards.
+	BytesSent int64
+	// Exchanges counts pairwise shard exchanges (message rounds).
+	Exchanges int64
+}
+
+// NewDistState returns |0...0> over the given node count (a power of two,
+// with at least one local qubit per shard).
+func NewDistState(n, nodes int) *DistState {
+	if nodes < 1 || nodes&(nodes-1) != 0 {
+		panic("cluster: node count must be a power of two")
+	}
+	g := 0
+	for 1<<uint(g) < nodes {
+		g++
+	}
+	if n-g < 1 {
+		panic(fmt.Sprintf("cluster: %d qubits cannot shard over %d nodes", n, nodes))
+	}
+	d := &DistState{n: n, nodes: nodes, global: g}
+	shardLen := 1 << uint(n-g)
+	d.shards = make([][]complex128, nodes)
+	for i := range d.shards {
+		d.shards[i] = make([]complex128, shardLen)
+	}
+	d.shards[0][0] = 1
+	return d
+}
+
+// NumQubits returns n.
+func (d *DistState) NumQubits() int { return d.n }
+
+// Nodes returns the shard count.
+func (d *DistState) Nodes() int { return d.nodes }
+
+// LocalQubits returns the number of node-local qubits.
+func (d *DistState) LocalQubits() int { return d.n - d.global }
+
+// ShardBytes returns the per-shard amplitude storage.
+func (d *DistState) ShardBytes() int64 { return int64(len(d.shards[0])) * 16 }
+
+// Gather reassembles the full state vector (tests and sampling).
+func (d *DistState) Gather() *statevec.State {
+	full := make([]complex128, 1<<uint(d.n))
+	shardLen := len(d.shards[0])
+	for s, sh := range d.shards {
+		copy(full[s*shardLen:(s+1)*shardLen], sh)
+	}
+	return statevec.FromAmplitudes(full)
+}
+
+// isGlobal reports whether qubit q is a global (inter-node) qubit.
+func (d *DistState) isGlobal(q int) bool { return q >= d.n-d.global }
+
+// globalBit returns the shard-index bit of a global qubit.
+func (d *DistState) globalBit(q int) int { return q - (d.n - d.global) }
+
+// Apply1Q applies a 2x2 matrix to qubit t, exchanging shard halves when t
+// is global.
+func (d *DistState) Apply1Q(t int, m qmath.Matrix) {
+	if !d.isGlobal(t) {
+		for _, sh := range d.shards {
+			statevec.Wrap(sh).Apply1Q(t, m)
+		}
+		return
+	}
+	bit := 1 << uint(d.globalBit(t))
+	m00, m01, m10, m11 := m.Data[0], m.Data[1], m.Data[2], m.Data[3]
+	for s := range d.shards {
+		if s&bit != 0 {
+			continue
+		}
+		lo, hi := d.shards[s], d.shards[s|bit]
+		for i := range lo {
+			a0, a1 := lo[i], hi[i]
+			lo[i] = m00*a0 + m01*a1
+			hi[i] = m10*a0 + m11*a1
+		}
+		// On a real cluster each partner sends its full shard half to the
+		// other; account both directions.
+		d.BytesSent += 2 * d.ShardBytes()
+		d.Exchanges++
+	}
+}
+
+// Apply2Q applies a 4x4 matrix to qubits (q0, q1), q0 the low bit of the
+// gate's basis index, handling all locality combinations.
+func (d *DistState) Apply2Q(q0, q1 int, m qmath.Matrix) {
+	g0, g1 := d.isGlobal(q0), d.isGlobal(q1)
+	switch {
+	case !g0 && !g1:
+		for _, sh := range d.shards {
+			statevec.Wrap(sh).Apply2Q(q0, q1, m)
+		}
+	case g0 && g1:
+		b0 := 1 << uint(d.globalBit(q0))
+		b1 := 1 << uint(d.globalBit(q1))
+		for s := range d.shards {
+			if s&b0 != 0 || s&b1 != 0 {
+				continue
+			}
+			sh := [4][]complex128{
+				d.shards[s], d.shards[s|b0], d.shards[s|b1], d.shards[s|b0|b1],
+			}
+			md := m.Data
+			for i := range sh[0] {
+				a0, a1, a2, a3 := sh[0][i], sh[1][i], sh[2][i], sh[3][i]
+				sh[0][i] = md[0]*a0 + md[1]*a1 + md[2]*a2 + md[3]*a3
+				sh[1][i] = md[4]*a0 + md[5]*a1 + md[6]*a2 + md[7]*a3
+				sh[2][i] = md[8]*a0 + md[9]*a1 + md[10]*a2 + md[11]*a3
+				sh[3][i] = md[12]*a0 + md[13]*a1 + md[14]*a2 + md[15]*a3
+			}
+			d.BytesSent += 4 * 3 * d.ShardBytes() / 4 // all-to-all among 4 shards
+			d.Exchanges += 3
+		}
+	default:
+		// One global, one local. Normalize so qg is global, ql local, and
+		// record whether the local qubit is the gate's low bit.
+		qg, ql := q0, q1
+		localIsLow := false
+		if g1 {
+			qg, ql = q1, q0
+			localIsLow = true
+		}
+		bit := 1 << uint(d.globalBit(qg))
+		lmask := 1 << uint(ql)
+		md := m.Data
+		for s := range d.shards {
+			if s&bit != 0 {
+				continue
+			}
+			lo, hi := d.shards[s], d.shards[s|bit]
+			half := len(lo) / 2
+			for i := 0; i < half; i++ {
+				off := i & (lmask - 1)
+				i0 := ((i >> uint(ql)) << uint(ql+1)) | off
+				i1 := i0 | lmask
+				// Gate basis: index = bit(q0) | bit(q1)<<1.
+				var v [4]complex128
+				if localIsLow {
+					v = [4]complex128{lo[i0], lo[i1], hi[i0], hi[i1]}
+				} else {
+					v = [4]complex128{lo[i0], hi[i0], lo[i1], hi[i1]}
+				}
+				var w [4]complex128
+				for row := 0; row < 4; row++ {
+					w[row] = md[row*4]*v[0] + md[row*4+1]*v[1] +
+						md[row*4+2]*v[2] + md[row*4+3]*v[3]
+				}
+				if localIsLow {
+					lo[i0], lo[i1], hi[i0], hi[i1] = w[0], w[1], w[2], w[3]
+				} else {
+					lo[i0], hi[i0], lo[i1], hi[i1] = w[0], w[1], w[2], w[3]
+				}
+			}
+			d.BytesSent += 2 * d.ShardBytes()
+			d.Exchanges++
+		}
+	}
+}
+
+// Apply applies a 1- or 2-qubit gate instance. Wider gates must be
+// decomposed before distribution (the suite's generators already emit
+// 1q/2q streams when asked).
+func (d *DistState) Apply(g gate.Gate) {
+	switch g.Arity() {
+	case 1:
+		if g.Kind == gate.KindI {
+			return
+		}
+		d.Apply1Q(g.Qubits[0], g.Matrix())
+	case 2:
+		d.Apply2Q(g.Qubits[0], g.Qubits[1], g.Matrix())
+	default:
+		panic("cluster: gates wider than 2 qubits must be decomposed for distribution")
+	}
+}
+
+// CopyFrom copies all shards from src (the distributed state copy TQSim
+// performs between tree nodes; purely node-local on a real cluster).
+func (d *DistState) CopyFrom(src *DistState) {
+	if d.n != src.n || d.nodes != src.nodes {
+		panic("cluster: CopyFrom shape mismatch")
+	}
+	for i := range d.shards {
+		copy(d.shards[i], src.shards[i])
+	}
+}
+
+// Clone deep-copies the distributed state.
+func (d *DistState) Clone() *DistState {
+	c := NewDistState(d.n, d.nodes)
+	c.CopyFrom(d)
+	return c
+}
+
+// ResetZero restores |0...0> without reallocating.
+func (d *DistState) ResetZero() {
+	for _, sh := range d.shards {
+		for i := range sh {
+			sh[i] = 0
+		}
+	}
+	d.shards[0][0] = 1
+}

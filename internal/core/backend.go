@@ -1,0 +1,51 @@
+// Package core implements the paper's primary contribution: the tree-based
+// noisy quantum circuit simulator (TQSim). A partition.Plan describes the
+// simulation tree — subcircuit boundaries plus the per-level arity sequence
+// (A0, ..., Ak-1) — and the Executor walks the tree depth-first, reusing
+// each node's intermediate state across all of its children instead of
+// recomputing the shared prefix per shot, exactly as in Figures 2c and 7.
+//
+// The executor is backend-agnostic (Section 5.2): anything implementing
+// Backend can apply gates, so the same scheduler drives the plain
+// state-vector engine and the fusion ("GPU-like") engine.
+package core
+
+import (
+	"tqsim/internal/gate"
+	"tqsim/internal/statevec"
+)
+
+// Backend applies gates to state vectors. Implementations may buffer and
+// fuse gates; Flush must force all pending work onto the state, and is
+// called before any operation that observes amplitudes (noise channels,
+// sampling, state copies).
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Apply schedules gate g onto state s.
+	Apply(s *statevec.State, g gate.Gate)
+	// Flush applies any buffered gates to s.
+	Flush(s *statevec.State)
+}
+
+// Forker is implemented by stateful backends that need one instance per
+// worker under parallel tree execution. Stateless backends may ignore it.
+type Forker interface {
+	// Fork returns a fresh backend equivalent to this one for use by one
+	// worker goroutine.
+	Fork() Backend
+}
+
+// PlainBackend applies every gate immediately through the state-vector
+// fast-path kernels. It is stateless, so one value serves any number of
+// workers. It is the Qulacs-equivalent CPU backend.
+type PlainBackend struct{}
+
+// Name implements Backend.
+func (PlainBackend) Name() string { return "statevec" }
+
+// Apply implements Backend.
+func (PlainBackend) Apply(s *statevec.State, g gate.Gate) { s.Apply(g) }
+
+// Flush implements Backend.
+func (PlainBackend) Flush(*statevec.State) {}

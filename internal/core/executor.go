@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// Result aggregates a TQSim tree run. The accounting fields mirror
+// trajectory.Result so baseline and TQSim runs compare directly.
+type Result struct {
+	// Counts histograms sampled outcomes by basis index. Every tree leaf
+	// contributes exactly one outcome, so the total equals the plan's
+	// TotalOutcomes.
+	Counts map[uint64]int
+	// Outcomes is the number of samples produced (tree leaves).
+	Outcomes int
+	// GateApplications counts every kernel application, noise included.
+	GateApplications int64
+	// StateCopies counts full state-vector copies between tree nodes —
+	// the overhead DCP balances against reuse (Section 3.6).
+	StateCopies int64
+	// PeakStateBytes is the peak amplitude memory held concurrently: one
+	// state per tree level plus the working copy (Section 3.4's
+	// memory-for-time trade).
+	PeakStateBytes int64
+	// Nodes is the number of subcircuit-instance nodes executed.
+	Nodes int64
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Structure echoes the plan's arity tuple, e.g. "(16,2,2)".
+	Structure string
+	// BackendName echoes the backend used.
+	BackendName string
+}
+
+// Executor runs simulation-tree plans.
+type Executor struct {
+	// Backend applies gates; nil selects PlainBackend.
+	Backend Backend
+	// Noise is the noise model; nil simulates the ideal circuit (every
+	// trajectory is then identical, which makes reuse exact).
+	Noise *noise.Model
+	// Seed selects the reproducible trajectory stream.
+	Seed uint64
+	// Parallelism distributes first-level subtrees across workers
+	// (<= 1 runs serially). Outcomes are seed-deterministic either way.
+	Parallelism int
+}
+
+// runSegment applies one subcircuit instance with fresh noise sampling.
+func (e *Executor) runSegment(st *statevec.State, be Backend, gs []gate.Gate, r *rng.RNG) int64 {
+	var ops int64
+	for _, g := range gs {
+		if g.Kind != gate.KindI {
+			be.Apply(st, g)
+			ops++
+		}
+		if !e.Noise.Ideal() {
+			be.Flush(st)
+			ops += int64(e.Noise.ApplyAfterGate(st, g, r))
+		}
+	}
+	be.Flush(st)
+	return ops
+}
+
+// LeafFunc observes a leaf state of the simulation tree. The state is only
+// valid for the duration of the call; the RNG stream is the leaf node's own.
+type LeafFunc func(st *statevec.State, r *rng.RNG)
+
+// runTree walks the plan's simulation tree depth-first, invoking onLeaf for
+// every leaf, and fills the accounting fields of res. Parallelism > 1
+// distributes first-level subtrees across workers; node RNG streams are
+// keyed by deterministic DFS sequence numbers, so results are identical to
+// the serial walk.
+func (e *Executor) runTree(plan *partition.Plan, res *Result, onLeaf LeafFunc) error {
+	be := e.Backend
+	if be == nil {
+		be = PlainBackend{}
+	}
+	subs := plan.Subcircuits()
+	n := plan.Circuit.NumQubits
+	levels := plan.Levels()
+	rootRNG := rng.New(e.Seed)
+
+	// subtreeNodes is the node count of one subtree hanging off a level-0
+	// node: 1 + A1 + A1*A2 + ... — used to pre-assign deterministic DFS
+	// sequence numbers to parallel workers.
+	subtreeNodes := uint64(1)
+	acc := uint64(1)
+	for _, a := range plan.Arities[1:] {
+		acc *= uint64(a)
+		subtreeNodes += acc
+	}
+
+	workers := e.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > plan.Arities[0] {
+		workers = plan.Arities[0]
+	}
+	res.PeakStateBytes = int64(workers) * int64(levels+1) * (int64(16) << uint(n))
+
+	type shard struct {
+		ops, copies, nodes int64
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes onLeaf when workers > 1
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			be := be
+			if forker, ok := be.(Forker); ok && workers > 1 {
+				// Stateful backends (e.g. fusion) keep per-qubit buffers;
+				// give every worker its own instance.
+				be = forker.Fork()
+			}
+			sh := &shards[w]
+			levelState := make([]*statevec.State, levels)
+			for i := range levelState {
+				levelState[i] = statevec.NewZero(n)
+			}
+			root := statevec.NewZero(n)
+			var walk func(level int, parent *statevec.State, seqBase uint64)
+			walk = func(level int, parent *statevec.State, seqBase uint64) {
+				arity := plan.Arities[level]
+				gates := subs[level].Gates
+				// Child i's subtree (including its own node) spans a fixed
+				// block of DFS sequence numbers.
+				blockLen := uint64(1)
+				a2 := uint64(1)
+				for _, a := range plan.Arities[level+1:] {
+					a2 *= uint64(a)
+					blockLen += a2
+				}
+				for child := 0; child < arity; child++ {
+					seq := seqBase + uint64(child)*blockLen
+					st := levelState[level]
+					st.CopyFrom(parent)
+					sh.copies++
+					sh.nodes++
+					r := rootRNG.SplitAt(seq)
+					sh.ops += e.runSegment(st, be, gates, r)
+					if level == levels-1 {
+						if workers > 1 {
+							mu.Lock()
+							onLeaf(st, r)
+							mu.Unlock()
+						} else {
+							onLeaf(st, r)
+						}
+					} else {
+						walk(level+1, st, seq+1)
+					}
+				}
+			}
+			// Worker w handles level-0 children w, w+workers, ...
+			arity0 := plan.Arities[0]
+			gates0 := subs[0].Gates
+			for child := w; child < arity0; child += workers {
+				seq := 1 + uint64(child)*subtreeNodes
+				st := levelState[0]
+				st.CopyFrom(root)
+				sh.copies++
+				sh.nodes++
+				r := rootRNG.SplitAt(seq)
+				sh.ops += e.runSegment(st, be, gates0, r)
+				if levels == 1 {
+					if workers > 1 {
+						mu.Lock()
+						onLeaf(st, r)
+						mu.Unlock()
+					} else {
+						onLeaf(st, r)
+					}
+				} else {
+					walk(1, st, seq+1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, sh := range shards {
+		res.GateApplications += sh.ops
+		res.StateCopies += sh.copies
+		res.Nodes += sh.nodes
+	}
+	return nil
+}
+
+// Run executes the plan's simulation tree and returns the aggregated
+// outcomes and cost accounting. Every leaf samples exactly one outcome
+// (Figure 7: the leaf count equals the outcome count).
+func (e *Executor) Run(plan *partition.Plan) (*Result, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	be := e.Backend
+	if be == nil {
+		be = PlainBackend{}
+	}
+	res := &Result{
+		Counts:      make(map[uint64]int),
+		Structure:   plan.Structure(),
+		BackendName: be.Name(),
+	}
+	n := plan.Circuit.NumQubits
+	start := time.Now()
+	err := e.runTree(plan, res, func(st *statevec.State, r *rng.RNG) {
+		out := st.Sample(r)
+		out = e.Noise.FlipReadout(out, n, r)
+		res.Counts[out]++
+		res.Outcomes++
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunBaseline is a convenience that executes the (shots,1,...,1) baseline
+// plan through the same executor machinery — useful for apples-to-apples
+// backend comparisons (Figure 12 uses this on the fusion backend).
+func (e *Executor) RunBaseline(c *circuit.Circuit, shots int) (*Result, error) {
+	return e.Run(partition.Baseline(c, shots))
+}
+
+// Speedup compares a baseline duration to a TQSim duration.
+func Speedup(baseline, tqsim time.Duration) float64 {
+	if tqsim <= 0 {
+		return 0
+	}
+	return float64(baseline) / float64(tqsim)
+}
+
+// NormalizedComputation returns the tree's kernel work relative to the
+// baseline's for the same outcome count — Figure 19's y-axis.
+func NormalizedComputation(res *Result, baselineOps int64) float64 {
+	if baselineOps <= 0 {
+		return 0
+	}
+	return float64(res.GateApplications) / float64(baselineOps)
+}
+
+// String summarizes the result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s backend=%s outcomes=%d nodes=%d ops=%d copies=%d peakMB=%.1f in %v",
+		r.Structure, r.BackendName, r.Outcomes, r.Nodes, r.GateApplications,
+		r.StateCopies, float64(r.PeakStateBytes)/(1<<20), r.Elapsed)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"time"
+
+	"tqsim/internal/observable"
+	"tqsim/internal/partition"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// ExpectationResult carries an observable estimate from a tree run: the
+// ensemble mean over leaves plus the paper's Equation 2 standard error.
+type ExpectationResult struct {
+	Stats observable.EstimateStats
+	// Run carries the usual cost accounting (Counts remains empty; leaves
+	// are consumed by the observable instead of sampled).
+	Run *Result
+}
+
+// RunExpectation executes the plan's simulation tree and evaluates the
+// observable's exact expectation on every leaf state — the variational-
+// algorithm workflow of the paper's §5.7, where each landscape point is an
+// ensemble-averaged energy.
+func (e *Executor) RunExpectation(plan *partition.Plan, h *observable.Hamiltonian) (*ExpectationResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := h.Validate(plan.Circuit.NumQubits); err != nil {
+		return nil, err
+	}
+	be := e.Backend
+	if be == nil {
+		be = PlainBackend{}
+	}
+	res := &Result{
+		Counts:      make(map[uint64]int),
+		Structure:   plan.Structure(),
+		BackendName: be.Name(),
+	}
+	var values []float64
+	start := time.Now()
+	err := e.runTree(plan, res, func(st *statevec.State, r *rng.RNG) {
+		values = append(values, h.ExpectationState(st))
+		res.Outcomes++
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return &ExpectationResult{
+		Stats: observable.Summarize(values),
+		Run:   res,
+	}, nil
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"tqsim/internal/core"
+	"tqsim/internal/fusion"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/workloads"
+)
+
+// These tests live in an external test package: fusion imports core (for
+// the Backend/Forker interfaces), so importing fusion from core's internal
+// tests would create a cycle.
+
+func TestFusionBackendMatchesPlain(t *testing.T) {
+	// Same plan, same seed: the fusion backend must produce the identical
+	// histogram (it changes scheduling, not semantics).
+	c := workloads.QSC(6, 4, 3)
+	m := noise.NewSycamore()
+	plan := partition.FromStructure(c, []int{8, 4})
+	plain, err := (&core.Executor{Noise: m, Seed: 4}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := (&core.Executor{Noise: m, Seed: 4, Backend: fusion.New()}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range plain.Counts {
+		if fused.Counts[k] != v {
+			t.Fatalf("fusion backend changed outcome %d: %d vs %d",
+				k, fused.Counts[k], v)
+		}
+	}
+	if fused.BackendName != "fusion" {
+		t.Fatalf("backend name %q", fused.BackendName)
+	}
+}
+
+func TestParallelFusionBackendForks(t *testing.T) {
+	// A stateful backend must be forked per worker; the parallel fusion run
+	// must match the serial fusion run exactly (and not race — run under
+	// -race in CI).
+	c := workloads.QSC(6, 5, 11)
+	m := noise.NewSycamore()
+	plan := partition.FromStructure(c, []int{16, 4})
+	serial, err := (&core.Executor{Noise: m, Seed: 21, Backend: fusion.New()}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&core.Executor{Noise: m, Seed: 21, Backend: fusion.New(), Parallelism: 4}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range serial.Counts {
+		if par.Counts[k] != v {
+			t.Fatalf("parallel fusion changed outcome %d: %d vs %d", k, par.Counts[k], v)
+		}
+	}
+}

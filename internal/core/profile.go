@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"tqsim/internal/gate"
+
+	"tqsim/internal/statevec"
+)
+
+// CopyCostProfile reports how expensive a state-vector copy is relative to
+// one gate application on this host — the normalization of Figure 10. DCP
+// consumes the ratio to choose the minimum subcircuit length.
+type CopyCostProfile struct {
+	// Qubits is the register width profiled.
+	Qubits int
+	// GateNanos is the mean wall time of one representative gate kernel.
+	GateNanos float64
+	// CopyNanos is the mean wall time of one full state copy.
+	CopyNanos float64
+	// Ratio is CopyNanos / GateNanos — the state copy cost in
+	// gate-equivalents.
+	Ratio float64
+}
+
+// ProfileCopyCost measures the copy/gate cost ratio at the given width
+// using `reps` repetitions of a representative gate mix (one Hadamard and
+// one CNOT, the dominant kernels of the benchmark suite).
+func ProfileCopyCost(qubits, reps int) CopyCostProfile {
+	if reps < 1 {
+		reps = 1
+	}
+	st := statevec.NewZero(qubits)
+	// Seed the state with structure so kernels see realistic data.
+	for q := 0; q < qubits; q++ {
+		st.Apply(gate.New(gate.KindH, q))
+	}
+	h := gate.New(gate.KindH, 0)
+	cx := gate.New(gate.KindCX, 0, qubits-1)
+
+	gStart := time.Now()
+	for i := 0; i < reps; i++ {
+		st.Apply(h)
+		st.Apply(cx)
+	}
+	gateNanos := float64(time.Since(gStart).Nanoseconds()) / float64(2*reps)
+
+	dst := statevec.NewZero(qubits)
+	cStart := time.Now()
+	for i := 0; i < reps; i++ {
+		dst.CopyFrom(st)
+	}
+	copyNanos := float64(time.Since(cStart).Nanoseconds()) / float64(reps)
+
+	ratio := 1.0
+	if gateNanos > 0 {
+		ratio = copyNanos / gateNanos
+	}
+	if ratio < 0.1 {
+		ratio = 0.1
+	}
+	return CopyCostProfile{
+		Qubits:    qubits,
+		GateNanos: gateNanos,
+		CopyNanos: copyNanos,
+		Ratio:     ratio,
+	}
+}
+
+// ProfileCopyCostSweep profiles a range of widths and returns the averaged
+// ratio alongside the per-width profiles. The paper observes the ratio is
+// width-stable (Section 3.6), so DCP uses the average.
+func ProfileCopyCostSweep(minQubits, maxQubits, reps int) (avg float64, profiles []CopyCostProfile) {
+	var sum float64
+	for q := minQubits; q <= maxQubits; q++ {
+		p := ProfileCopyCost(q, reps)
+		profiles = append(profiles, p)
+		sum += p.Ratio
+	}
+	if len(profiles) == 0 {
+		return 1, nil
+	}
+	return sum / float64(len(profiles)), profiles
+}

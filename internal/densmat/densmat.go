@@ -1,0 +1,242 @@
+// Package densmat implements the density-matrix simulator used as the exact
+// reference for noisy simulation (paper §2.3, Figure 15). The density matrix
+// of an n-qubit system is stored as a flattened 2^n x 2^n complex matrix and
+// evolves under unitaries as rho -> U rho U† and under channels as
+// rho -> sum_i K_i rho K_i†.
+//
+// Implementation note: the row-major flattening of rho is exactly a 2n-qubit
+// state vector (column bits are qubits 0..n-1, row bits are qubits n..2n-1),
+// so all operator applications reuse the tuned kernels of internal/statevec:
+// left-multiplication by U touches row qubits with U, right-multiplication
+// by U† touches column qubits with conj(U). The O(4^n) memory growth this
+// package exhibits is itself one of the paper's observations (Figure 4).
+package densmat
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/noise"
+	"tqsim/internal/qmath"
+	"tqsim/internal/statevec"
+)
+
+// MaxQubits bounds the register so the 4^n allocation stays sane.
+const MaxQubits = 12
+
+// Density is an n-qubit mixed state.
+type Density struct {
+	n int
+	// vec holds the flattened density matrix as a 2n-qubit state vector.
+	vec *statevec.State
+}
+
+// NewZero returns the pure |0...0><0...0| density matrix.
+func NewZero(n int) *Density {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("densmat: unsupported qubit count %d", n))
+	}
+	return &Density{n: n, vec: statevec.NewZero(2 * n)}
+}
+
+// FromPure builds the rank-one density matrix |psi><psi|.
+func FromPure(s *statevec.State) *Density {
+	n := s.NumQubits()
+	if n > MaxQubits {
+		panic("densmat: state too wide")
+	}
+	d := NewZero(n)
+	dim := 1 << uint(n)
+	amps := s.Amplitudes()
+	dst := d.vec.Amplitudes()
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			dst[r*dim+c] = amps[r] * cmplx.Conj(amps[c])
+		}
+	}
+	return d
+}
+
+// NumQubits returns n.
+func (d *Density) NumQubits() int { return d.n }
+
+// Dim returns 2^n.
+func (d *Density) Dim() int { return 1 << uint(d.n) }
+
+// Bytes returns the memory footprint of the density matrix.
+func (d *Density) Bytes() int { return d.vec.Bytes() }
+
+// At returns the matrix element rho[r][c].
+func (d *Density) At(r, c int) complex128 {
+	return d.vec.Amplitude(uint64(r)<<uint(d.n) | uint64(c))
+}
+
+// Trace returns tr(rho); 1 for a valid density matrix.
+func (d *Density) Trace() complex128 {
+	var t complex128
+	dim := d.Dim()
+	for i := 0; i < dim; i++ {
+		t += d.At(i, i)
+	}
+	return t
+}
+
+// Purity returns tr(rho^2); 1 for pure states, 1/2^n for maximally mixed.
+func (d *Density) Purity() float64 {
+	// tr(rho^2) = sum_{rc} rho[r][c] * rho[c][r] = sum |rho[r][c]|^2 for
+	// Hermitian rho.
+	var p float64
+	for _, a := range d.vec.Amplitudes() {
+		p += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Clone deep-copies the density matrix.
+func (d *Density) Clone() *Density {
+	return &Density{n: d.n, vec: d.vec.Clone()}
+}
+
+// applyLeft applies matrix m to the row-index qubits listed in qs.
+func (d *Density) applyLeft(qs []int, m qmath.Matrix) {
+	shifted := make([]int, len(qs))
+	for i, q := range qs {
+		shifted[i] = q + d.n
+	}
+	d.applyOn(shifted, m)
+}
+
+// applyRight applies conj(m) to the column-index qubits (realizing
+// right-multiplication by m†).
+func (d *Density) applyRight(qs []int, m qmath.Matrix) {
+	conj := qmath.NewMatrix(m.N)
+	for i, v := range m.Data {
+		conj.Data[i] = cmplx.Conj(v)
+	}
+	d.applyOn(qs, conj)
+}
+
+func (d *Density) applyOn(qs []int, m qmath.Matrix) {
+	switch len(qs) {
+	case 1:
+		d.vec.Apply1Q(qs[0], m)
+	case 2:
+		d.vec.Apply2Q(qs[0], qs[1], m)
+	case 3:
+		d.vec.Apply3Q(qs[0], qs[1], qs[2], m)
+	default:
+		panic("densmat: unsupported operator arity")
+	}
+}
+
+// ApplyUnitary evolves rho -> U rho U† for the gate instance.
+func (d *Density) ApplyUnitary(g gate.Gate) {
+	m := g.Matrix()
+	d.applyLeft(g.Qubits, m)
+	d.applyRight(g.Qubits, m)
+}
+
+// ApplyKraus evolves rho -> sum_i K_i rho K_i† on the given qubits.
+func (d *Density) ApplyKraus(kraus []qmath.Matrix, qubits []int) {
+	if len(kraus) == 0 {
+		return
+	}
+	if len(kraus) == 1 {
+		d.applyLeft(qubits, kraus[0])
+		d.applyRight(qubits, kraus[0])
+		return
+	}
+	orig := d.vec.Clone()
+	accum := statevec.NewZero(2 * d.n)
+	acc := accum.Amplitudes()
+	acc[0] = 0
+	for _, k := range kraus {
+		d.vec.CopyFrom(orig)
+		d.applyLeft(qubits, k)
+		d.applyRight(qubits, k)
+		cur := d.vec.Amplitudes()
+		for i := range acc {
+			acc[i] += cur[i]
+		}
+	}
+	d.vec.CopyFrom(accum)
+}
+
+// ApplyChannel applies a noise channel on the given qubits.
+func (d *Density) ApplyChannel(ch noise.Channel, qubits []int) {
+	d.ApplyKraus(ch.Kraus(), qubits)
+}
+
+// applyModelAfterGate applies a noise model's channels following gate g.
+func (d *Density) applyModelAfterGate(m *noise.Model, g gate.Gate) {
+	if m == nil {
+		return
+	}
+	switch g.Arity() {
+	case 1:
+		for _, c := range m.OneQubit {
+			d.ApplyChannel(c, g.Qubits)
+		}
+	case 2:
+		for _, c := range m.TwoQubit {
+			d.ApplyChannel(c, g.Qubits)
+		}
+	default:
+		for _, c := range m.TwoQubit {
+			d.ApplyChannel(c, g.Qubits[:2])
+		}
+		for _, c := range m.OneQubit {
+			d.ApplyChannel(c, g.Qubits[2:3])
+		}
+	}
+}
+
+// Run evolves the density matrix through the whole circuit under the model.
+func (d *Density) Run(c *circuit.Circuit, m *noise.Model) {
+	if c.NumQubits != d.n {
+		panic("densmat: circuit width mismatch")
+	}
+	for _, g := range c.Gates {
+		d.ApplyUnitary(g)
+		d.applyModelAfterGate(m, g)
+	}
+}
+
+// Probabilities returns the measurement distribution diag(rho), with the
+// model's readout error (if any) folded in as a classical confusion map.
+func (d *Density) Probabilities(m *noise.Model) []float64 {
+	dim := d.Dim()
+	p := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		p[i] = real(d.At(i, i))
+	}
+	if m == nil || m.Readout == nil {
+		return p
+	}
+	// Apply the per-qubit confusion matrix [[1-p01, p10], [p01, 1-p10]]
+	// one bit at a time (tensor structure keeps this O(n * 2^n)).
+	ro := m.Readout
+	for q := 0; q < d.n; q++ {
+		mask := 1 << uint(q)
+		for i := 0; i < dim; i++ {
+			if i&mask != 0 {
+				continue
+			}
+			j := i | mask
+			p0, p1 := p[i], p[j]
+			p[i] = p0*(1-ro.P01) + p1*ro.P10
+			p[j] = p0*ro.P01 + p1*(1-ro.P10)
+		}
+	}
+	return p
+}
+
+// Simulate runs a fresh density-matrix simulation of circuit c under model
+// m and returns the outcome distribution.
+func Simulate(c *circuit.Circuit, m *noise.Model) []float64 {
+	d := NewZero(c.NumQubits)
+	d.Run(c, m)
+	return d.Probabilities(m)
+}

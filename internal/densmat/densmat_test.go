@@ -1,0 +1,210 @@
+package densmat
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/noise"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+func TestZeroStateProperties(t *testing.T) {
+	d := NewZero(3)
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-12 {
+		t.Fatalf("trace %v", tr)
+	}
+	if p := d.Purity(); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("purity %v", p)
+	}
+	if d.At(0, 0) != 1 {
+		t.Fatal("rho[0][0] != 1")
+	}
+}
+
+func TestPureEvolutionMatchesStatevec(t *testing.T) {
+	c := circuit.New("mix", 4).
+		H(0).CX(0, 1).T(1).RZ(0.7, 2).CZ(1, 2).
+		U3(0.3, 0.1, -0.4, 3).SWAP(0, 3).CCX(0, 1, 2)
+	// State-vector reference.
+	sv := statevec.NewZero(4)
+	sv.ApplyAll(c.Gates)
+	svProbs := sv.Probabilities()
+	// Density-matrix evolution with no noise.
+	dm := Simulate(c, nil)
+	for i := range svProbs {
+		if math.Abs(svProbs[i]-dm[i]) > 1e-10 {
+			t.Fatalf("probability mismatch at %d: %v vs %v", i, svProbs[i], dm[i])
+		}
+	}
+}
+
+func TestFromPure(t *testing.T) {
+	sv := statevec.NewZero(2)
+	sv.Apply(gate.New(gate.KindH, 0))
+	sv.Apply(gate.New(gate.KindCX, 0, 1))
+	d := FromPure(sv)
+	if p := d.Purity(); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("pure state purity %v", p)
+	}
+	if v := real(d.At(0, 0)); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("rho[0][0] = %v", v)
+	}
+	if v := real(d.At(0, 3)); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("bell coherence rho[0][3] = %v", v)
+	}
+}
+
+func TestTracePreservedUnderChannels(t *testing.T) {
+	channels := []noise.Channel{
+		noise.Depolarizing1Q{P: 0.1},
+		noise.AmplitudeDamping{Gamma: 0.2},
+		noise.PhaseDamping{Lambda: 0.15},
+		noise.ThermalRelaxation{T1: 25, T2: 30, GateTime: 1},
+	}
+	for _, ch := range channels {
+		d := NewZero(2)
+		d.ApplyUnitary(gate.New(gate.KindH, 0))
+		d.ApplyUnitary(gate.New(gate.KindCX, 0, 1))
+		d.ApplyChannel(ch, []int{0})
+		if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-10 {
+			t.Errorf("%s: trace %v after channel", ch.Name(), tr)
+		}
+	}
+}
+
+func TestDepolarizingReducesPurity(t *testing.T) {
+	d := NewZero(1)
+	d.ApplyUnitary(gate.New(gate.KindH, 0))
+	before := d.Purity()
+	d.ApplyChannel(noise.Depolarizing1Q{P: 0.3}, []int{0})
+	after := d.Purity()
+	if after >= before {
+		t.Fatalf("purity did not drop: %v -> %v", before, after)
+	}
+}
+
+func TestFullDepolarizingGivesMaximallyMixed(t *testing.T) {
+	d := NewZero(1)
+	d.ApplyUnitary(gate.New(gate.KindH, 0))
+	// p=0.75 single-qubit depolarizing is the fully depolarizing channel.
+	d.ApplyChannel(noise.Depolarizing1Q{P: 0.75}, []int{0})
+	if pur := d.Purity(); math.Abs(pur-0.5) > 1e-10 {
+		t.Fatalf("purity %v, want 0.5", pur)
+	}
+	if p := real(d.At(0, 0)); math.Abs(p-0.5) > 1e-10 {
+		t.Fatalf("population %v", p)
+	}
+}
+
+func TestAmplitudeDampingSteadyState(t *testing.T) {
+	d := NewZero(1)
+	d.ApplyUnitary(gate.New(gate.KindX, 0)) // |1><1|
+	ch := noise.AmplitudeDamping{Gamma: 0.5}
+	for i := 0; i < 30; i++ {
+		d.ApplyChannel(ch, []int{0})
+	}
+	if p := real(d.At(0, 0)); math.Abs(p-1) > 1e-4 {
+		t.Fatalf("did not relax to ground state: P(0)=%v", p)
+	}
+}
+
+func TestExactDepolarizingProbabilities(t *testing.T) {
+	// One qubit, X then depolarizing(p): P(0) = 2p/3 analytically
+	// (I keeps |1>, X,Y flip to |0| with weight p/3 each... work it out:
+	// rho = (1-p)|1><1| + p/3(X|1><1|X + Y|1><1|Y + Z|1><1|Z)
+	//     = (1-p)|1><1| + p/3(|0><0| + |0><0| + |1><1|)
+	// P(0) = 2p/3.
+	const p = 0.3
+	d := NewZero(1)
+	d.ApplyUnitary(gate.New(gate.KindX, 0))
+	d.ApplyChannel(noise.Depolarizing1Q{P: p}, []int{0})
+	probs := d.Probabilities(nil)
+	if math.Abs(probs[0]-2*p/3) > 1e-12 {
+		t.Fatalf("P(0) = %v, want %v", probs[0], 2*p/3)
+	}
+}
+
+func TestReadoutConfusion(t *testing.T) {
+	d := NewZero(2) // |00>
+	m := &noise.Model{ModelName: "R", Readout: &noise.Readout{P01: 0.1, P10: 0.2}}
+	probs := d.Probabilities(m)
+	// P(00) = 0.9*0.9, P(01)=P(10)=0.1*0.9, P(11)=0.01.
+	if math.Abs(probs[0]-0.81) > 1e-12 || math.Abs(probs[3]-0.01) > 1e-12 {
+		t.Fatalf("readout confusion wrong: %v", probs)
+	}
+}
+
+func TestRunWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch accepted")
+		}
+	}()
+	NewZero(2).Run(circuit.New("w", 3), nil)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := NewZero(2)
+	c := d.Clone()
+	c.ApplyUnitary(gate.New(gate.KindX, 0))
+	if real(d.At(0, 0)) != 1 {
+		t.Fatal("clone aliases parent")
+	}
+}
+
+func TestTwoQubitChannel(t *testing.T) {
+	d := NewZero(2)
+	d.ApplyUnitary(gate.New(gate.KindH, 0))
+	d.ApplyUnitary(gate.New(gate.KindCX, 0, 1))
+	d.ApplyChannel(noise.Depolarizing2Q{P: 0.2}, []int{0, 1})
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-10 {
+		t.Fatalf("trace %v", tr)
+	}
+	if pur := d.Purity(); pur >= 1 {
+		t.Fatalf("purity did not drop: %v", pur)
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized register accepted")
+		}
+	}()
+	NewZero(MaxQubits + 1)
+}
+
+func TestRandomCircuitTraceStability(t *testing.T) {
+	r := rng.New(9)
+	c := circuit.New("rand", 3)
+	kinds := []gate.Kind{gate.KindH, gate.KindT, gate.KindX, gate.KindS}
+	for i := 0; i < 20; i++ {
+		c.Append(gate.New(kinds[r.Intn(len(kinds))], r.Intn(3)))
+		if r.Float64() < 0.4 {
+			a, b := r.Intn(3), r.Intn(3)
+			if a != b {
+				c.CX(a, b)
+			}
+		}
+	}
+	d := NewZero(3)
+	d.Run(c, noise.NewSycamore())
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-8 {
+		t.Fatalf("trace drifted to %v", tr)
+	}
+	probs := d.Probabilities(nil)
+	var sum float64
+	for _, p := range probs {
+		if p < -1e-10 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}

@@ -1,0 +1,103 @@
+// Package fusion implements a gate-fusion backend: consecutive single-qubit
+// gates on the same qubit are multiplied into one 2x2 matrix before touching
+// the state, so an ideal-circuit segment costs one kernel sweep per fused
+// run instead of one per gate. It stands in for the accelerated
+// (cuStateVec-class) backend of the paper's Figure 12: a genuinely different
+// execution engine behind the same core.Backend interface, demonstrating
+// that TQSim's scheduler is backend-agnostic.
+//
+// The package also demonstrates the paper's §1 observation that noise
+// *disrupts* fusion: the executor flushes before every noise channel, so
+// noisy segments degenerate to single-gate application, while ideal
+// segments fuse freely.
+package fusion
+
+import (
+	"tqsim/internal/core"
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/statevec"
+)
+
+// Backend buffers single-qubit gates per qubit and fuses them. It satisfies
+// core.Backend.
+type Backend struct {
+	// pending[q] is the accumulated 2x2 unitary awaiting application to
+	// qubit q (nil when none).
+	pending map[int]qmath.Matrix
+	// FusedRuns counts fused applications; SingleFlushes counts pending
+	// matrices flushed with only one constituent gate. The ratio
+	// quantifies how much fusion a workload admitted.
+	FusedRuns     int64
+	SingleFlushes int64
+	// runLen tracks the constituent count of each pending matrix.
+	runLen map[int]int
+}
+
+// New returns an empty fusion backend.
+func New() *Backend {
+	return &Backend{pending: map[int]qmath.Matrix{}, runLen: map[int]int{}}
+}
+
+// Name implements core.Backend.
+func (b *Backend) Name() string { return "fusion" }
+
+// Fork implements core.Forker: fusion state (pending per-qubit matrices) is
+// per-execution-stream, so parallel tree workers each get a fresh backend.
+// Fusion statistics are then per-worker; callers aggregating FusedRuns
+// should sum across forks if they need totals.
+func (b *Backend) Fork() core.Backend { return New() }
+
+// Compile-time interface checks.
+var (
+	_ core.Backend = (*Backend)(nil)
+	_ core.Forker  = (*Backend)(nil)
+)
+
+// flushQubit applies the pending matrix for qubit q, if any.
+func (b *Backend) flushQubit(s *statevec.State, q int) {
+	m, ok := b.pending[q]
+	if !ok {
+		return
+	}
+	s.Apply1Q(q, m)
+	if b.runLen[q] > 1 {
+		b.FusedRuns++
+	} else {
+		b.SingleFlushes++
+	}
+	delete(b.pending, q)
+	delete(b.runLen, q)
+}
+
+// Flush implements core.Backend: applies every pending fused matrix.
+func (b *Backend) Flush(s *statevec.State) {
+	for q := range b.pending {
+		b.flushQubit(s, q)
+	}
+}
+
+// Apply implements core.Backend. Single-qubit gates accumulate into the
+// per-qubit pending matrix; wider gates flush their operands first and then
+// apply directly.
+func (b *Backend) Apply(s *statevec.State, g gate.Gate) {
+	if g.Kind == gate.KindI {
+		return
+	}
+	if g.Arity() == 1 {
+		q := g.Qubits[0]
+		m := g.Matrix()
+		if prev, ok := b.pending[q]; ok {
+			b.pending[q] = qmath.Mul(m, prev) // later gate multiplies on the left
+			b.runLen[q]++
+		} else {
+			b.pending[q] = m
+			b.runLen[q] = 1
+		}
+		return
+	}
+	for _, q := range g.Qubits {
+		b.flushQubit(s, q)
+	}
+	s.Apply(g)
+}

@@ -1,0 +1,102 @@
+package fusion
+
+import (
+	"testing"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+	"tqsim/internal/workloads"
+)
+
+func TestFusedMatchesDirect(t *testing.T) {
+	// Long 1q runs plus entanglers; fused execution must be numerically
+	// identical to direct application.
+	c := workloads.QSC(6, 5, 9)
+	direct := statevec.NewZero(6)
+	for _, g := range c.Gates {
+		direct.Apply(g)
+	}
+	b := New()
+	fused := statevec.NewZero(6)
+	for _, g := range c.Gates {
+		b.Apply(fused, g)
+	}
+	b.Flush(fused)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-9 {
+		t.Fatalf("fusion deviates by %v", d)
+	}
+}
+
+func TestFusionActuallyFuses(t *testing.T) {
+	b := New()
+	s := statevec.NewZero(2)
+	// Three consecutive 1q gates on qubit 0 must apply as one kernel.
+	b.Apply(s, gate.New(gate.KindH, 0))
+	b.Apply(s, gate.New(gate.KindT, 0))
+	b.Apply(s, gate.New(gate.KindH, 0))
+	b.Flush(s)
+	if b.FusedRuns != 1 || b.SingleFlushes != 0 {
+		t.Fatalf("fused=%d single=%d, want 1/0", b.FusedRuns, b.SingleFlushes)
+	}
+}
+
+func TestFusionOrderWithinQubit(t *testing.T) {
+	// HT != TH: fusion must preserve order (later gate on the left).
+	r := rng.New(4)
+	amps := make([]complex128, 4)
+	for i := range amps {
+		amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	ref := statevec.FromAmplitudes(amps)
+	ref.Normalize()
+	fused := ref.Clone()
+
+	ref.Apply(gate.New(gate.KindH, 0))
+	ref.Apply(gate.New(gate.KindT, 0))
+
+	b := New()
+	b.Apply(fused, gate.New(gate.KindH, 0))
+	b.Apply(fused, gate.New(gate.KindT, 0))
+	b.Flush(fused)
+	if d := qmath.VecDistance(ref.Amplitudes(), fused.Amplitudes()); d > 1e-12 {
+		t.Fatalf("fusion reordered gates: %v", d)
+	}
+}
+
+func TestTwoQubitGateFlushesOperands(t *testing.T) {
+	b := New()
+	s := statevec.NewZero(2)
+	b.Apply(s, gate.New(gate.KindH, 0))
+	b.Apply(s, gate.New(gate.KindH, 1))
+	// CX must see both Hadamards applied.
+	b.Apply(s, gate.New(gate.KindCX, 0, 1))
+	b.Flush(s)
+	ref := statevec.NewZero(2)
+	ref.Apply(gate.New(gate.KindH, 0))
+	ref.Apply(gate.New(gate.KindH, 1))
+	ref.Apply(gate.New(gate.KindCX, 0, 1))
+	if d := qmath.VecDistance(ref.Amplitudes(), s.Amplitudes()); d > 1e-12 {
+		t.Fatalf("flush-before-2q broken: %v", d)
+	}
+	if b.SingleFlushes != 2 {
+		t.Fatalf("single flushes %d, want 2", b.SingleFlushes)
+	}
+}
+
+func TestIdentityGateSkipped(t *testing.T) {
+	b := New()
+	s := statevec.NewZero(1)
+	b.Apply(s, gate.New(gate.KindI, 0))
+	b.Flush(s)
+	if b.FusedRuns != 0 && b.SingleFlushes != 0 {
+		t.Fatal("identity gate produced work")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "fusion" {
+		t.Fatal("name")
+	}
+}

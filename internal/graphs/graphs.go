@@ -1,0 +1,149 @@
+// Package graphs provides the undirected graphs the QAOA workloads solve
+// max-cut on: seeded Erdős–Rényi random graphs, star graphs, and 3-regular
+// graphs — the three input families of the paper's Figure 18.
+package graphs
+
+import (
+	"fmt"
+
+	"tqsim/internal/rng"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	Name  string
+	N     int
+	Edges [][2]int
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Validate checks vertex bounds, self-loops, and duplicate edges.
+func (g *Graph) Validate() error {
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= g.N || v >= g.N {
+			return fmt.Errorf("graphs: edge (%d,%d) outside %d vertices", u, v, g.N)
+		}
+		if u == v {
+			return fmt.Errorf("graphs: self-loop at %d", u)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return fmt.Errorf("graphs: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N)
+	for _, e := range g.Edges {
+		d[e[0]]++
+		d[e[1]]++
+	}
+	return d
+}
+
+// CutValue returns the number of edges cut by the bit-assignment (bit i of
+// the mask is the side of vertex i).
+func (g *Graph) CutValue(assignment uint64) int {
+	cut := 0
+	for _, e := range g.Edges {
+		if (assignment>>uint(e[0]))&1 != (assignment>>uint(e[1]))&1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// MaxCut exhaustively finds the optimal cut value (N <= 24).
+func (g *Graph) MaxCut() int {
+	if g.N > 24 {
+		panic("graphs: MaxCut is exhaustive; graph too large")
+	}
+	best := 0
+	for a := uint64(0); a < 1<<uint(g.N); a++ {
+		if c := g.CutValue(a); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Random returns a seeded Erdős–Rényi G(n, p) graph. The construction is
+// deterministic for a given (n, p, seed).
+func Random(n int, p float64, seed uint64) *Graph {
+	r := rng.New(seed)
+	g := &Graph{Name: fmt.Sprintf("random_%d", n), N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{u, v})
+			}
+		}
+	}
+	// Guarantee connectivity of the sampled instance: chain any isolated
+	// vertices to their successor so QAOA acts on every qubit.
+	deg := g.Degrees()
+	for v := 0; v < n; v++ {
+		if deg[v] == 0 {
+			w := (v + 1) % n
+			g.Edges = append(g.Edges, [2]int{min(v, w), max(v, w)})
+			deg[v]++
+			deg[w]++
+		}
+	}
+	return g
+}
+
+// Star returns the star graph: vertex 0 connected to all others.
+func Star(n int) *Graph {
+	g := &Graph{Name: fmt.Sprintf("star_%d", n), N: n}
+	for v := 1; v < n; v++ {
+		g.Edges = append(g.Edges, [2]int{0, v})
+	}
+	return g
+}
+
+// Ring returns the n-cycle.
+func Ring(n int) *Graph {
+	g := &Graph{Name: fmt.Sprintf("ring_%d", n), N: n}
+	for v := 0; v < n; v++ {
+		g.Edges = append(g.Edges, [2]int{v, (v + 1) % n})
+	}
+	return g
+}
+
+// Regular3 returns a 3-regular graph on n vertices (n must be even): the
+// ring plus the perfect matching of antipodal chords — the standard
+// "circulant" 3-regular family.
+func Regular3(n int) *Graph {
+	if n%2 != 0 || n < 4 {
+		panic("graphs: 3-regular graphs need even n >= 4")
+	}
+	g := Ring(n)
+	g.Name = fmt.Sprintf("3regular_%d", n)
+	for v := 0; v < n/2; v++ {
+		g.Edges = append(g.Edges, [2]int{v, v + n/2})
+	}
+	return g
+}

@@ -1,0 +1,142 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStarStructure(t *testing.T) {
+	g := Star(6)
+	if g.NumEdges() != 5 {
+		t.Fatalf("star edges %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	if deg[0] != 5 {
+		t.Fatalf("hub degree %d", deg[0])
+	}
+	for v := 1; v < 6; v++ {
+		if deg[v] != 1 {
+			t.Fatalf("leaf %d degree %d", v, deg[v])
+		}
+	}
+}
+
+func TestRingStructure(t *testing.T) {
+	g := Ring(5)
+	if g.NumEdges() != 5 {
+		t.Fatalf("ring edges %d", g.NumEdges())
+	}
+	for _, d := range g.Degrees() {
+		if d != 2 {
+			t.Fatalf("ring degree %d", d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegular3(t *testing.T) {
+	g := Regular3(8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range g.Degrees() {
+		if d != 3 {
+			t.Fatalf("vertex %d degree %d", v, d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n accepted")
+		}
+	}()
+	Regular3(7)
+}
+
+func TestRandomDeterministicAndValid(t *testing.T) {
+	a := Random(10, 0.5, 42)
+	b := Random(10, 0.5, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("random graph not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range a.Degrees() {
+		if d == 0 {
+			t.Fatal("isolated vertex survived")
+		}
+	}
+	c := Random(10, 0.5, 43)
+	if a.NumEdges() == c.NumEdges() {
+		// Possible but check edges differ somewhere.
+		differ := false
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				differ = true
+				break
+			}
+		}
+		if !differ {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+func TestCutValue(t *testing.T) {
+	g := Ring(4)
+	if c := g.CutValue(0b0101); c != 4 {
+		t.Fatalf("alternating cut %d", c)
+	}
+	if c := g.CutValue(0b0000); c != 0 {
+		t.Fatalf("trivial cut %d", c)
+	}
+	if c := g.CutValue(0b0001); c != 2 {
+		t.Fatalf("single vertex cut %d", c)
+	}
+}
+
+func TestMaxCutKnownGraphs(t *testing.T) {
+	if m := Ring(4).MaxCut(); m != 4 {
+		t.Fatalf("C4 max cut %d", m)
+	}
+	if m := Ring(5).MaxCut(); m != 4 {
+		t.Fatalf("C5 max cut %d", m)
+	}
+	if m := Star(6).MaxCut(); m != 5 {
+		t.Fatalf("star max cut %d", m)
+	}
+	// K4 via Regular3(4): max cut of K4 is 4.
+	if m := Regular3(4).MaxCut(); m != 4 {
+		t.Fatalf("K4 max cut %d", m)
+	}
+}
+
+func TestCutComplementInvariance(t *testing.T) {
+	g := Random(8, 0.4, 9)
+	check := func(mask uint8) bool {
+		a := uint64(mask)
+		comp := ^a & 0xff
+		return g.CutValue(a) == g.CutValue(comp)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	bad := []*Graph{
+		{N: 3, Edges: [][2]int{{0, 3}}},         // out of range
+		{N: 3, Edges: [][2]int{{1, 1}}},         // self loop
+		{N: 3, Edges: [][2]int{{0, 1}, {1, 0}}}, // duplicate
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("bad graph %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package hpcmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemoryFormulas(t *testing.T) {
+	if got := StatevectorBytes(10); got != 16*1024 {
+		t.Fatalf("statevector bytes %v", got)
+	}
+	if got := DensityMatrixBytes(5); got != 16*1024 {
+		t.Fatalf("density bytes %v", got)
+	}
+	// Density matrix of n qubits equals state vector of 2n qubits.
+	if DensityMatrixBytes(8) != StatevectorBytes(16) {
+		t.Fatal("4^n relation broken")
+	}
+}
+
+func TestFigure4Crossovers(t *testing.T) {
+	// Paper: a 16 GB laptop runs 30 qubits as a state vector but El
+	// Capitan cannot hold 25 qubits as a density matrix... (it holds
+	// fewer than 25; check both anchors).
+	if got := MaxQubitsStatevector(LaptopMemoryBytes); got != 29 && got != 30 {
+		t.Fatalf("laptop statevector qubits %d", got)
+	}
+	if got := MaxQubitsDensityMatrix(ElCapitanMemoryBytes); got >= 25 {
+		t.Fatalf("El Capitan density qubits %d, paper says < 25", got)
+	}
+	if MaxQubitsDensityMatrix(LaptopMemoryBytes) >= MaxQubitsStatevector(LaptopMemoryBytes) {
+		t.Fatal("density should always hold fewer qubits")
+	}
+}
+
+func TestTable1Utilization(t *testing.T) {
+	systems := Table1()
+	if len(systems) != 3 {
+		t.Fatalf("%d systems", len(systems))
+	}
+	want := map[string]float64{ // §3.3's underutilization figures
+		"Frontier (ORNL)":    0.25,
+		"Summit (ORNL)":      0.053,
+		"Perlmutter (NERSC)": 0.308,
+	}
+	for _, s := range systems {
+		got := s.MemoryUtilization()
+		if math.Abs(got-want[s.Name]) > 0.01 {
+			t.Errorf("%s utilization %.3f, want %.3f", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestFigure10Table(t *testing.T) {
+	entries := Figure10Table()
+	if len(entries) != 6 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	byName := map[string]float64{}
+	for _, e := range entries {
+		if e.Cost <= 0 {
+			t.Errorf("%s non-positive cost", e.Machine)
+		}
+		byName[e.Machine] = e.Cost
+	}
+	// Paper's shape: server CPUs most expensive, HBM2 GPU least.
+	if byName["Intel Xeon 6130 (server)"] <= byName["Intel Core i7 (desktop)"] {
+		t.Fatal("server CPU should cost more than desktop")
+	}
+	if byName["Nvidia Tesla V100 (server)"] >= byName["Nvidia RTX 3060 (desktop)"] {
+		t.Fatal("HBM2 GPU should cost least")
+	}
+}
+
+func TestGPUShotModelShape(t *testing.T) {
+	m := DefaultA100()
+	// Figure 8's shape: 20 qubits gain ~3x, saturating; >= 24 qubits gain
+	// nothing.
+	s20 := m.Speedup(16, 20)
+	if s20 < 2 || s20 > 4 {
+		t.Fatalf("20-qubit parallel speedup %v, want ~3", s20)
+	}
+	if s := m.Speedup(16, 24); s > 1.05 {
+		t.Fatalf("24-qubit speedup %v, want ~1", s)
+	}
+	// Monotone in p until saturation.
+	if m.Speedup(2, 20) > m.Speedup(4, 20) {
+		t.Fatal("speedup not monotone in parallel shots")
+	}
+	// One shot is the unit baseline.
+	if s := m.Speedup(1, 22); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("single-shot speedup %v", s)
+	}
+}
+
+func TestGPUShotModelMemory(t *testing.T) {
+	m := DefaultA100()
+	// 25 qubits * 16 shots = 8 GB — fits; usage matches formula.
+	if got := m.MemoryUsage(16, 25); math.Abs(got-16*StatevectorBytes(25)) > 1 {
+		t.Fatalf("memory usage %v", got)
+	}
+	// 30 qubits (16 GB each): only 2 fit in 40 GB.
+	if s := m.Speedup(8, 30); s > 2.01 {
+		t.Fatalf("memory cap not enforced: %v", s)
+	}
+}
+
+func TestNoisyScalingModel(t *testing.T) {
+	m := NoisyScalingModel{AnchorQubits: 12, AnchorSeconds: 10, GateGrowth: 1.05}
+	if got := m.SecondsAt(12); got != 10 {
+		t.Fatalf("anchor %v", got)
+	}
+	if m.SecondsAt(13) <= 2*10*0.99 {
+		t.Fatalf("per-qubit growth too slow: %v", m.SecondsAt(13))
+	}
+	// Exponential shape: 4 qubits ≈ 16x or more with gate growth.
+	if m.SecondsAt(16)/m.SecondsAt(12) < 16 {
+		t.Fatal("scaling not exponential")
+	}
+}

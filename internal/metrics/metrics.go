@@ -1,0 +1,203 @@
+// Package metrics implements the paper's figures of merit: state fidelity
+// over outcome distributions (Equation 8), the normalized fidelity of
+// Lubinski et al. and Hashim et al. (Equation 9), plus the auxiliary
+// distances (total variation, mean squared error) used in the QAOA
+// landscape study.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a dense probability distribution over 2^n basis outcomes.
+type Dist struct {
+	P []float64
+}
+
+// NewDist wraps a dense probability vector. The vector is not copied.
+func NewDist(p []float64) Dist { return Dist{P: p} }
+
+// FromCounts converts a shot histogram into a distribution over dim
+// outcomes.
+func FromCounts(counts map[uint64]int, dim int) Dist {
+	p := make([]float64, dim)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return Dist{P: p}
+	}
+	inv := 1 / float64(total)
+	for k, c := range counts {
+		if k < uint64(dim) {
+			p[k] += float64(c) * inv
+		}
+	}
+	return Dist{P: p}
+}
+
+// Dim returns the outcome-space size.
+func (d Dist) Dim() int { return len(d.P) }
+
+// Sum returns the total probability mass (≈1 for a proper distribution).
+func (d Dist) Sum() float64 {
+	var s float64
+	for _, x := range d.P {
+		s += x
+	}
+	return s
+}
+
+// Validate returns an error when the distribution has negative entries or
+// mass far from one.
+func (d Dist) Validate(tol float64) error {
+	var s float64
+	for i, x := range d.P {
+		if x < -tol {
+			return fmt.Errorf("metrics: negative probability %g at %d", x, i)
+		}
+		s += x
+	}
+	if math.Abs(s-1) > tol {
+		return fmt.Errorf("metrics: total mass %g deviates from 1", s)
+	}
+	return nil
+}
+
+// StateFidelity computes Equation 8:
+//
+//	F_s(P_ideal, P_out) = ( sum_x sqrt(P_ideal(x) * P_out(x)) )^2
+//
+// i.e. the squared Bhattacharyya coefficient of the two distributions.
+func StateFidelity(ideal, out Dist) float64 {
+	if ideal.Dim() != out.Dim() {
+		panic("metrics: dimension mismatch in StateFidelity")
+	}
+	var s float64
+	for i, p := range ideal.P {
+		q := out.P[i]
+		if p > 0 && q > 0 {
+			s += math.Sqrt(p * q)
+		}
+	}
+	return s * s
+}
+
+// UniformFidelity computes F_s(P_ideal, P_uniform), the random-guessing
+// floor subtracted by the normalized metric.
+func UniformFidelity(ideal Dist) float64 {
+	var s float64
+	for _, p := range ideal.P {
+		if p > 0 {
+			s += math.Sqrt(p)
+		}
+	}
+	d := float64(ideal.Dim())
+	return s * s / d
+}
+
+// NormalizedFidelity computes Equation 9:
+//
+//	F = (F_s(ideal, out) - F_s(ideal, uni)) / (1 - F_s(ideal, uni))
+//
+// which is 1 for a perfect output and 0 for a uniformly random one.
+func NormalizedFidelity(ideal, out Dist) float64 {
+	fu := UniformFidelity(ideal)
+	if fu >= 1-1e-9 {
+		// Ideal distribution is (numerically) uniform; Equation 9's
+		// denominator vanishes and the metric is undefined. Return the raw
+		// fidelity as the sensible limit.
+		return StateFidelity(ideal, out)
+	}
+	return (StateFidelity(ideal, out) - fu) / (1 - fu)
+}
+
+// TVD returns the total variation distance (1/2) * sum |p - q|.
+func TVD(a, b Dist) float64 {
+	if a.Dim() != b.Dim() {
+		panic("metrics: dimension mismatch in TVD")
+	}
+	var s float64
+	for i := range a.P {
+		s += math.Abs(a.P[i] - b.P[i])
+	}
+	return s / 2
+}
+
+// MSE returns the mean squared error between two real-valued series, used
+// for the QAOA cost-landscape comparison (Figure 18).
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("metrics: length mismatch in MSE")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// HellingerDistance returns sqrt(1 - BC) where BC is the Bhattacharyya
+// coefficient — an auxiliary distance used in tests.
+func HellingerDistance(a, b Dist) float64 {
+	bc := math.Sqrt(StateFidelity(a, b))
+	if bc > 1 {
+		bc = 1
+	}
+	return math.Sqrt(1 - bc)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// StandardError returns sigma/sqrt(N) — the paper's Equation 2 for the
+// statistical error of an N-trajectory ensemble.
+func StandardError(sigma float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return sigma / math.Sqrt(float64(n))
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tqsim/internal/rng"
+)
+
+func uniform(dim int) Dist {
+	p := make([]float64, dim)
+	for i := range p {
+		p[i] = 1 / float64(dim)
+	}
+	return NewDist(p)
+}
+
+func point(dim, at int) Dist {
+	p := make([]float64, dim)
+	p[at] = 1
+	return NewDist(p)
+}
+
+func randomDist(dim int, r *rng.RNG) Dist {
+	p := make([]float64, dim)
+	var sum float64
+	for i := range p {
+		p[i] = r.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return NewDist(p)
+}
+
+func TestStateFidelityIdentical(t *testing.T) {
+	r := rng.New(1)
+	d := randomDist(16, r)
+	if f := StateFidelity(d, d); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity %v", f)
+	}
+}
+
+func TestStateFidelityOrthogonal(t *testing.T) {
+	a, b := point(8, 0), point(8, 5)
+	if f := StateFidelity(a, b); f != 0 {
+		t.Fatalf("orthogonal fidelity %v", f)
+	}
+}
+
+func TestStateFidelitySymmetric(t *testing.T) {
+	r := rng.New(2)
+	a, b := randomDist(16, r), randomDist(16, r)
+	if math.Abs(StateFidelity(a, b)-StateFidelity(b, a)) > 1e-12 {
+		t.Fatal("fidelity not symmetric")
+	}
+}
+
+func TestStateFidelityRange(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b := randomDist(8, r), randomDist(8, r)
+		f := StateFidelity(a, b)
+		return f >= 0 && f <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformFidelityOfPoint(t *testing.T) {
+	// F_s(point, uniform) = (sqrt(1/D))^2 = 1/D.
+	d := point(16, 3)
+	if f := UniformFidelity(d); math.Abs(f-1.0/16) > 1e-12 {
+		t.Fatalf("uniform fidelity %v, want 1/16", f)
+	}
+}
+
+func TestNormalizedFidelityAnchors(t *testing.T) {
+	ideal := point(16, 3)
+	// Perfect output -> 1.
+	if f := NormalizedFidelity(ideal, ideal); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("perfect normalized fidelity %v", f)
+	}
+	// Uniform output -> 0 (the property Equation 9 exists for).
+	if f := NormalizedFidelity(ideal, uniform(16)); math.Abs(f) > 1e-12 {
+		t.Fatalf("uniform normalized fidelity %v", f)
+	}
+}
+
+func TestNormalizedFidelityUniformIdeal(t *testing.T) {
+	// Degenerate case: ideal itself uniform falls back to raw fidelity.
+	u := uniform(8)
+	if f := NormalizedFidelity(u, u); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("degenerate case %v", f)
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	counts := map[uint64]int{0: 3, 3: 1}
+	d := FromCounts(counts, 4)
+	if math.Abs(d.P[0]-0.75) > 1e-12 || math.Abs(d.P[3]-0.25) > 1e-12 {
+		t.Fatalf("FromCounts %v", d.P)
+	}
+	if err := d.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	empty := FromCounts(nil, 4)
+	if empty.Sum() != 0 {
+		t.Fatal("empty counts should give zero mass")
+	}
+}
+
+func TestFromCountsIgnoresOutOfRange(t *testing.T) {
+	d := FromCounts(map[uint64]int{0: 1, 100: 1}, 4)
+	if math.Abs(d.P[0]-0.5) > 1e-12 {
+		t.Fatalf("out-of-range key mishandled: %v", d.P)
+	}
+}
+
+func TestTVDProperties(t *testing.T) {
+	a, b := point(4, 0), point(4, 3)
+	if v := TVD(a, b); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("disjoint TVD %v", v)
+	}
+	if v := TVD(a, a); v != 0 {
+		t.Fatalf("self TVD %v", v)
+	}
+	r := rng.New(3)
+	x, y := randomDist(8, r), randomDist(8, r)
+	if math.Abs(TVD(x, y)-TVD(y, x)) > 1e-12 {
+		t.Fatal("TVD not symmetric")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	if v := MSE([]float64{1, 2, 3}, []float64{1, 2, 3}); v != 0 {
+		t.Fatalf("self MSE %v", v)
+	}
+	if v := MSE([]float64{0, 0}, []float64{1, 2}); math.Abs(v-2.5) > 1e-12 {
+		t.Fatalf("MSE %v, want 2.5", v)
+	}
+	if v := MSE(nil, nil); v != 0 {
+		t.Fatalf("empty MSE %v", v)
+	}
+}
+
+func TestHellinger(t *testing.T) {
+	a := point(4, 0)
+	if h := HellingerDistance(a, a); h > 1e-9 {
+		t.Fatalf("self Hellinger %v", h)
+	}
+	if h := HellingerDistance(a, point(4, 1)); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("disjoint Hellinger %v", h)
+	}
+}
+
+func TestValidateCatchesBadDistributions(t *testing.T) {
+	if err := NewDist([]float64{0.5, 0.4}).Validate(1e-6); err == nil {
+		t.Fatal("sub-normalized distribution accepted")
+	}
+	if err := NewDist([]float64{1.2, -0.2}).Validate(1e-6); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Fatalf("mean %v", m)
+	}
+	if m := Max(xs); m != 4 {
+		t.Fatalf("max %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("stddev %v", s)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty-input conventions broken")
+	}
+}
+
+func TestStandardError(t *testing.T) {
+	if se := StandardError(2, 4); se != 1 {
+		t.Fatalf("standard error %v", se)
+	}
+	if !math.IsInf(StandardError(1, 0), 1) {
+		t.Fatal("zero-N standard error should be +Inf")
+	}
+}
+
+func TestDimensionMismatchesPanic(t *testing.T) {
+	a, b := uniform(4), uniform(8)
+	for _, f := range []func(){
+		func() { StateFidelity(a, b) },
+		func() { TVD(a, b) },
+		func() { MSE([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("dimension mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

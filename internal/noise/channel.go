@@ -1,0 +1,332 @@
+// Package noise implements the error channels the paper evaluates —
+// depolarizing (DC), thermal relaxation (TR), amplitude damping (AD), phase
+// damping (PD) and readout (R) — in the two forms a trajectory simulator
+// needs:
+//
+//   - Kraus operators, consumed by the density-matrix reference simulator
+//     (internal/densmat), and
+//   - stochastic trajectory application, consumed by the pure-state Monte
+//     Carlo simulators (internal/trajectory and internal/core). Pauli
+//     channels insert a sampled Pauli operator; damping channels use the
+//     quantum-jump method (jump probability from the qubit's |1> marginal,
+//     renormalization after the no-jump branch).
+//
+// A Model binds channels to gates: every one-qubit gate is followed by the
+// model's one-qubit channels on its operand, every two-qubit gate by the
+// two-qubit channels, and measurement results pass through an optional
+// classical readout flip.
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// Channel is a noise channel on one or two qubits.
+type Channel interface {
+	// Name returns a short identifier, e.g. "depolarizing(0.001)".
+	Name() string
+	// Arity returns 1 or 2.
+	Arity() int
+	// Kraus returns the channel's Kraus operators (dimension 2^Arity).
+	// They satisfy sum_i K_i† K_i = I.
+	Kraus() []qmath.Matrix
+	// ApplyTrajectory stochastically applies one trajectory branch of the
+	// channel to the state on the given qubits (len == Arity). The state
+	// remains normalized afterwards. It returns the number of kernel
+	// applications performed, for computation accounting.
+	ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int
+	// ErrorProb returns the probability that the channel perturbs the state
+	// (the "error rate" e_i used by DCP's Equation 4).
+	ErrorProb() float64
+}
+
+// pauli1 returns the four single-qubit Paulis I, X, Y, Z.
+func pauli1() [4]qmath.Matrix {
+	return [4]qmath.Matrix{
+		qmath.Identity(2),
+		qmath.FromRows([][]complex128{{0, 1}, {1, 0}}),
+		qmath.FromRows([][]complex128{{0, -1i}, {1i, 0}}),
+		qmath.FromRows([][]complex128{{1, 0}, {0, -1}}),
+	}
+}
+
+// applyPauli applies Pauli index p (1=X, 2=Y, 3=Z) to qubit q.
+func applyPauli(s *statevec.State, q, p int) {
+	switch p {
+	case 1:
+		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, 1}, {1, 0}}))
+	case 2:
+		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, -1i}, {1i, 0}}))
+	case 3:
+		s.Apply1Q(q, qmath.FromRows([][]complex128{{1, 0}, {0, -1}}))
+	}
+}
+
+// Depolarizing1Q is the single-qubit depolarizing channel: with probability
+// P one of X, Y, Z is applied (uniformly).
+type Depolarizing1Q struct{ P float64 }
+
+// Name implements Channel.
+func (d Depolarizing1Q) Name() string { return fmt.Sprintf("depolarizing(%g)", d.P) }
+
+// Arity implements Channel.
+func (d Depolarizing1Q) Arity() int { return 1 }
+
+// ErrorProb implements Channel.
+func (d Depolarizing1Q) ErrorProb() float64 { return d.P }
+
+// Kraus implements Channel.
+func (d Depolarizing1Q) Kraus() []qmath.Matrix {
+	ps := pauli1()
+	out := make([]qmath.Matrix, 4)
+	out[0] = ps[0].Scale(complex(math.Sqrt(1-d.P), 0))
+	w := complex(math.Sqrt(d.P/3), 0)
+	for i := 1; i < 4; i++ {
+		out[i] = ps[i].Scale(w)
+	}
+	return out
+}
+
+// ApplyTrajectory implements Channel.
+func (d Depolarizing1Q) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int {
+	if r.Float64() >= d.P {
+		return 0
+	}
+	applyPauli(s, qubits[0], 1+r.Intn(3))
+	return 1
+}
+
+// Depolarizing2Q is the two-qubit depolarizing channel: with probability P
+// one of the 15 non-identity Pauli pairs is applied (uniformly).
+type Depolarizing2Q struct{ P float64 }
+
+// Name implements Channel.
+func (d Depolarizing2Q) Name() string { return fmt.Sprintf("depolarizing2(%g)", d.P) }
+
+// Arity implements Channel.
+func (d Depolarizing2Q) Arity() int { return 2 }
+
+// ErrorProb implements Channel.
+func (d Depolarizing2Q) ErrorProb() float64 { return d.P }
+
+// Kraus implements Channel.
+func (d Depolarizing2Q) Kraus() []qmath.Matrix {
+	ps := pauli1()
+	out := make([]qmath.Matrix, 0, 16)
+	out = append(out, qmath.Identity(4).Scale(complex(math.Sqrt(1-d.P), 0)))
+	w := complex(math.Sqrt(d.P/15), 0)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a == 0 && b == 0 {
+				continue
+			}
+			// Convention: first qubit is the low bit, so it is the right
+			// factor of the Kronecker product.
+			out = append(out, qmath.Kron(ps[b], ps[a]).Scale(w))
+		}
+	}
+	return out
+}
+
+// ApplyTrajectory implements Channel.
+func (d Depolarizing2Q) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int {
+	if r.Float64() >= d.P {
+		return 0
+	}
+	k := 1 + r.Intn(15) // index into the 15 non-identity pairs
+	a, b := k&3, k>>2
+	ops := 0
+	if a != 0 {
+		applyPauli(s, qubits[0], a)
+		ops++
+	}
+	if b != 0 {
+		applyPauli(s, qubits[1], b)
+		ops++
+	}
+	return ops
+}
+
+// AmplitudeDamping models energy relaxation with damping ratio Gamma:
+// K0 = [[1,0],[0,sqrt(1-g)]], K1 = [[0,sqrt(g)],[0,0]].
+type AmplitudeDamping struct{ Gamma float64 }
+
+// Name implements Channel.
+func (a AmplitudeDamping) Name() string { return fmt.Sprintf("amplitude-damping(%g)", a.Gamma) }
+
+// Arity implements Channel.
+func (a AmplitudeDamping) Arity() int { return 1 }
+
+// ErrorProb implements Channel.
+func (a AmplitudeDamping) ErrorProb() float64 { return a.Gamma }
+
+// Kraus implements Channel.
+func (a AmplitudeDamping) Kraus() []qmath.Matrix {
+	return []qmath.Matrix{
+		qmath.FromRows([][]complex128{{1, 0}, {0, complex(math.Sqrt(1-a.Gamma), 0)}}),
+		qmath.FromRows([][]complex128{{0, complex(math.Sqrt(a.Gamma), 0)}, {0, 0}}),
+	}
+}
+
+// ApplyTrajectory implements Channel. The jump probability is
+// Gamma * P(|1>); the no-jump branch applies K0 and renormalizes.
+func (a AmplitudeDamping) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int {
+	if a.Gamma <= 0 {
+		return 0
+	}
+	q := qubits[0]
+	p1 := s.Prob1(q)
+	pJump := a.Gamma * p1
+	if r.Float64() < pJump {
+		// Jump: |1> -> |0| with K1; resulting state is |0> on q.
+		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, 1}, {0, 0}}))
+	} else {
+		s.Apply1Q(q, qmath.FromRows([][]complex128{
+			{1, 0}, {0, complex(math.Sqrt(1-a.Gamma), 0)},
+		}))
+	}
+	s.Normalize()
+	return 1
+}
+
+// PhaseDamping models pure dephasing with ratio Lambda:
+// K0 = [[1,0],[0,sqrt(1-l)]], K1 = [[0,0],[0,sqrt(l)]].
+type PhaseDamping struct{ Lambda float64 }
+
+// Name implements Channel.
+func (p PhaseDamping) Name() string { return fmt.Sprintf("phase-damping(%g)", p.Lambda) }
+
+// Arity implements Channel.
+func (p PhaseDamping) Arity() int { return 1 }
+
+// ErrorProb implements Channel.
+func (p PhaseDamping) ErrorProb() float64 { return p.Lambda }
+
+// Kraus implements Channel.
+func (p PhaseDamping) Kraus() []qmath.Matrix {
+	return []qmath.Matrix{
+		qmath.FromRows([][]complex128{{1, 0}, {0, complex(math.Sqrt(1-p.Lambda), 0)}}),
+		qmath.FromRows([][]complex128{{0, 0}, {0, complex(math.Sqrt(p.Lambda), 0)}}),
+	}
+}
+
+// ApplyTrajectory implements Channel.
+func (p PhaseDamping) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int {
+	if p.Lambda <= 0 {
+		return 0
+	}
+	q := qubits[0]
+	p1 := s.Prob1(q)
+	pJump := p.Lambda * p1
+	if r.Float64() < pJump {
+		// Jump: project onto |1><1| (up to normalization).
+		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, 0}, {0, 1}}))
+	} else {
+		s.Apply1Q(q, qmath.FromRows([][]complex128{
+			{1, 0}, {0, complex(math.Sqrt(1-p.Lambda), 0)},
+		}))
+	}
+	s.Normalize()
+	return 1
+}
+
+// ThermalRelaxation models decoherence from T1 (relaxation) and T2
+// (dephasing) during a gate of duration GateTime. It composes amplitude
+// damping with gamma = 1-exp(-t/T1) and phase damping with
+// lambda = 1-exp(t/T1 - 2t/T2), which reproduces the e^{-t/T2} coherence
+// decay. Requires T2 <= 2*T1 (physical).
+type ThermalRelaxation struct {
+	T1, T2, GateTime float64
+}
+
+// Name implements Channel.
+func (t ThermalRelaxation) Name() string {
+	return fmt.Sprintf("thermal-relaxation(T1=%g,T2=%g,t=%g)", t.T1, t.T2, t.GateTime)
+}
+
+// Arity implements Channel.
+func (t ThermalRelaxation) Arity() int { return 1 }
+
+func (t ThermalRelaxation) params() (gamma, lambda float64) {
+	if t.T2 > 2*t.T1 {
+		panic("noise: thermal relaxation requires T2 <= 2*T1")
+	}
+	gamma = 1 - math.Exp(-t.GateTime/t.T1)
+	lambda = 1 - math.Exp(t.GateTime/t.T1-2*t.GateTime/t.T2)
+	if lambda < 0 {
+		lambda = 0
+	}
+	return gamma, lambda
+}
+
+// ErrorProb implements Channel.
+func (t ThermalRelaxation) ErrorProb() float64 {
+	g, l := t.params()
+	// Probability that at least one of the composed channels acts.
+	return 1 - (1-g)*(1-l)
+}
+
+// Kraus implements Channel. The composite channel's Kraus set is the
+// pairwise product of the AD and PD Kraus sets.
+func (t ThermalRelaxation) Kraus() []qmath.Matrix {
+	g, l := t.params()
+	ad := AmplitudeDamping{Gamma: g}.Kraus()
+	pd := PhaseDamping{Lambda: l}.Kraus()
+	var out []qmath.Matrix
+	for _, a := range ad {
+		for _, p := range pd {
+			out = append(out, qmath.Mul(a, p))
+		}
+	}
+	return out
+}
+
+// ApplyTrajectory implements Channel.
+func (t ThermalRelaxation) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int {
+	g, l := t.params()
+	ops := PhaseDamping{Lambda: l}.ApplyTrajectory(s, qubits, r)
+	ops += AmplitudeDamping{Gamma: g}.ApplyTrajectory(s, qubits, r)
+	return ops
+}
+
+// PerQubit adapts a single-qubit channel to two-qubit gates by applying it
+// independently to each operand.
+type PerQubit struct{ C Channel }
+
+// Name implements Channel.
+func (p PerQubit) Name() string { return p.C.Name() + "⊗each" }
+
+// Arity implements Channel.
+func (p PerQubit) Arity() int { return 2 }
+
+// ErrorProb implements Channel.
+func (p PerQubit) ErrorProb() float64 {
+	e := p.C.ErrorProb()
+	return 1 - (1-e)*(1-e)
+}
+
+// Kraus implements Channel: the product channel's Kraus set is all
+// Kronecker pairs.
+func (p PerQubit) Kraus() []qmath.Matrix {
+	ks := p.C.Kraus()
+	var out []qmath.Matrix
+	for _, a := range ks {
+		for _, b := range ks {
+			// First qubit is the low bit → right Kronecker factor.
+			out = append(out, qmath.Kron(b, a))
+		}
+	}
+	return out
+}
+
+// ApplyTrajectory implements Channel.
+func (p PerQubit) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RNG) int {
+	ops := p.C.ApplyTrajectory(s, qubits[:1], r)
+	ops += p.C.ApplyTrajectory(s, qubits[1:2], r)
+	return ops
+}

@@ -1,0 +1,270 @@
+package noise
+
+import (
+	"strings"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// Readout is a classical measurement error: each measured bit flips
+// 0->1 with probability P01 and 1->0 with probability P10.
+type Readout struct {
+	P01, P10 float64
+}
+
+// Flip perturbs the n-bit outcome according to the readout error.
+func (ro Readout) Flip(bits uint64, n int, r *rng.RNG) uint64 {
+	for q := 0; q < n; q++ {
+		mask := uint64(1) << uint(q)
+		p := ro.P01
+		if bits&mask != 0 {
+			p = ro.P10
+		}
+		if p > 0 && r.Float64() < p {
+			bits ^= mask
+		}
+	}
+	return bits
+}
+
+// Model binds noise channels to circuit execution. OneQubit channels follow
+// every one-qubit gate (on its operand); TwoQubit channels follow every gate
+// touching two or more qubits. Readout, when non-nil, perturbs sampled
+// outcomes.
+type Model struct {
+	ModelName string
+	OneQubit  []Channel // arity-1 channels
+	TwoQubit  []Channel // arity-2 channels (wrap arity-1 with PerQubit)
+	Readout   *Readout
+}
+
+// Name returns the model identifier, e.g. "DC" or "TRR".
+func (m *Model) Name() string {
+	if m == nil {
+		return "ideal"
+	}
+	return m.ModelName
+}
+
+// Ideal reports whether the model applies no noise at all.
+func (m *Model) Ideal() bool {
+	return m == nil || (len(m.OneQubit) == 0 && len(m.TwoQubit) == 0 && m.Readout == nil)
+}
+
+// GateErrorProb returns the probability that at least one channel fires
+// after gate g — the e_i of the paper's Equation 4.
+func (m *Model) GateErrorProb(g gate.Gate) float64 {
+	if m == nil {
+		return 0
+	}
+	chans := m.OneQubit
+	if g.Arity() >= 2 {
+		chans = m.TwoQubit
+	}
+	keep := 1.0
+	for _, c := range chans {
+		keep *= 1 - c.ErrorProb()
+	}
+	return 1 - keep
+}
+
+// SegmentErrorProb returns 1 - prod(1 - e_i) over the gates — the paper's
+// Equation 4 applied to a subcircuit.
+func (m *Model) SegmentErrorProb(gs []gate.Gate) float64 {
+	keep := 1.0
+	for _, g := range gs {
+		keep *= 1 - m.GateErrorProb(g)
+	}
+	return 1 - keep
+}
+
+// ApplyAfterGate stochastically applies the model's channels following gate
+// g and returns the number of kernel applications performed. For gates on
+// three qubits (e.g. un-decomposed Toffolis) the two-qubit channels are
+// applied to the first two operands and the one-qubit channels to the
+// third, a conservative approximation noted in DESIGN.md.
+func (m *Model) ApplyAfterGate(s *statevec.State, g gate.Gate, r *rng.RNG) int {
+	if m == nil {
+		return 0
+	}
+	ops := 0
+	switch g.Arity() {
+	case 1:
+		for _, c := range m.OneQubit {
+			ops += c.ApplyTrajectory(s, g.Qubits, r)
+		}
+	case 2:
+		for _, c := range m.TwoQubit {
+			ops += c.ApplyTrajectory(s, g.Qubits, r)
+		}
+	default:
+		for _, c := range m.TwoQubit {
+			ops += c.ApplyTrajectory(s, g.Qubits[:2], r)
+		}
+		for _, c := range m.OneQubit {
+			ops += c.ApplyTrajectory(s, g.Qubits[2:3], r)
+		}
+	}
+	return ops
+}
+
+// FlipReadout applies the readout error (if any) to an n-bit outcome.
+func (m *Model) FlipReadout(bits uint64, n int, r *rng.RNG) uint64 {
+	if m == nil || m.Readout == nil {
+		return bits
+	}
+	return m.Readout.Flip(bits, n, r)
+}
+
+// TrajectoryOps returns an upper bound on the extra kernel applications the
+// model adds per gate, used for computation accounting.
+func (m *Model) TrajectoryOps(g gate.Gate) int {
+	if m == nil {
+		return 0
+	}
+	if g.Arity() == 1 {
+		return len(m.OneQubit)
+	}
+	return len(m.TwoQubit)
+}
+
+// Sycamore-derived default error rates used throughout the paper
+// (footnote 3): 0.1% per one-qubit gate, 1.5% per two-qubit gate.
+const (
+	SycamoreOneQubitError = 0.001
+	SycamoreTwoQubitError = 0.015
+)
+
+// Default thermal-relaxation parameters (microseconds), conservative
+// superconducting-qubit figures.
+const (
+	DefaultT1       = 25.0  // us
+	DefaultT2       = 30.0  // us
+	DefaultGateTime = 0.035 // us
+)
+
+// DefaultDampingRatio is the damping ratio used by the paper's AD/PD
+// sensitivity studies (Section 4.3).
+const DefaultDampingRatio = 0.01
+
+// DefaultReadoutError is a conservative readout flip probability.
+const DefaultReadoutError = 0.02
+
+// NewDepolarizing returns the paper's primary noise model: depolarizing
+// channels with the given one- and two-qubit error rates.
+func NewDepolarizing(p1, p2 float64) *Model {
+	return &Model{
+		ModelName: "DC",
+		OneQubit:  []Channel{Depolarizing1Q{P: p1}},
+		TwoQubit:  []Channel{Depolarizing2Q{P: p2}},
+	}
+}
+
+// NewSycamore returns the depolarizing model at Sycamore error rates.
+func NewSycamore() *Model {
+	return NewDepolarizing(SycamoreOneQubitError, SycamoreTwoQubitError)
+}
+
+// NewThermalRelaxation returns a thermal relaxation model. Two-qubit gates
+// take twice the one-qubit gate time, a common device characteristic.
+func NewThermalRelaxation(t1, t2, gateTime float64) *Model {
+	return &Model{
+		ModelName: "TR",
+		OneQubit:  []Channel{ThermalRelaxation{T1: t1, T2: t2, GateTime: gateTime}},
+		TwoQubit: []Channel{PerQubit{C: ThermalRelaxation{
+			T1: t1, T2: t2, GateTime: 2 * gateTime,
+		}}},
+	}
+}
+
+// NewAmplitudeDamping returns an amplitude damping model with the given
+// damping ratio on every gate operand.
+func NewAmplitudeDamping(gamma float64) *Model {
+	return &Model{
+		ModelName: "AD",
+		OneQubit:  []Channel{AmplitudeDamping{Gamma: gamma}},
+		TwoQubit:  []Channel{PerQubit{C: AmplitudeDamping{Gamma: gamma}}},
+	}
+}
+
+// NewPhaseDamping returns a phase damping model with the given ratio.
+func NewPhaseDamping(lambda float64) *Model {
+	return &Model{
+		ModelName: "PD",
+		OneQubit:  []Channel{PhaseDamping{Lambda: lambda}},
+		TwoQubit:  []Channel{PerQubit{C: PhaseDamping{Lambda: lambda}}},
+	}
+}
+
+// WithReadout returns a copy of the model with a readout error attached and
+// "R" appended to its name (matching the paper's DCR/TRR/ADR/PDR labels).
+func (m *Model) WithReadout(p float64) *Model {
+	cp := *m
+	cp.Readout = &Readout{P01: p, P10: p}
+	cp.ModelName = m.ModelName + "R"
+	return &cp
+}
+
+// Combine merges several models into one applying all their channels in
+// order; the name is the concatenation (the paper's "ALL" uses every
+// channel together).
+func Combine(name string, models ...*Model) *Model {
+	out := &Model{ModelName: name}
+	for _, m := range models {
+		out.OneQubit = append(out.OneQubit, m.OneQubit...)
+		out.TwoQubit = append(out.TwoQubit, m.TwoQubit...)
+		if m.Readout != nil {
+			out.Readout = m.Readout
+		}
+	}
+	return out
+}
+
+// ByName constructs one of the paper's nine Figure-16 model variants:
+// DC, DCR, TR, TRR, AD, ADR, PD, PDR, ALL (case-insensitive).
+func ByName(name string) *Model {
+	base := strings.ToUpper(strings.TrimSpace(name))
+	readout := false
+	if base == "ALL" {
+		all := Combine("ALL",
+			NewSycamore(),
+			NewThermalRelaxation(DefaultT1, DefaultT2, DefaultGateTime),
+			NewAmplitudeDamping(DefaultDampingRatio),
+			NewPhaseDamping(DefaultDampingRatio),
+		)
+		all.Readout = &Readout{P01: DefaultReadoutError, P10: DefaultReadoutError}
+		return all
+	}
+	if strings.HasSuffix(base, "R") && base != "TR" {
+		readout = true
+		base = strings.TrimSuffix(base, "R")
+	}
+	// "TRR" arrives here as "TR" with readout=true; plain "TR" skipped above.
+	var m *Model
+	switch base {
+	case "DC":
+		m = NewSycamore()
+	case "TR":
+		m = NewThermalRelaxation(DefaultT1, DefaultT2, DefaultGateTime)
+	case "AD":
+		m = NewAmplitudeDamping(DefaultDampingRatio)
+	case "PD":
+		m = NewPhaseDamping(DefaultDampingRatio)
+	case "IDEAL", "NONE", "":
+		return nil
+	default:
+		return nil
+	}
+	if readout {
+		m = m.WithReadout(DefaultReadoutError)
+	}
+	return m
+}
+
+// CircuitErrorProb returns Equation 4 evaluated over a whole circuit.
+func (m *Model) CircuitErrorProb(c *circuit.Circuit) float64 {
+	return m.SegmentErrorProb(c.Gates)
+}

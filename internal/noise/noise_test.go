@@ -1,0 +1,295 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// krausComplete checks sum_i K_i† K_i = I.
+func krausComplete(t *testing.T, name string, ks []qmath.Matrix) {
+	t.Helper()
+	if len(ks) == 0 {
+		t.Fatalf("%s: empty Kraus set", name)
+	}
+	sum := qmath.NewMatrix(ks[0].N)
+	for _, k := range ks {
+		sum = qmath.Add(sum, qmath.Mul(k.Dagger(), k))
+	}
+	if d := qmath.MaxAbsDiff(sum, qmath.Identity(sum.N)); d > 1e-10 {
+		t.Errorf("%s: Kraus completeness violated by %v", name, d)
+	}
+}
+
+func allChannels() []Channel {
+	return []Channel{
+		Depolarizing1Q{P: 0.03},
+		Depolarizing2Q{P: 0.05},
+		AmplitudeDamping{Gamma: 0.08},
+		PhaseDamping{Lambda: 0.06},
+		ThermalRelaxation{T1: 25, T2: 30, GateTime: 0.5},
+		PerQubit{C: AmplitudeDamping{Gamma: 0.04}},
+	}
+}
+
+func TestKrausCompleteness(t *testing.T) {
+	for _, ch := range allChannels() {
+		krausComplete(t, ch.Name(), ch.Kraus())
+	}
+}
+
+func TestChannelArities(t *testing.T) {
+	for _, ch := range allChannels() {
+		dim := 1 << uint(ch.Arity())
+		for _, k := range ch.Kraus() {
+			if k.N != dim {
+				t.Errorf("%s: Kraus dim %d for arity %d", ch.Name(), k.N, ch.Arity())
+			}
+		}
+	}
+}
+
+func TestTrajectoryPreservesNorm(t *testing.T) {
+	r := rng.New(1)
+	for _, ch := range allChannels() {
+		s := statevec.NewZero(3)
+		s.Apply(gate.New(gate.KindH, 0))
+		s.Apply(gate.New(gate.KindCX, 0, 1))
+		s.Apply(gate.New(gate.KindH, 2))
+		qs := []int{0}
+		if ch.Arity() == 2 {
+			qs = []int{0, 2}
+		}
+		for i := 0; i < 200; i++ {
+			ch.ApplyTrajectory(s, qs, r)
+			if d := math.Abs(s.Norm() - 1); d > 1e-9 {
+				t.Fatalf("%s: norm drifted by %v after %d applications",
+					ch.Name(), d, i+1)
+			}
+		}
+	}
+}
+
+func TestDepolarizingFiresAtRate(t *testing.T) {
+	const p = 0.25
+	ch := Depolarizing1Q{P: p}
+	r := rng.New(2)
+	fired := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := statevec.NewZero(1) // |0>
+		ch.ApplyTrajectory(s, []int{0}, r)
+		// X and Y move |0> to |1|; Z leaves it. Count state changes and
+		// scale: 2/3 of firings are visible.
+		if s.Prob(1) > 0.5 {
+			fired++
+		}
+	}
+	visible := float64(fired) / n
+	want := p * 2 / 3
+	if math.Abs(visible-want) > 0.01 {
+		t.Fatalf("visible flip rate %v, want %v", visible, want)
+	}
+}
+
+func TestAmplitudeDampingDecaysExcitedState(t *testing.T) {
+	const gamma = 0.2
+	ch := AmplitudeDamping{Gamma: gamma}
+	r := rng.New(3)
+	var p1Sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := statevec.NewZero(1)
+		s.Apply(gate.New(gate.KindX, 0)) // |1>
+		ch.ApplyTrajectory(s, []int{0}, r)
+		p1Sum += s.Prob(1)
+	}
+	mean := p1Sum / n
+	if math.Abs(mean-(1-gamma)) > 0.01 {
+		t.Fatalf("mean excited population %v, want %v", mean, 1-gamma)
+	}
+}
+
+func TestAmplitudeDampingFixesGroundState(t *testing.T) {
+	ch := AmplitudeDamping{Gamma: 0.3}
+	r := rng.New(4)
+	s := statevec.NewZero(1)
+	for i := 0; i < 100; i++ {
+		ch.ApplyTrajectory(s, []int{0}, r)
+	}
+	if p := s.Prob(0); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("ground state not fixed: P(0)=%v", p)
+	}
+}
+
+func TestPhaseDampingPreservesPopulations(t *testing.T) {
+	ch := PhaseDamping{Lambda: 0.4}
+	r := rng.New(5)
+	var p1Sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := statevec.NewZero(1)
+		s.Apply(gate.New(gate.KindH, 0))
+		for k := 0; k < 5; k++ {
+			ch.ApplyTrajectory(s, []int{0}, r)
+		}
+		p1Sum += s.Prob1(0)
+	}
+	mean := p1Sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("phase damping changed population: %v", mean)
+	}
+}
+
+func TestThermalRelaxationParams(t *testing.T) {
+	tr := ThermalRelaxation{T1: 25, T2: 30, GateTime: 1}
+	g, l := tr.params()
+	if g <= 0 || g >= 1 || l <= 0 || l >= 1 {
+		t.Fatalf("implausible parameters gamma=%v lambda=%v", g, l)
+	}
+	wantG := 1 - math.Exp(-1.0/25)
+	if math.Abs(g-wantG) > 1e-12 {
+		t.Fatalf("gamma %v, want %v", g, wantG)
+	}
+}
+
+func TestThermalRelaxationRejectsUnphysicalT2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("T2 > 2*T1 accepted")
+		}
+	}()
+	ThermalRelaxation{T1: 10, T2: 25, GateTime: 1}.Kraus()
+}
+
+func TestReadoutFlip(t *testing.T) {
+	ro := Readout{P01: 1, P10: 0}
+	r := rng.New(6)
+	if got := ro.Flip(0b000, 3, r); got != 0b111 {
+		t.Fatalf("P01=1 flip gave %b", got)
+	}
+	ro = Readout{P01: 0, P10: 1}
+	if got := ro.Flip(0b101, 3, r); got != 0b000 {
+		t.Fatalf("P10=1 flip gave %b", got)
+	}
+	ro = Readout{}
+	if got := ro.Flip(0b101, 3, r); got != 0b101 {
+		t.Fatalf("zero-rate readout changed bits: %b", got)
+	}
+}
+
+func TestReadoutRate(t *testing.T) {
+	ro := Readout{P01: 0.1, P10: 0.1}
+	r := rng.New(7)
+	flips := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if ro.Flip(0, 1, r) == 1 {
+			flips++
+		}
+	}
+	if f := float64(flips) / n; math.Abs(f-0.1) > 0.005 {
+		t.Fatalf("flip rate %v", f)
+	}
+}
+
+func TestModelGateErrorProb(t *testing.T) {
+	m := NewDepolarizing(0.001, 0.015)
+	g1 := gate.New(gate.KindH, 0)
+	g2 := gate.New(gate.KindCX, 0, 1)
+	if p := m.GateErrorProb(g1); math.Abs(p-0.001) > 1e-12 {
+		t.Fatalf("1q error prob %v", p)
+	}
+	if p := m.GateErrorProb(g2); math.Abs(p-0.015) > 1e-12 {
+		t.Fatalf("2q error prob %v", p)
+	}
+}
+
+func TestSegmentErrorProbEquation4(t *testing.T) {
+	m := NewDepolarizing(0.01, 0.05)
+	c := circuit.New("e", 2).H(0).CX(0, 1).H(1)
+	want := 1 - (1-0.01)*(1-0.05)*(1-0.01)
+	if p := m.CircuitErrorProb(c); math.Abs(p-want) > 1e-12 {
+		t.Fatalf("Equation 4 gives %v, want %v", p, want)
+	}
+}
+
+func TestIdealModel(t *testing.T) {
+	var m *Model
+	if !m.Ideal() {
+		t.Fatal("nil model not ideal")
+	}
+	if m.GateErrorProb(gate.New(gate.KindH, 0)) != 0 {
+		t.Fatal("nil model has error")
+	}
+	s := statevec.NewZero(1)
+	m.ApplyAfterGate(s, gate.New(gate.KindH, 0), rng.New(1)) // must not panic
+	if m.FlipReadout(3, 2, rng.New(1)) != 3 {
+		t.Fatal("nil model flipped readout")
+	}
+}
+
+func TestByNameVariants(t *testing.T) {
+	names := []string{"DC", "DCR", "TR", "TRR", "AD", "ADR", "PD", "PDR", "ALL"}
+	for _, n := range names {
+		m := ByName(n)
+		if m == nil {
+			t.Fatalf("ByName(%q) = nil", n)
+		}
+		if m.Name() != n {
+			t.Fatalf("ByName(%q).Name() = %q", n, m.Name())
+		}
+		wantReadout := n == "ALL" || len(n) == 3 // DCR, TRR, ADR, PDR
+		if (m.Readout != nil) != wantReadout {
+			t.Fatalf("ByName(%q) readout presence wrong", n)
+		}
+	}
+	if ByName("ideal") != nil || ByName("bogus") != nil {
+		t.Fatal("ByName should return nil for ideal/unknown")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	m := Combine("X", NewSycamore(), NewPhaseDamping(0.01))
+	if len(m.OneQubit) != 2 || len(m.TwoQubit) != 2 {
+		t.Fatalf("combine channel counts %d/%d", len(m.OneQubit), len(m.TwoQubit))
+	}
+}
+
+func TestWithReadoutCopies(t *testing.T) {
+	base := NewSycamore()
+	withR := base.WithReadout(0.02)
+	if base.Readout != nil {
+		t.Fatal("WithReadout mutated the receiver")
+	}
+	if withR.Readout == nil || withR.ModelName != "DCR" {
+		t.Fatal("WithReadout result wrong")
+	}
+}
+
+func TestPerQubitErrorProb(t *testing.T) {
+	p := PerQubit{C: Depolarizing1Q{P: 0.1}}
+	want := 1 - 0.9*0.9
+	if got := p.ErrorProb(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PerQubit error prob %v, want %v", got, want)
+	}
+}
+
+func TestTrajectoryOpsAccounting(t *testing.T) {
+	m := NewSycamore()
+	if m.TrajectoryOps(gate.New(gate.KindH, 0)) != 1 {
+		t.Fatal("1q op count")
+	}
+	if m.TrajectoryOps(gate.New(gate.KindCX, 0, 1)) != 1 {
+		t.Fatal("2q op count")
+	}
+	var nilM *Model
+	if nilM.TrajectoryOps(gate.New(gate.KindH, 0)) != 0 {
+		t.Fatal("nil model op count")
+	}
+}

@@ -1,0 +1,297 @@
+// Package observable implements Pauli-string observables and Hamiltonians:
+// the quantities variational algorithms estimate from noisy simulations
+// (paper §5.7) and the vehicles for the paper's Equation 2 — the standard
+// error of a trajectory-ensemble estimate falls as sigma/sqrt(N).
+//
+// A PauliString is a tensor product of single-qubit Paulis with a real
+// coefficient; a Hamiltonian is a sum of strings. Expectations are computed
+// exactly on state vectors (one O(2^n) pass per string) and exactly on
+// density matrices (tr(rho P) via the strings' permutation structure).
+package observable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tqsim/internal/densmat"
+	"tqsim/internal/statevec"
+)
+
+// Pauli labels a single-qubit Pauli operator.
+type Pauli byte
+
+// Pauli operators.
+const (
+	I Pauli = 'I'
+	X Pauli = 'X'
+	Y Pauli = 'Y'
+	Z Pauli = 'Z'
+)
+
+// PauliString is Coef * P_{q1} ⊗ P_{q2} ⊗ ... acting on the listed qubits
+// (identity elsewhere).
+type PauliString struct {
+	Coef   float64
+	Qubits []int
+	Ops    []Pauli
+}
+
+// NewPauliString builds a string from a spec like "ZZ" on the given qubits.
+func NewPauliString(coef float64, spec string, qubits ...int) PauliString {
+	if len(spec) != len(qubits) {
+		panic(fmt.Sprintf("observable: spec %q needs %d qubits, got %d",
+			spec, len(spec), len(qubits)))
+	}
+	ops := make([]Pauli, len(spec))
+	for i, ch := range strings.ToUpper(spec) {
+		switch Pauli(ch) {
+		case I, X, Y, Z:
+			ops[i] = Pauli(ch)
+		default:
+			panic(fmt.Sprintf("observable: unknown Pauli %q", ch))
+		}
+	}
+	return PauliString{Coef: coef, Qubits: append([]int(nil), qubits...), Ops: ops}
+}
+
+// Validate checks qubit distinctness and op labels.
+func (p PauliString) Validate(numQubits int) error {
+	if len(p.Qubits) != len(p.Ops) {
+		return fmt.Errorf("observable: %d qubits for %d ops", len(p.Qubits), len(p.Ops))
+	}
+	seen := map[int]bool{}
+	for i, q := range p.Qubits {
+		if q < 0 || q >= numQubits {
+			return fmt.Errorf("observable: qubit %d out of range", q)
+		}
+		if seen[q] {
+			return fmt.Errorf("observable: qubit %d repeated", q)
+		}
+		seen[q] = true
+		switch p.Ops[i] {
+		case I, X, Y, Z:
+		default:
+			return fmt.Errorf("observable: bad op %q", p.Ops[i])
+		}
+	}
+	return nil
+}
+
+// String renders like "+0.5*Z0Z3".
+func (p PauliString) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+g*", p.Coef)
+	type qo struct {
+		q  int
+		op Pauli
+	}
+	items := make([]qo, 0, len(p.Qubits))
+	for i, q := range p.Qubits {
+		if p.Ops[i] != I {
+			items = append(items, qo{q, p.Ops[i]})
+		}
+	}
+	if len(items) == 0 {
+		b.WriteString("I")
+		return b.String()
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].q < items[j].q })
+	for _, it := range items {
+		fmt.Fprintf(&b, "%c%d", it.op, it.q)
+	}
+	return b.String()
+}
+
+// pauliAction returns, for basis index `idx`, the paired basis index and the
+// phase factor such that P|idx> = phase * |paired>.
+func (p PauliString) pauliAction(idx uint64) (uint64, complex128) {
+	out := idx
+	phase := complex(1, 0)
+	for i, q := range p.Qubits {
+		bit := idx >> uint(q) & 1
+		switch p.Ops[i] {
+		case I:
+		case X:
+			out ^= 1 << uint(q)
+		case Y:
+			out ^= 1 << uint(q)
+			if bit == 0 {
+				phase *= 1i // Y|0> = i|1>
+			} else {
+				phase *= -1i // Y|1> = -i|0>
+			}
+		case Z:
+			if bit == 1 {
+				phase = -phase
+			}
+		}
+	}
+	return out, phase
+}
+
+// ExpectationState returns <psi|P|psi> (real for Hermitian P).
+func (p PauliString) ExpectationState(s *statevec.State) float64 {
+	amps := s.Amplitudes()
+	var acc complex128
+	for idx, a := range amps {
+		if a == 0 {
+			continue
+		}
+		paired, phase := p.pauliAction(uint64(idx))
+		// <psi|P|psi> = sum_idx conj(amp[paired'])... accumulate
+		// conj(amps[j]) * (P|idx>)_j * amps[idx] with j = paired.
+		b := amps[paired]
+		acc += complex(real(b), -imag(b)) * phase * a
+	}
+	return p.Coef * real(acc)
+}
+
+// ExpectationDensity returns tr(rho * P) for the density matrix.
+func (p PauliString) ExpectationDensity(d *densmat.Density) float64 {
+	dim := uint64(d.Dim())
+	var acc complex128
+	for col := uint64(0); col < dim; col++ {
+		row, phase := p.pauliAction(col)
+		// (rho P)_{col,col} = sum_k rho[col][k] P[k][col]; P has a single
+		// non-zero per column at k = row with value phase.
+		acc += d.At(int(col), int(row)) * phase
+	}
+	return p.Coef * real(acc)
+}
+
+// ExpectationCounts estimates the expectation from a measurement histogram.
+// Only Z/I strings are measurable in the computational basis; others return
+// an error.
+func (p PauliString) ExpectationCounts(counts map[uint64]int) (float64, error) {
+	for _, op := range p.Ops {
+		if op != Z && op != I {
+			return 0, fmt.Errorf("observable: %s is not Z-diagonal; measure in a rotated basis", p)
+		}
+	}
+	total := 0
+	var acc float64
+	for bits, n := range counts {
+		sign := 1.0
+		for i, q := range p.Qubits {
+			if p.Ops[i] == Z && bits>>uint(q)&1 == 1 {
+				sign = -sign
+			}
+		}
+		acc += sign * float64(n)
+		total += n
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("observable: empty histogram")
+	}
+	return p.Coef * acc / float64(total), nil
+}
+
+// Hamiltonian is a real linear combination of Pauli strings.
+type Hamiltonian struct {
+	Name  string
+	Terms []PauliString
+}
+
+// Validate checks every term.
+func (h *Hamiltonian) Validate(numQubits int) error {
+	for i, t := range h.Terms {
+		if err := t.Validate(numQubits); err != nil {
+			return fmt.Errorf("term %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ExpectationState returns <psi|H|psi>.
+func (h *Hamiltonian) ExpectationState(s *statevec.State) float64 {
+	var acc float64
+	for _, t := range h.Terms {
+		acc += t.ExpectationState(s)
+	}
+	return acc
+}
+
+// ExpectationDensity returns tr(rho H).
+func (h *Hamiltonian) ExpectationDensity(d *densmat.Density) float64 {
+	var acc float64
+	for _, t := range h.Terms {
+		acc += t.ExpectationDensity(d)
+	}
+	return acc
+}
+
+// String renders the Hamiltonian as a sum of terms.
+func (h *Hamiltonian) String() string {
+	parts := make([]string, len(h.Terms))
+	for i, t := range h.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// TransverseFieldIsing builds H = -J sum_<ij> Z_i Z_j - hx sum_i X_i on a
+// ring of n qubits — the standard VQE test Hamiltonian.
+func TransverseFieldIsing(n int, j, hx float64) *Hamiltonian {
+	h := &Hamiltonian{Name: fmt.Sprintf("tfim_%d", n)}
+	for q := 0; q < n; q++ {
+		h.Terms = append(h.Terms, NewPauliString(-j, "ZZ", q, (q+1)%n))
+	}
+	for q := 0; q < n; q++ {
+		h.Terms = append(h.Terms, NewPauliString(-hx, "X", q))
+	}
+	return h
+}
+
+// MaxCutHamiltonian builds the max-cut cost observable
+// sum_<ij> (1 - Z_i Z_j)/2 for the given edge list.
+func MaxCutHamiltonian(n int, edges [][2]int) *Hamiltonian {
+	h := &Hamiltonian{Name: fmt.Sprintf("maxcut_%d", n)}
+	for _, e := range edges {
+		// Constant 1/2 per edge plus -1/2 Z_iZ_j.
+		h.Terms = append(h.Terms, NewPauliString(-0.5, "ZZ", e[0], e[1]))
+	}
+	// The constant offset |E|/2 is representable as a coefficient on the
+	// empty string.
+	h.Terms = append(h.Terms, PauliString{Coef: float64(len(edges)) / 2})
+	return h
+}
+
+// EstimateStats summarizes a per-trajectory sample of expectation values.
+type EstimateStats struct {
+	Mean float64
+	// StdDev is the sample standard deviation across trajectories.
+	StdDev float64
+	// StdErr = StdDev / sqrt(N) — the paper's Equation 2.
+	StdErr float64
+	N      int
+}
+
+// Summarize computes the ensemble statistics of per-trajectory values.
+func Summarize(values []float64) EstimateStats {
+	n := len(values)
+	if n == 0 {
+		return EstimateStats{}
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	var sd float64
+	if n > 1 {
+		sd = math.Sqrt(ss / float64(n-1))
+	}
+	return EstimateStats{
+		Mean:   mean,
+		StdDev: sd,
+		StdErr: sd / math.Sqrt(float64(n)),
+		N:      n,
+	}
+}

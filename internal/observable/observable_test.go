@@ -1,0 +1,251 @@
+package observable
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/densmat"
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// denseOperator expands a Pauli string into its full 2^n x 2^n matrix.
+func denseOperator(n int, p PauliString) qmath.Matrix {
+	mats := map[Pauli]qmath.Matrix{
+		I: qmath.Identity(2),
+		X: qmath.FromRows([][]complex128{{0, 1}, {1, 0}}),
+		Y: qmath.FromRows([][]complex128{{0, -1i}, {1i, 0}}),
+		Z: qmath.FromRows([][]complex128{{1, 0}, {0, -1}}),
+	}
+	full := qmath.Identity(1)
+	for q := n - 1; q >= 0; q-- {
+		op := I
+		for i, pq := range p.Qubits {
+			if pq == q {
+				op = p.Ops[i]
+			}
+		}
+		full = qmath.Kron(full, mats[op])
+	}
+	return full.Scale(complex(p.Coef, 0))
+}
+
+func randomState(n int, seed uint64) *statevec.State {
+	r := rng.New(seed)
+	amps := make([]complex128, 1<<uint(n))
+	for i := range amps {
+		amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	s := statevec.FromAmplitudes(amps)
+	s.Normalize()
+	return s
+}
+
+func TestExpectationAgainstDense(t *testing.T) {
+	const n = 4
+	strings := []PauliString{
+		NewPauliString(1, "Z", 0),
+		NewPauliString(1, "X", 2),
+		NewPauliString(1, "Y", 3),
+		NewPauliString(0.5, "ZZ", 0, 3),
+		NewPauliString(-0.7, "XY", 1, 2),
+		NewPauliString(2, "XYZ", 0, 1, 3),
+		NewPauliString(1.5, "ZI", 2, 0),
+		{Coef: 3}, // constant term
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		st := randomState(n, seed)
+		for _, p := range strings {
+			want := real(qmath.VecInner(st.Amplitudes(),
+				denseOperator(n, p).MulVec(st.Amplitudes())))
+			got := p.ExpectationState(st)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed %d %s: %v, want %v", seed, p, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectationKnownStates(t *testing.T) {
+	// <0|Z|0> = 1, <1|Z|1> = -1, <+|X|+> = 1.
+	zero := statevec.NewZero(1)
+	if v := NewPauliString(1, "Z", 0).ExpectationState(zero); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("<0|Z|0> = %v", v)
+	}
+	one := statevec.NewBasis(1, 1)
+	if v := NewPauliString(1, "Z", 0).ExpectationState(one); math.Abs(v+1) > 1e-12 {
+		t.Fatalf("<1|Z|1> = %v", v)
+	}
+	plus := statevec.NewZero(1)
+	plus.Apply(gate.New(gate.KindH, 0))
+	if v := NewPauliString(1, "X", 0).ExpectationState(plus); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("<+|X|+> = %v", v)
+	}
+	if v := NewPauliString(1, "Z", 0).ExpectationState(plus); math.Abs(v) > 1e-12 {
+		t.Fatalf("<+|Z|+> = %v", v)
+	}
+}
+
+func TestBellCorrelators(t *testing.T) {
+	bell := statevec.NewZero(2)
+	bell.Apply(gate.New(gate.KindH, 0))
+	bell.Apply(gate.New(gate.KindCX, 0, 1))
+	for _, spec := range []string{"ZZ", "XX"} {
+		if v := NewPauliString(1, spec, 0, 1).ExpectationState(bell); math.Abs(v-1) > 1e-12 {
+			t.Fatalf("<bell|%s|bell> = %v", spec, v)
+		}
+	}
+	if v := NewPauliString(1, "YY", 0, 1).ExpectationState(bell); math.Abs(v+1) > 1e-12 {
+		t.Fatalf("<bell|YY|bell> = %v", v)
+	}
+	if v := NewPauliString(1, "Z", 0).ExpectationState(bell); math.Abs(v) > 1e-12 {
+		t.Fatalf("<bell|Z0|bell> = %v", v)
+	}
+}
+
+func TestExpectationDensityMatchesState(t *testing.T) {
+	c := circuit.New("mix", 3).H(0).CX(0, 1).T(1).RZ(0.4, 2).CZ(1, 2)
+	st := statevec.NewZero(3)
+	st.ApplyAll(c.Gates)
+	d := densmat.FromPure(st)
+	terms := []PauliString{
+		NewPauliString(1, "Z", 0),
+		NewPauliString(1, "XX", 0, 2),
+		NewPauliString(-0.3, "YZ", 1, 2),
+	}
+	for _, p := range terms {
+		sv := p.ExpectationState(st)
+		dm := p.ExpectationDensity(d)
+		if math.Abs(sv-dm) > 1e-9 {
+			t.Errorf("%s: statevec %v vs density %v", p, sv, dm)
+		}
+	}
+}
+
+func TestExpectationCounts(t *testing.T) {
+	// Histogram 75% |00>, 25% |11>: <ZZ> = 1, <Z0> = 0.5.
+	counts := map[uint64]int{0b00: 3, 0b11: 1}
+	zz := NewPauliString(1, "ZZ", 0, 1)
+	v, err := zz.ExpectationCounts(counts)
+	if err != nil || math.Abs(v-1) > 1e-12 {
+		t.Fatalf("<ZZ> = %v, %v", v, err)
+	}
+	z0 := NewPauliString(1, "Z", 0)
+	v, err = z0.ExpectationCounts(counts)
+	if err != nil || math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("<Z0> = %v, %v", v, err)
+	}
+	if _, err := NewPauliString(1, "X", 0).ExpectationCounts(counts); err == nil {
+		t.Fatal("X accepted for computational-basis counts")
+	}
+	if _, err := zz.ExpectationCounts(nil); err == nil {
+		t.Fatal("empty histogram accepted")
+	}
+}
+
+func TestHamiltonianSum(t *testing.T) {
+	st := randomState(3, 5)
+	h := &Hamiltonian{Terms: []PauliString{
+		NewPauliString(0.5, "Z", 0),
+		NewPauliString(-1.5, "XX", 1, 2),
+	}}
+	want := h.Terms[0].ExpectationState(st) + h.Terms[1].ExpectationState(st)
+	if got := h.ExpectationState(st); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("hamiltonian sum %v, want %v", got, want)
+	}
+}
+
+func TestTransverseFieldIsingGroundStateBounds(t *testing.T) {
+	// For the 1D TFIM ring, the all-|+> product state has energy -n*hx and
+	// the all-|0> state has energy -n*J; any state's energy is within
+	// [-n*(J+hx), n*(J+hx)].
+	const n = 4
+	h := TransverseFieldIsing(n, 1.0, 0.5)
+	if err := h.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	zero := statevec.NewZero(n)
+	if v := h.ExpectationState(zero); math.Abs(v-(-4)) > 1e-12 {
+		t.Fatalf("all-zero TFIM energy %v, want -4", v)
+	}
+	plus := statevec.NewZero(n)
+	for q := 0; q < n; q++ {
+		plus.Apply(gate.New(gate.KindH, q))
+	}
+	if v := h.ExpectationState(plus); math.Abs(v-(-2)) > 1e-12 {
+		t.Fatalf("all-plus TFIM energy %v, want -2", v)
+	}
+}
+
+func TestMaxCutHamiltonianMatchesCutCount(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}}
+	h := MaxCutHamiltonian(3, edges)
+	// |010>: cuts edges (0,1) and (1,2) -> 2.
+	st := statevec.NewBasis(3, 0b010)
+	if v := h.ExpectationState(st); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("cut value %v, want 2", v)
+	}
+	// |000>: cuts nothing.
+	if v := h.ExpectationState(statevec.NewZero(3)); math.Abs(v) > 1e-12 {
+		t.Fatalf("trivial cut %v", v)
+	}
+}
+
+func TestSummarizeEquation2(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.N != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	wantSD := math.Sqrt(5.0 / 3)
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Fatalf("stddev %v", s.StdDev)
+	}
+	if math.Abs(s.StdErr-wantSD/2) > 1e-12 {
+		t.Fatalf("stderr %v", s.StdErr)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty stats %+v", z)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []PauliString{
+		{Coef: 1, Qubits: []int{0, 0}, Ops: []Pauli{Z, Z}},
+		{Coef: 1, Qubits: []int{5}, Ops: []Pauli{Z}},
+		{Coef: 1, Qubits: []int{0}, Ops: []Pauli{'Q'}},
+		{Coef: 1, Qubits: []int{0, 1}, Ops: []Pauli{Z}},
+	}
+	for i, p := range bad {
+		if p.Validate(3) == nil {
+			t.Errorf("bad string %d accepted", i)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := NewPauliString(0.5, "ZX", 3, 0)
+	if got := p.String(); got != "+0.5*X0Z3" {
+		t.Fatalf("rendering %q", got)
+	}
+	c := PauliString{Coef: -2}
+	if got := c.String(); got != "-2*I" {
+		t.Fatalf("constant rendering %q", got)
+	}
+}
+
+func TestExpectationBounded(t *testing.T) {
+	// |<psi|P|psi>| <= |coef| for any unit state and Pauli string.
+	check := func(seed uint64) bool {
+		st := randomState(3, seed)
+		p := NewPauliString(1, "XYZ", 0, 1, 2)
+		v := p.ExpectationState(st)
+		return v >= -1-1e-9 && v <= 1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/noise"
+	"tqsim/internal/workloads"
+)
+
+func qft14() *circuit.Circuit { return workloads.QFT(14, true) }
+
+func TestBaselinePlan(t *testing.T) {
+	c := qft14()
+	p := Baseline(c, 64)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalOutcomes() != 64 || p.Levels() != 1 {
+		t.Fatalf("baseline plan wrong: %v", p.Structure())
+	}
+	if p.TotalNodes() != 65 { // 64 subcircuit nodes + root
+		t.Fatalf("nodes %d", p.TotalNodes())
+	}
+	if p.GateWork() != int64(64*c.Len()) {
+		t.Fatalf("gate work %d", p.GateWork())
+	}
+}
+
+func TestInstancesEquation3(t *testing.T) {
+	// Figure 7: structure (16,2,2) has instances 16, 32, 64 and 113 nodes.
+	c := qft14()
+	p := FromStructure(c, []int{16, 2, 2})
+	inst := p.Instances()
+	if inst[0] != 16 || inst[1] != 32 || inst[2] != 64 {
+		t.Fatalf("instances %v", inst)
+	}
+	if p.TotalNodes() != 113 {
+		t.Fatalf("nodes %d, want 113", p.TotalNodes())
+	}
+	if p.TotalOutcomes() != 64 {
+		t.Fatalf("outcomes %d", p.TotalOutcomes())
+	}
+}
+
+func TestTheoreticalSpeedupFormula(t *testing.T) {
+	// Paper §3.6: k equal subcircuits with structure (1,...,1,N) gives
+	// speedup kN/((k-1)+N) when copies are free.
+	c := workloads.QFT(10, true)
+	const n = 1000
+	for _, k := range []int{2, 3, 5} {
+		arities := make([]int, k)
+		for i := range arities {
+			arities[i] = 1
+		}
+		arities[k-1] = n
+		p := FromStructure(c, arities)
+		got := p.TheoreticalSpeedup(0)
+		want := float64(k*n) / float64((k-1)+n)
+		// Subcircuits are near-equal, not exactly equal; allow some slack.
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("k=%d: speedup %v, want ≈%v", k, got, want)
+		}
+	}
+}
+
+func TestUniformPlan(t *testing.T) {
+	c := qft14()
+	p := Uniform(c, 1000, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalOutcomes() < 1000 {
+		t.Fatalf("UCP outcomes %d below 1000", p.TotalOutcomes())
+	}
+	// All arities equal.
+	for _, a := range p.Arities[1:] {
+		if a != p.Arities[0] && a != p.Arities[0]-1 {
+			// Trimming may lower later arities; structure must stay near-uniform.
+			t.Fatalf("UCP arities far from uniform: %v", p.Arities)
+		}
+	}
+}
+
+func TestExponentialPlan(t *testing.T) {
+	c := qft14()
+	p := Exponential(c, 1000, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalOutcomes() < 1000 {
+		t.Fatalf("XCP outcomes %d", p.TotalOutcomes())
+	}
+	for i := 1; i < len(p.Arities); i++ {
+		if p.Arities[i] > p.Arities[i-1] {
+			t.Fatalf("XCP arities not decreasing: %v", p.Arities)
+		}
+	}
+}
+
+func TestSampleSizeEquation5(t *testing.T) {
+	// Reproduce the paper's QFT_14 worked example: p̂ ≈ 0.065 (67 gates at
+	// 0.1%), N = 32000 → A0 in the several-hundred range (paper: 500).
+	phat := 1 - math.Pow(1-0.001, 67)
+	a0 := SampleSize(1.96, phat, 0.02, 32000)
+	if a0 < 300 || a0 > 800 {
+		t.Fatalf("A0 = %d outside the paper's regime", a0)
+	}
+	// Monotonicity: more error -> more samples; larger eps -> fewer.
+	if SampleSize(1.96, 0.2, 0.02, 32000) <= a0 {
+		t.Fatal("sample size not increasing in p")
+	}
+	if SampleSize(1.96, phat, 0.05, 32000) >= a0 {
+		t.Fatal("sample size not decreasing in eps")
+	}
+	// Clamps.
+	if SampleSize(1.96, 0, 0.02, 100) != 1 {
+		t.Fatal("zero error should need one sample")
+	}
+	if SampleSize(1.96, 0.5, 0.001, 100) != 100 {
+		t.Fatal("sample size should clamp at N")
+	}
+}
+
+func TestDCPStructure(t *testing.T) {
+	c := qft14()
+	m := noise.NewSycamore()
+	p := Dynamic(c, m, 32000, DCPOptions{CopyCost: 40})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != "DCP" {
+		t.Fatalf("strategy %q", p.Strategy)
+	}
+	if p.TotalOutcomes() < 32000 {
+		t.Fatalf("outcomes %d below shots", p.TotalOutcomes())
+	}
+	if p.Levels() < 3 {
+		t.Fatalf("DCP found only %d levels for a %d-gate circuit", p.Levels(), c.Len())
+	}
+	// Non-first arities admit reuse.
+	for i := 1; i < len(p.Arities); i++ {
+		if p.Arities[i] < 2 {
+			t.Fatalf("level %d arity %d < 2: %v", i, p.Arities[i], p.Arities)
+		}
+	}
+	// First subcircuit has the minimum length.
+	if p.Bounds[0] != 40 {
+		t.Fatalf("first subcircuit length %d, want copy cost 40", p.Bounds[0])
+	}
+	// Remaining subcircuits each have at least minLen gates.
+	subs := p.Subcircuits()
+	for i, sc := range subs[1:] {
+		if sc.Len() < 40 {
+			t.Fatalf("subcircuit %d has %d gates < copy cost", i+1, sc.Len())
+		}
+	}
+}
+
+func TestDCPDegradesToBaseline(t *testing.T) {
+	m := noise.NewSycamore()
+	// Short circuit: cannot amortize copies.
+	short := circuit.New("short", 3).H(0).CX(0, 1).CX(1, 2)
+	p := Dynamic(short, m, 1000, DCPOptions{CopyCost: 40})
+	if p.Strategy != "baseline" || p.Levels() != 1 {
+		t.Fatalf("short circuit should degrade to baseline: %v", p.Structure())
+	}
+	// Tiny shot budget.
+	p = Dynamic(qft14(), m, 2, DCPOptions{CopyCost: 40})
+	if p.Levels() != 1 {
+		t.Fatalf("tiny budget should degrade to baseline: %v", p.Structure())
+	}
+}
+
+func TestDCPRespectsMaxLevels(t *testing.T) {
+	p := Dynamic(qft14(), noise.NewSycamore(), 32000,
+		DCPOptions{CopyCost: 10, MaxLevels: 3})
+	if p.Levels() > 3 {
+		t.Fatalf("levels %d exceed cap", p.Levels())
+	}
+}
+
+func TestDCPRespectsMemoryBudget(t *testing.T) {
+	c := qft14() // 14 qubits -> 256 KiB per state
+	stateBytes := int64(16) << 14
+	p := Dynamic(c, noise.NewSycamore(), 32000,
+		DCPOptions{CopyCost: 10, MemoryBudgetBytes: 5 * stateBytes})
+	if int64(p.Levels()+1)*stateBytes > 5*stateBytes {
+		t.Fatalf("plan needs %d states, budget allows 5", p.Levels()+1)
+	}
+}
+
+func TestDCPTheoreticalSpeedupNearPaper(t *testing.T) {
+	// The paper's QFT_14 example reports a 3.53x theoretical bound with 7
+	// subcircuits at a uniform 0.1% gate error rate. Sycamore's 1.5%
+	// two-qubit rate forces a larger A0 (more accuracy-critical first-level
+	// nodes), so the copy-cost-inclusive bound lands lower; the plan must
+	// still promise a clear win.
+	p := Dynamic(qft14(), noise.NewSycamore(), 32000, DCPOptions{CopyCost: 40})
+	s := p.TheoreticalSpeedup(40)
+	if s < 1.4 || s > 7 {
+		t.Fatalf("theoretical speedup %v outside plausible band (structure %v)",
+			s, p.Structure())
+	}
+	// At the paper's uniform 0.1% error rate the bound recovers the
+	// paper's regime.
+	uniform := noise.NewDepolarizing(0.001, 0.001)
+	pu := Dynamic(qft14(), uniform, 32000, DCPOptions{CopyCost: 40})
+	if su := pu.TheoreticalSpeedup(40); su < 2.2 || su > 7 {
+		t.Fatalf("uniform-rate speedup %v outside the paper band (structure %v)",
+			su, pu.Structure())
+	}
+}
+
+func TestDCPPropertyAcrossWorkloads(t *testing.T) {
+	m := noise.NewSycamore()
+	check := func(seedByte uint8, shots16 uint16) bool {
+		widths := []int{6, 8, 10}
+		w := widths[int(seedByte)%len(widths)]
+		shots := 100 + int(shots16)%4000
+		c := workloads.QFT(w, true)
+		p := Dynamic(c, m, shots, DCPOptions{CopyCost: 20})
+		if p.Validate() != nil {
+			return false
+		}
+		if p.TotalOutcomes() < shots {
+			return false
+		}
+		// Tree work never exceeds baseline work.
+		return p.GateWork() <= p.BaselineGateWork()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromStructureRejectsTooManyParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("impossible split accepted")
+		}
+	}()
+	FromStructure(circuit.New("tiny", 2).H(0), []int{2, 2})
+}
+
+func TestStructureString(t *testing.T) {
+	p := FromStructure(qft14(), []int{16, 2, 2})
+	if p.Structure() != "(16,2,2)" {
+		t.Fatalf("structure %q", p.Structure())
+	}
+}
+
+func TestValidateCatchesCorruptPlans(t *testing.T) {
+	c := qft14()
+	bad := []*Plan{
+		{Circuit: c, Arities: nil},
+		{Circuit: c, Arities: []int{0}},
+		{Circuit: c, Arities: []int{2, 2}, Bounds: nil},
+		{Circuit: c, Arities: []int{2, 2}, Bounds: []int{0}},
+		{Circuit: c, Arities: []int{2, 2}, Bounds: []int{c.Len()}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("corrupt plan %d accepted", i)
+		}
+	}
+}
+
+func TestCopyWorkMatchesNodes(t *testing.T) {
+	p := FromStructure(qft14(), []int{16, 2, 2})
+	if p.CopyWork() != 16+32+64 {
+		t.Fatalf("copy work %d", p.CopyWork())
+	}
+}

@@ -1,0 +1,117 @@
+// Package qasm implements a parser and serializer for the OpenQASM 2.0
+// subset the benchmark suite uses: qreg/creg declarations, the standard
+// gate set (with parameter expressions), barrier and measure statements.
+// It lets externally authored circuits (e.g. QASMBench files, which the
+// paper draws benchmarks from) run on the simulator, and round-trips the
+// suite's own circuits for interchange.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) [ ] { } , ; ->
+	tokString
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		seenE := false
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if r >= '0' && r <= '9' || r == '.' {
+				l.pos++
+				continue
+			}
+			if (r == 'e' || r == 'E') && !seenE {
+				seenE = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("qasm: line %d: unterminated string", l.line)
+		}
+		l.pos++
+		return token{kind: tokString, text: l.src[start+1 : l.pos-1], line: l.line}, nil
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{kind: tokSymbol, text: "->", line: l.line}, nil
+	case strings.ContainsRune("()[]{},;+-*/^", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	}
+	return token{}, fmt.Errorf("qasm: line %d: unexpected character %q", l.line, c)
+}

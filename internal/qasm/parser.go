@@ -1,0 +1,425 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+)
+
+// Program is a parsed OpenQASM 2.0 program. Multiple quantum registers are
+// supported and concatenated into one contiguous qubit space in declaration
+// order (QASMBench files frequently declare a data register plus an
+// ancilla register). Measurements are recorded but not represented as
+// gates (the simulators measure all qubits at the end).
+type Program struct {
+	Circuit *circuit.Circuit
+	// Registers maps each declared qreg name to its offset in the
+	// concatenated qubit space.
+	Registers map[string]Register
+	// Measured maps classical bits to the qubits they read, in program
+	// order.
+	Measured map[int]int
+	// CregSize is the total declared classical register size (0 when
+	// absent).
+	CregSize int
+}
+
+// Register locates one declared qreg within the concatenated qubit space.
+type Register struct {
+	Offset, Size int
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	regs map[string]Register
+	// regOrder preserves declaration order for width accounting.
+	width  int
+	sealed bool // true once a gate/measure statement has used the registers
+}
+
+// Parse parses OpenQASM 2.0 source into a Program.
+func Parse(name, src string) (*Program, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram(name)
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.take()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("qasm: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.take()
+	if t.kind != tokIdent {
+		return t, fmt.Errorf("qasm: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t, nil
+}
+
+// skipStatement consumes tokens through the next semicolon.
+func (p *parser) skipStatement() {
+	for !p.atEOF() {
+		t := p.take()
+		if t.kind == tokSymbol && t.text == ";" {
+			return
+		}
+	}
+}
+
+// ensureCircuit materializes the circuit once registers are in use; further
+// qreg declarations are rejected after this point.
+func (p *parser) ensureCircuit(prog *Program, name string, line int) error {
+	p.sealed = true
+	if prog.Circuit != nil {
+		return nil
+	}
+	if p.width == 0 {
+		return fmt.Errorf("qasm: line %d: gate before qreg", line)
+	}
+	prog.Circuit = circuit.New(name, p.width)
+	return nil
+}
+
+func (p *parser) parseProgram(name string) (*Program, error) {
+	p.regs = map[string]Register{}
+	prog := &Program{Measured: map[int]int{}, Registers: p.regs}
+
+	for !p.atEOF() {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("qasm: line %d: unexpected token %q", t.line, t.text)
+		}
+		switch t.text {
+		case "OPENQASM":
+			p.take()
+			v := p.take() // version number
+			if v.kind != tokNumber {
+				return nil, fmt.Errorf("qasm: line %d: bad version %q", v.line, v.text)
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+		case "include":
+			p.skipStatement()
+		case "barrier":
+			p.skipStatement()
+		case "qreg":
+			p.take()
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			size, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+			if p.sealed {
+				return nil, fmt.Errorf("qasm: line %d: qreg after first gate", id.line)
+			}
+			if _, dup := p.regs[id.text]; dup {
+				return nil, fmt.Errorf("qasm: line %d: register %q redeclared", id.line, id.text)
+			}
+			if size < 1 {
+				return nil, fmt.Errorf("qasm: line %d: register %q has size %d", id.line, id.text, size)
+			}
+			p.regs[id.text] = Register{Offset: p.width, Size: size}
+			p.width += size
+		case "creg":
+			p.take()
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+			size, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+			prog.CregSize += size
+		case "measure":
+			p.take()
+			if err := p.ensureCircuit(prog, name, t.line); err != nil {
+				return nil, err
+			}
+			q, err := p.parseQubitRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("->"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+			cbit, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+			prog.Measured[cbit] = q
+		case "gate", "opaque", "if", "reset":
+			// Custom gate definitions and classical control are outside
+			// the supported subset.
+			return nil, fmt.Errorf("qasm: line %d: %q unsupported", t.line, t.text)
+		default:
+			if err := p.ensureCircuit(prog, name, t.line); err != nil {
+				return nil, err
+			}
+			if err := p.parseGateStatement(prog.Circuit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if prog.Circuit == nil {
+		if p.width == 0 {
+			return nil, fmt.Errorf("qasm: no qreg declaration")
+		}
+		prog.Circuit = circuit.New(name, p.width)
+	}
+	return prog, nil
+}
+
+// parseIndex parses "[ n ]" and returns n.
+func (p *parser) parseIndex() (int, error) {
+	if err := p.expectSymbol("["); err != nil {
+		return 0, err
+	}
+	t := p.take()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("qasm: line %d: expected index, got %q", t.line, t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("qasm: line %d: bad index %q", t.line, t.text)
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// parseQubitRef parses "name[i]" and resolves it to a concatenated-space
+// qubit index.
+func (p *parser) parseQubitRef() (int, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return 0, err
+	}
+	reg, ok := p.regs[id.text]
+	if !ok {
+		return 0, fmt.Errorf("qasm: line %d: unknown register %q", id.line, id.text)
+	}
+	i, err := p.parseIndex()
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= reg.Size {
+		return 0, fmt.Errorf("qasm: line %d: qubit %s[%d] out of range", id.line, id.text, i)
+	}
+	return reg.Offset + i, nil
+}
+
+// gateTable maps QASM mnemonics to kinds and expected parameter counts.
+var gateTable = map[string]gate.Kind{
+	"id": gate.KindI, "x": gate.KindX, "y": gate.KindY, "z": gate.KindZ,
+	"h": gate.KindH, "s": gate.KindS, "sdg": gate.KindSdg,
+	"t": gate.KindT, "tdg": gate.KindTdg, "sx": gate.KindSX,
+	"rx": gate.KindRX, "ry": gate.KindRY, "rz": gate.KindRZ,
+	"p": gate.KindP, "u1": gate.KindP, "u3": gate.KindU3, "u": gate.KindU3,
+	"cx": gate.KindCX, "CX": gate.KindCX, "cy": gate.KindCY,
+	"cz": gate.KindCZ, "ch": gate.KindCH,
+	"cp": gate.KindCP, "cu1": gate.KindCP, "crz": gate.KindCRZ,
+	"crx": gate.KindCRX, "cry": gate.KindCRY,
+	"swap": gate.KindSWAP, "ccx": gate.KindCCX, "cswap": gate.KindCSWAP,
+}
+
+func (p *parser) parseGateStatement(c *circuit.Circuit) error {
+	id := p.take()
+	kind, ok := gateTable[id.text]
+	if !ok {
+		return fmt.Errorf("qasm: line %d: unknown gate %q", id.line, id.text)
+	}
+	var params []float64
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.take()
+		for {
+			v, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+			t := p.take()
+			if t.kind == tokSymbol && t.text == ")" {
+				break
+			}
+			if t.kind != tokSymbol || t.text != "," {
+				return fmt.Errorf("qasm: line %d: expected , or ) in params", t.line)
+			}
+		}
+	}
+	var qubits []int
+	for {
+		q, err := p.parseQubitRef()
+		if err != nil {
+			return err
+		}
+		qubits = append(qubits, q)
+		t := p.take()
+		if t.kind == tokSymbol && t.text == ";" {
+			break
+		}
+		if t.kind != tokSymbol || t.text != "," {
+			return fmt.Errorf("qasm: line %d: expected , or ; after qubit", t.line)
+		}
+	}
+	// "u" with two params is u2(phi, lambda) = u3(pi/2, phi, lambda).
+	if (id.text == "u" || id.text == "u2") && len(params) == 2 {
+		params = append([]float64{math.Pi / 2}, params...)
+		kind = gate.KindU3
+	}
+	g := gate.Gate{Kind: kind, Qubits: qubits, Params: params}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("qasm: line %d: %v", id.line, err)
+	}
+	c.Append(g)
+	return nil
+}
+
+// parseExpr evaluates a constant parameter expression with +,-,*,/,^,
+// parentheses, pi, and unary minus.
+func (p *parser) parseExpr() (float64, error) { return p.parseAddSub() }
+
+func (p *parser) parseAddSub() (float64, error) {
+	v, err := p.parseMulDiv()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.take()
+			rhs, err := p.parseMulDiv()
+			if err != nil {
+				return 0, err
+			}
+			if t.text == "+" {
+				v += rhs
+			} else {
+				v -= rhs
+			}
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (p *parser) parseMulDiv() (float64, error) {
+	v, err := p.parsePow()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.take()
+			rhs, err := p.parsePow()
+			if err != nil {
+				return 0, err
+			}
+			if t.text == "*" {
+				v *= rhs
+			} else {
+				if rhs == 0 {
+					return 0, fmt.Errorf("qasm: line %d: division by zero", t.line)
+				}
+				v /= rhs
+			}
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (p *parser) parsePow() (float64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "^" {
+		p.take()
+		rhs, err := p.parsePow() // right-associative
+		if err != nil {
+			return 0, err
+		}
+		return math.Pow(v, rhs), nil
+	}
+	return v, nil
+}
+
+func (p *parser) parseUnary() (float64, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "-" {
+		p.take()
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	if t.kind == tokSymbol && t.text == "+" {
+		p.take()
+		return p.parseUnary()
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (float64, error) {
+	t := p.take()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, fmt.Errorf("qasm: line %d: bad number %q", t.line, t.text)
+		}
+		return v, nil
+	case t.kind == tokIdent && t.text == "pi":
+		return math.Pi, nil
+	case t.kind == tokSymbol && t.text == "(":
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("qasm: line %d: unexpected %q in expression", t.line, t.text)
+}

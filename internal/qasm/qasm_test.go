@@ -1,0 +1,230 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/statevec"
+	"tqsim/internal/workloads"
+)
+
+const bellSrc = `
+OPENQASM 2.0;
+include "qelib1.inc";
+// a bell pair
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+
+func TestParseBell(t *testing.T) {
+	prog, err := Parse("bell", bellSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Circuit
+	if c.NumQubits != 2 || c.Len() != 2 {
+		t.Fatalf("parsed %d qubits, %d gates", c.NumQubits, c.Len())
+	}
+	if c.Gates[0].Kind != gate.KindH || c.Gates[1].Kind != gate.KindCX {
+		t.Fatalf("gates %v %v", c.Gates[0], c.Gates[1])
+	}
+	if prog.CregSize != 2 || len(prog.Measured) != 2 || prog.Measured[1] != 1 {
+		t.Fatalf("measurement bookkeeping wrong: %+v", prog)
+	}
+}
+
+func TestParseParameterExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+rz(pi/2) q[0];
+rz(-pi/4) q[0];
+rz(2*pi) q[0];
+rz(3.5e-1) q[0];
+rz((1+2)*pi) q[0];
+rz(2^3) q[0];
+u3(pi/2, 0, pi) q[0];
+`
+	prog, err := Parse("expr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Pi / 2, -math.Pi / 4, 2 * math.Pi, 0.35, 3 * math.Pi, 8}
+	for i, w := range want {
+		if got := prog.Circuit.Gates[i].Params[0]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("param %d = %v, want %v", i, got, w)
+		}
+	}
+	u3 := prog.Circuit.Gates[6]
+	if u3.Kind != gate.KindU3 || len(u3.Params) != 3 {
+		t.Fatalf("u3 parsed as %v", u3)
+	}
+}
+
+func TestParseU2AndU1Aliases(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+u1(0.5) q[0];
+u(0.1, 0.2) q[0];
+`
+	prog, err := Parse("alias", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Gates[0].Kind != gate.KindP {
+		t.Fatal("u1 should alias p")
+	}
+	u2 := prog.Circuit.Gates[1]
+	if u2.Kind != gate.KindU3 || math.Abs(u2.Params[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("u2 expansion wrong: %v", u2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no qreg", "OPENQASM 2.0; h q[0];"},
+		{"unknown gate", "OPENQASM 2.0; qreg q[2]; frobnicate q[0];"},
+		{"out of range", "OPENQASM 2.0; qreg q[2]; x q[5];"},
+		{"unknown register", "OPENQASM 2.0; qreg q[2]; x r[0];"},
+		{"custom gates", "OPENQASM 2.0; qreg q[1]; gate foo a { x a; }"},
+		{"division by zero", "OPENQASM 2.0; qreg q[1]; rz(1/0) q[0];"},
+		{"redeclared qreg", "OPENQASM 2.0; qreg q[1]; qreg q[2];"},
+		{"qreg after gate", "OPENQASM 2.0; qreg q[1]; x q[0]; qreg r[1];"},
+		{"zero-size qreg", "OPENQASM 2.0; qreg q[0]; "},
+		{"bad params", "OPENQASM 2.0; qreg q[1]; rz() q[0];"},
+		{"missing semicolon", "OPENQASM 2.0; qreg q[2]; x q[0]"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src); err == nil {
+			t.Errorf("%s: parse accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestMultipleRegisters(t *testing.T) {
+	// QASMBench-style: a data register plus an ancilla register,
+	// concatenated in declaration order.
+	src := `OPENQASM 2.0;
+qreg q[3];
+qreg anc[2];
+creg c[3];
+creg ca[2];
+h q[0];
+x anc[1];
+cx q[2], anc[0];
+measure anc[1] -> ca[1];
+`
+	prog, err := Parse("multi", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.NumQubits != 5 {
+		t.Fatalf("width %d, want 5", prog.Circuit.NumQubits)
+	}
+	if prog.Registers["q"].Offset != 0 || prog.Registers["anc"].Offset != 3 {
+		t.Fatalf("register layout %+v", prog.Registers)
+	}
+	if prog.CregSize != 5 {
+		t.Fatalf("creg size %d", prog.CregSize)
+	}
+	// x anc[1] must land on concatenated qubit 4.
+	if prog.Circuit.Gates[1].Qubits[0] != 4 {
+		t.Fatalf("ancilla gate on qubit %d", prog.Circuit.Gates[1].Qubits[0])
+	}
+	// cx q[2], anc[0] spans the registers: qubits 2 and 3.
+	cx := prog.Circuit.Gates[2]
+	if cx.Qubits[0] != 2 || cx.Qubits[1] != 3 {
+		t.Fatalf("cross-register cx on %v", cx.Qubits)
+	}
+	// Simulate: |q0 in +, anc1 flipped> — P(bit 4 set) = 1.
+	st := statevec.NewZero(5)
+	st.ApplyAll(prog.Circuit.Gates)
+	if p := st.Prob1(4); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("ancilla flip lost: %v", p)
+	}
+}
+
+func TestBarrierAndIncludeSkipped(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+barrier q[0], q[1];
+x q[1];
+`
+	prog, err := Parse("barrier", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 2 {
+		t.Fatalf("barrier not skipped: %d gates", prog.Circuit.Len())
+	}
+}
+
+func TestRoundTripSuiteCircuits(t *testing.T) {
+	// Serialize then re-parse suite circuits; final distributions must
+	// match exactly.
+	circuits := []string{"bv_n6", "qft_n8", "qpe_n4", "adder_n4_0"}
+	for _, name := range circuits {
+		c := workloads.ByName(name)
+		if c == nil {
+			t.Fatalf("suite circuit %s missing", name)
+		}
+		src, err := Serialize(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prog, err := Parse(name, src)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", name, err, src)
+		}
+		a := statevec.NewZero(c.NumQubits)
+		a.ApplyAll(c.Gates)
+		b := statevec.NewZero(prog.Circuit.NumQubits)
+		b.ApplyAll(prog.Circuit.Gates)
+		pa, pb := a.Probabilities(), b.Probabilities()
+		for i := range pa {
+			if math.Abs(pa[i]-pb[i]) > 1e-9 {
+				t.Fatalf("%s: round trip changed distribution at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSerializeRejectsUnitary(t *testing.T) {
+	c := workloads.QV(4, 1, true, 1) // haar blocks have no QASM form
+	if _, err := Serialize(c); err == nil {
+		t.Fatal("serialize accepted explicit unitary")
+	}
+}
+
+func TestSerializeFormat(t *testing.T) {
+	c := workloads.BV(4, 1)
+	src, err := Serialize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OPENQASM 2.0;", "qreg q[4];", "measure q[3] -> c[3];"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("serialized output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestLexerStringsAndComments(t *testing.T) {
+	lx := newLexer("// comment\nfoo \"bar\" 1.5e3")
+	t1, _ := lx.next()
+	t2, _ := lx.next()
+	t3, _ := lx.next()
+	if t1.text != "foo" || t2.text != "bar" || t3.text != "1.5e3" {
+		t.Fatalf("lexer gave %q %q %q", t1.text, t2.text, t3.text)
+	}
+	if t1.line != 2 {
+		t.Fatalf("line tracking wrong: %d", t1.line)
+	}
+}

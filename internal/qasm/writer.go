@@ -1,0 +1,63 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+)
+
+// kindToQASM maps gate kinds back to QASM mnemonics. KindUnitary has no
+// QASM 2.0 representation and is rejected by Serialize.
+var kindToQASM = map[gate.Kind]string{
+	gate.KindI: "id", gate.KindX: "x", gate.KindY: "y", gate.KindZ: "z",
+	gate.KindH: "h", gate.KindS: "s", gate.KindSdg: "sdg",
+	gate.KindT: "t", gate.KindTdg: "tdg", gate.KindSX: "sx",
+	gate.KindRX: "rx", gate.KindRY: "ry", gate.KindRZ: "rz",
+	gate.KindP: "p", gate.KindU3: "u3",
+	gate.KindCX: "cx", gate.KindCY: "cy", gate.KindCZ: "cz",
+	gate.KindCH: "ch", gate.KindCP: "cp", gate.KindCRZ: "crz",
+	gate.KindCRX: "crx", gate.KindCRY: "cry",
+	gate.KindSWAP: "swap", gate.KindCCX: "ccx", gate.KindCSWAP: "cswap",
+}
+
+// Serialize renders a circuit as OpenQASM 2.0 with a terminal full-register
+// measurement. Gates without a QASM representation (explicit unitaries,
+// sqrt-Y, sqrt-W) return an error.
+func Serialize(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		name, ok := kindToQASM[g.Kind]
+		if !ok {
+			return "", fmt.Errorf("qasm: gate %s has no QASM 2.0 form", g.Kind)
+		}
+		b.WriteString(name)
+		if len(g.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range g.Params {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%.17g", p)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", q, q)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,258 @@
+// Package qmath provides the dense complex linear algebra the simulator is
+// built on: small square matrices for gate and Kraus operators, Kronecker
+// products, Householder QR, and Haar-random unitary generation.
+//
+// Everything is hand-written over complex128 slices. Go has no mature BLAS
+// for complex matrices; the operators in a gate-based simulator are tiny
+// (2x2 to 8x8), so straightforward loops are both the simplest and the
+// fastest option here. The hot path — applying a small matrix to an
+// exponentially large state vector — lives in internal/statevec, not here.
+package qmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, square, row-major complex matrix.
+type Matrix struct {
+	N    int          // dimension
+	Data []complex128 // len N*N, row-major
+}
+
+// NewMatrix returns the zero matrix of dimension n.
+func NewMatrix(n int) Matrix {
+	if n <= 0 {
+		panic("qmath: matrix dimension must be positive")
+	}
+	return Matrix{N: n, Data: make([]complex128, n*n)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length
+// matching the number of rows.
+func FromRows(rows [][]complex128) Matrix {
+	n := len(rows)
+	m := NewMatrix(n)
+	for i, row := range rows {
+		if len(row) != n {
+			panic(fmt.Sprintf("qmath: row %d has %d entries, want %d", i, len(row), n))
+		}
+		copy(m.Data[i*n:(i+1)*n], row)
+	}
+	return m
+}
+
+// Identity returns the n-dimensional identity matrix.
+func Identity(n int) Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) complex128 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, v complex128) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy of m.
+func (m Matrix) Clone() Matrix {
+	c := Matrix{N: m.N, Data: make([]complex128, len(m.Data))}
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b Matrix) Matrix {
+	if a.N != b.N {
+		panic("qmath: dimension mismatch in Mul")
+	}
+	n := a.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m Matrix) MulVec(v []complex128) []complex128 {
+	if len(v) != m.N {
+		panic("qmath: dimension mismatch in MulVec")
+	}
+	out := make([]complex128, m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		var acc complex128
+		for j, x := range row {
+			acc += x * v[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b Matrix) Matrix {
+	if a.N != b.N {
+		panic("qmath: dimension mismatch in Add")
+	}
+	out := NewMatrix(a.N)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b.
+func Sub(a, b Matrix) Matrix {
+	if a.N != b.N {
+		panic("qmath: dimension mismatch in Sub")
+	}
+	out := NewMatrix(a.N)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m Matrix) Scale(s complex128) Matrix {
+	out := NewMatrix(m.N)
+	for i, x := range m.Data {
+		out.Data[i] = s * x
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Matrix) Dagger() Matrix {
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*n+i] = cmplx.Conj(m.Data[i*n+j])
+		}
+	}
+	return out
+}
+
+// Trace returns the trace of m.
+func (m Matrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < m.N; i++ {
+		t += m.Data[i*m.N+i]
+	}
+	return t
+}
+
+// Kron returns the Kronecker product a ⊗ b.
+func Kron(a, b Matrix) Matrix {
+	n := a.N * b.N
+	out := NewMatrix(n)
+	for ia := 0; ia < a.N; ia++ {
+		for ja := 0; ja < a.N; ja++ {
+			av := a.At(ia, ja)
+			if av == 0 {
+				continue
+			}
+			for ib := 0; ib < b.N; ib++ {
+				for jb := 0; jb < b.N; jb++ {
+					out.Set(ia*b.N+ib, ja*b.N+jb, av*b.At(ib, jb))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference |a-b|.
+func MaxAbsDiff(a, b Matrix) float64 {
+	if a.N != b.N {
+		panic("qmath: dimension mismatch in MaxAbsDiff")
+	}
+	var max float64
+	for i := range a.Data {
+		d := cmplx.Abs(a.Data[i] - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsUnitary reports whether m†m is the identity within tol.
+func (m Matrix) IsUnitary(tol float64) bool {
+	return MaxAbsDiff(Mul(m.Dagger(), m), Identity(m.N)) <= tol
+}
+
+// IsHermitian reports whether m equals its conjugate transpose within tol.
+func (m Matrix) IsHermitian(tol float64) bool {
+	return MaxAbsDiff(m, m.Dagger()) <= tol
+}
+
+// String renders the matrix for debugging.
+func (m Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.N; i++ {
+		b.WriteByte('[')
+		for j := 0; j < m.N; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "%.4g%+.4gi", real(v), imag(v))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// VecNorm returns the Euclidean norm of v.
+func VecNorm(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// VecInner returns the inner product <a|b> (a conjugated).
+func VecInner(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic("qmath: dimension mismatch in VecInner")
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// VecDistance returns the Euclidean norm of a-b.
+func VecDistance(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("qmath: dimension mismatch in VecDistance")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,245 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"tqsim/internal/rng"
+)
+
+const tol = 1e-10
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("identity[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	m := RandomGinibre(5, r)
+	if d := MaxAbsDiff(Mul(m, Identity(5)), m); d > tol {
+		t.Fatalf("m*I differs from m by %v", d)
+	}
+	if d := MaxAbsDiff(Mul(Identity(5), m), m); d > tol {
+		t.Fatalf("I*m differs from m by %v", d)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	r := rng.New(2)
+	a, b, c := RandomGinibre(4, r), RandomGinibre(4, r), RandomGinibre(4, r)
+	left := Mul(Mul(a, b), c)
+	right := Mul(a, Mul(b, c))
+	if d := MaxAbsDiff(left, right); d > 1e-8 {
+		t.Fatalf("matmul not associative: diff %v", d)
+	}
+}
+
+func TestMulVecAgreesWithMul(t *testing.T) {
+	r := rng.New(3)
+	a, b := RandomGinibre(4, r), RandomGinibre(4, r)
+	// (a*b) column 0 equals a.MulVec(b column 0).
+	col := make([]complex128, 4)
+	for i := range col {
+		col[i] = b.At(i, 0)
+	}
+	viaVec := a.MulVec(col)
+	prod := Mul(a, b)
+	for i := range viaVec {
+		if cmplx.Abs(viaVec[i]-prod.At(i, 0)) > tol {
+			t.Fatalf("MulVec disagrees with Mul at row %d", i)
+		}
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	r := rng.New(4)
+	m := RandomGinibre(6, r)
+	if d := MaxAbsDiff(m.Dagger().Dagger(), m); d > tol {
+		t.Fatalf("dagger not an involution: %v", d)
+	}
+}
+
+func TestDaggerOfProduct(t *testing.T) {
+	r := rng.New(5)
+	a, b := RandomGinibre(3, r), RandomGinibre(3, r)
+	lhs := Mul(a, b).Dagger()
+	rhs := Mul(b.Dagger(), a.Dagger())
+	if d := MaxAbsDiff(lhs, rhs); d > 1e-9 {
+		t.Fatalf("(ab)† != b†a†: %v", d)
+	}
+}
+
+func TestKronDimensions(t *testing.T) {
+	a, b := Identity(2), Identity(4)
+	if got := Kron(a, b).N; got != 8 {
+		t.Fatalf("kron dimension %d, want 8", got)
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	r := rng.New(6)
+	a, b := RandomGinibre(2, r), RandomGinibre(2, r)
+	c, d := RandomGinibre(2, r), RandomGinibre(2, r)
+	lhs := Mul(Kron(a, b), Kron(c, d))
+	rhs := Kron(Mul(a, c), Mul(b, d))
+	if diff := MaxAbsDiff(lhs, rhs); diff > 1e-9 {
+		t.Fatalf("(A⊗B)(C⊗D) != (AC)⊗(BD): %v", diff)
+	}
+}
+
+func TestKronIdentityTrace(t *testing.T) {
+	r := rng.New(7)
+	m := RandomGinibre(3, r)
+	k := Kron(m, Identity(2))
+	if d := cmplx.Abs(k.Trace() - 2*m.Trace()); d > tol {
+		t.Fatalf("tr(M⊗I2) != 2 tr(M): %v", d)
+	}
+}
+
+func TestTraceLinear(t *testing.T) {
+	r := rng.New(8)
+	a, b := RandomGinibre(4, r), RandomGinibre(4, r)
+	if d := cmplx.Abs(Add(a, b).Trace() - a.Trace() - b.Trace()); d > tol {
+		t.Fatalf("trace not additive: %v", d)
+	}
+}
+
+func TestScaleSub(t *testing.T) {
+	r := rng.New(9)
+	m := RandomGinibre(3, r)
+	if d := MaxAbsDiff(Sub(m.Scale(2), m), m); d > tol {
+		t.Fatalf("2m - m != m: %v", d)
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]complex128{{1, 2}, {3}})
+}
+
+func TestRandomUnitaryIsUnitary(t *testing.T) {
+	r := rng.New(10)
+	for _, n := range []int{2, 3, 4, 8} {
+		for rep := 0; rep < 5; rep++ {
+			u := RandomUnitary(n, r)
+			if !u.IsUnitary(1e-9) {
+				t.Fatalf("RandomUnitary(%d) not unitary:\n%v", n, u)
+			}
+		}
+	}
+}
+
+func TestRandomUnitaryPreservesNorm(t *testing.T) {
+	r := rng.New(11)
+	u := RandomUnitary(8, r)
+	v := make([]complex128, 8)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	before := VecNorm(v)
+	after := VecNorm(u.MulVec(v))
+	if math.Abs(before-after) > 1e-9 {
+		t.Fatalf("unitary changed norm: %v -> %v", before, after)
+	}
+}
+
+func TestRandomUnitaryHaarPhaseSpread(t *testing.T) {
+	// The (0,0) entry phase of Haar unitaries is uniform; a naive QR
+	// without phase correction clusters it. Check both half-planes occur.
+	r := rng.New(12)
+	neg, pos := 0, 0
+	for i := 0; i < 200; i++ {
+		u := RandomUnitary(2, r)
+		if real(u.At(0, 0)) < 0 {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	if neg < 40 || pos < 40 {
+		t.Fatalf("phase distribution skewed: neg=%d pos=%d", neg, pos)
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	r := rng.New(13)
+	a := RandomGinibre(5, r)
+	q, rr := qrHouseholder(a)
+	if !q.IsUnitary(1e-9) {
+		t.Fatal("QR produced non-unitary Q")
+	}
+	if d := MaxAbsDiff(Mul(q, rr), a); d > 1e-9 {
+		t.Fatalf("QR does not reconstruct A: %v", d)
+	}
+	// R upper triangular.
+	for i := 1; i < 5; i++ {
+		for j := 0; j < i; j++ {
+			if cmplx.Abs(rr.At(i, j)) > 1e-9 {
+				t.Fatalf("R[%d][%d] = %v not zero", i, j, rr.At(i, j))
+			}
+		}
+	}
+}
+
+func TestVecInnerProperties(t *testing.T) {
+	check := func(ar, ai, br, bi int8) bool {
+		a := []complex128{complex(float64(ar), float64(ai)), 1}
+		b := []complex128{complex(float64(br), float64(bi)), 2i}
+		// <a|b> = conj(<b|a>)
+		return cmplx.Abs(VecInner(a, b)-cmplx.Conj(VecInner(b, a))) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecDistanceZero(t *testing.T) {
+	v := []complex128{1, 2i, complex(3, 4)}
+	if d := VecDistance(v, v); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+func TestVecNormUnit(t *testing.T) {
+	v := []complex128{complex(1/math.Sqrt2, 0), complex(0, 1/math.Sqrt2)}
+	if d := math.Abs(VecNorm(v) - 1); d > tol {
+		t.Fatalf("norm deviates: %v", d)
+	}
+}
+
+func TestIsHermitian(t *testing.T) {
+	h := FromRows([][]complex128{{2, 1i}, {-1i, 3}})
+	if !h.IsHermitian(tol) {
+		t.Fatal("hermitian matrix not recognized")
+	}
+	n := FromRows([][]complex128{{0, 1}, {2, 0}})
+	if n.IsHermitian(tol) {
+		t.Fatal("non-hermitian matrix accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone aliases parent storage")
+	}
+}

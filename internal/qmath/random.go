@@ -1,0 +1,110 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+
+	"tqsim/internal/rng"
+)
+
+// RandomGinibre returns an n x n matrix with i.i.d. standard complex
+// Gaussian entries (a Ginibre ensemble sample).
+func RandomGinibre(n int, r *rng.RNG) Matrix {
+	m := NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return m
+}
+
+// qrHouseholder factors a into q*r with q unitary and r upper triangular,
+// using Householder reflections. a is not modified.
+func qrHouseholder(a Matrix) (q, r Matrix) {
+	n := a.N
+	r = a.Clone()
+	q = Identity(n)
+	for k := 0; k < n-1; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var normx float64
+		for i := k; i < n; i++ {
+			v := r.At(i, k)
+			normx += real(v)*real(v) + imag(v)*imag(v)
+		}
+		normx = math.Sqrt(normx)
+		if normx == 0 {
+			continue
+		}
+		akk := r.At(k, k)
+		// alpha = -e^{i*arg(akk)} * |x| makes the reflection stable.
+		phase := complex(1, 0)
+		if akk != 0 {
+			phase = akk / complex(cmplx.Abs(akk), 0)
+		}
+		alpha := -phase * complex(normx, 0)
+		v := make([]complex128, n)
+		v[k] = r.At(k, k) - alpha
+		for i := k + 1; i < n; i++ {
+			v[i] = r.At(i, k)
+		}
+		var vnorm2 float64
+		for i := k; i < n; i++ {
+			vnorm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2 v v† / |v|² to r (left) and accumulate into q.
+		applyHouseholderLeft(r, v, vnorm2, k)
+		applyHouseholderRight(q, v, vnorm2, k)
+	}
+	return q, r
+}
+
+func applyHouseholderLeft(m Matrix, v []complex128, vnorm2 float64, k int) {
+	n := m.N
+	for j := 0; j < n; j++ {
+		var dot complex128
+		for i := k; i < n; i++ {
+			dot += cmplx.Conj(v[i]) * m.At(i, j)
+		}
+		f := dot * complex(2/vnorm2, 0)
+		for i := k; i < n; i++ {
+			m.Set(i, j, m.At(i, j)-f*v[i])
+		}
+	}
+}
+
+func applyHouseholderRight(m Matrix, v []complex128, vnorm2 float64, k int) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		var dot complex128
+		for j := k; j < n; j++ {
+			dot += m.At(i, j) * v[j]
+		}
+		f := dot * complex(2/vnorm2, 0)
+		for j := k; j < n; j++ {
+			m.Set(i, j, m.At(i, j)-f*cmplx.Conj(v[j]))
+		}
+	}
+}
+
+// RandomUnitary returns an n x n unitary matrix drawn from the Haar measure.
+// It QR-factors a Ginibre sample and fixes the phase ambiguity by scaling
+// each column of Q with the phase of the corresponding diagonal of R, per
+// Mezzadri, "How to generate random matrices from the classical compact
+// groups" (2007).
+func RandomUnitary(n int, r *rng.RNG) Matrix {
+	g := RandomGinibre(n, r)
+	q, rr := qrHouseholder(g)
+	for j := 0; j < n; j++ {
+		d := rr.At(j, j)
+		var ph complex128 = 1
+		if d != 0 {
+			ph = d / complex(cmplx.Abs(d), 0)
+		}
+		for i := 0; i < n; i++ {
+			q.Set(i, j, q.At(i, j)*ph)
+		}
+	}
+	return q
+}

@@ -1,0 +1,101 @@
+package redunelim
+
+import (
+	"testing"
+
+	"tqsim/internal/noise"
+	"tqsim/internal/workloads"
+)
+
+func TestZeroNoiseFullyDeduplicates(t *testing.T) {
+	// With no noise every shot is identical: unique work = one pass.
+	c := workloads.BV(8, workloads.BVSecret(8))
+	a := Analyze(c, noise.NewDepolarizing(0, 0), 100, 1)
+	if a.UniqueOps != int64(c.Len()) {
+		t.Fatalf("unique ops %d, want %d", a.UniqueOps, c.Len())
+	}
+	if a.NormalizedComputation >= 0.02 {
+		t.Fatalf("normalized computation %v", a.NormalizedComputation)
+	}
+}
+
+func TestNormalizedComputationBounded(t *testing.T) {
+	c := workloads.QFT(8, true)
+	a := Analyze(c, noise.NewSycamore(), 200, 2)
+	if a.NormalizedComputation <= 0 || a.NormalizedComputation > 1 {
+		t.Fatalf("normalized computation %v out of (0,1]", a.NormalizedComputation)
+	}
+	if a.BaselineOps != int64(200*c.Len()) {
+		t.Fatalf("baseline ops %d", a.BaselineOps)
+	}
+}
+
+func TestRedundancyDropsWithGateCount(t *testing.T) {
+	// The paper's Figure 19 argument: dedup pays on short circuits and
+	// collapses as gate count grows (distinct noise histories).
+	// Redundancy is governed by the expected error events per trajectory
+	// (error mass), which grows with gate count at fixed rates.
+	m := noise.NewSycamore()
+	short := Analyze(workloads.BV(6, workloads.BVSecret(6)), m, 500, 3)
+	medium := Analyze(workloads.QFT(10, true), m, 500, 3)
+	long := Analyze(workloads.QFT(14, true), m, 500, 3)
+	if short.NormalizedComputation >= medium.NormalizedComputation {
+		t.Fatalf("short %v should dedup better than medium %v",
+			short.NormalizedComputation, medium.NormalizedComputation)
+	}
+	if medium.NormalizedComputation >= long.NormalizedComputation {
+		t.Fatalf("medium %v should dedup better than long %v",
+			medium.NormalizedComputation, long.NormalizedComputation)
+	}
+	// ~500 gates at Sycamore rates: most work cannot dedup — the regime
+	// where TQSim wins in Figure 19.
+	if long.NormalizedComputation < 0.5 {
+		t.Fatalf("long circuit deduped implausibly well: %v", long.NormalizedComputation)
+	}
+	if short.NormalizedComputation > 0.2 {
+		t.Fatalf("short circuit deduped too little: %v", short.NormalizedComputation)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	c := workloads.QFT(6, true)
+	m := noise.NewSycamore()
+	a := Analyze(c, m, 100, 7)
+	b := Analyze(c, m, 100, 7)
+	if a.UniqueOps != b.UniqueOps {
+		t.Fatal("analysis not deterministic")
+	}
+	other := Analyze(c, m, 100, 8)
+	if other.UniqueOps == a.UniqueOps && other.PrefixStates == a.PrefixStates {
+		t.Log("different seeds gave identical stats (possible but unlikely)")
+	}
+}
+
+func TestHigherNoiseLessRedundancy(t *testing.T) {
+	c := workloads.QFT(8, true)
+	low := Analyze(c, noise.NewDepolarizing(0.0005, 0.002), 300, 5)
+	high := Analyze(c, noise.NewDepolarizing(0.01, 0.05), 300, 5)
+	if low.NormalizedComputation >= high.NormalizedComputation {
+		t.Fatalf("low noise %v should dedup better than high noise %v",
+			low.NormalizedComputation, high.NormalizedComputation)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	c := workloads.BV(4, 1)
+	a := Analyze(c, noise.NewSycamore(), 0, 1)
+	if a.UniqueOps != 0 || a.NormalizedComputation != 0 {
+		t.Fatalf("empty analysis wrong: %+v", a)
+	}
+}
+
+func TestPrefixStatesGrowth(t *testing.T) {
+	c := workloads.QFT(8, true)
+	a := Analyze(c, noise.NewSycamore(), 100, 9)
+	// The method must track at least one state per gate level and at most
+	// shots * gates.
+	if a.PrefixStates < int64(c.Len()) || a.PrefixStates > int64(100*c.Len()) {
+		t.Fatalf("prefix states %d outside [%d, %d]",
+			a.PrefixStates, c.Len(), 100*c.Len())
+	}
+}

@@ -1,0 +1,180 @@
+// Package rng provides a small, fast, deterministic and splittable
+// pseudo-random number generator used throughout the simulator.
+//
+// Reproducibility is a first-class requirement for a Monte Carlo trajectory
+// simulator: a seed plus a circuit must always reproduce the same set of
+// noisy trajectories, independent of goroutine scheduling. The generator is
+// xoshiro256** seeded through SplitMix64, following the reference
+// constructions by Blackman and Vigna. Each logical stream (a shot, a tree
+// node, a cluster node) derives its own child generator via Split, so
+// parallel work never contends on a shared source and never depends on
+// execution order.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// instances with New or Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next value.
+// It is used only for seeding, as recommended by the xoshiro authors.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Distinct seeds yield
+// statistically independent streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream identified by seed.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
+	// xoshiro must not start from the all-zero state.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Split derives an independent child generator. The child stream is keyed by
+// the parent stream so that sibling splits are decorrelated; the parent
+// advances exactly once.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// SplitAt derives a child generator keyed by both the parent stream and a
+// caller-supplied index. Unlike Split, it does not advance the parent, so
+// children can be created in any order (or in parallel) with identical
+// results. Useful for per-shot and per-node streams.
+func (r *RNG) SplitAt(index uint64) *RNG {
+	// Hash the current state with the index through SplitMix64.
+	sm := r.s0 ^ rotl(r.s2, 13) ^ (index * 0xd1342543de82ef95)
+	return New(splitMix64(&sm))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high bits give a uniform dyadic rational in [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		threshold := -uint64(n) % uint64(n)
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method. Used for Haar-random unitary generation.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Choice samples an index from the (not necessarily normalized) weight
+// vector w. It panics when all weights are zero or negative.
+func (r *RNG) Choice(w []float64) int {
+	var total float64
+	for _, x := range w {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 {
+		panic("rng: Choice with non-positive total weight")
+	}
+	target := r.Float64() * total
+	var acc float64
+	for i, x := range w {
+		if x <= 0 {
+			continue
+		}
+		acc += x
+		if target < acc {
+			return i
+		}
+	}
+	// Numerical slack: return the last positive-weight index.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

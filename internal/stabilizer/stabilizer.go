@@ -1,0 +1,360 @@
+// Package stabilizer implements a CHP-style tableau simulator (Aaronson &
+// Gottesman 2004) for Clifford circuits under Pauli noise. The paper notes
+// (§4.2) that the BV benchmark is Clifford-only and therefore admits exact
+// polynomial-time stabilizer simulation under Pauli channels; this package
+// provides that independent oracle, which the test suite uses to cross-check
+// the state-vector trajectory engine on Clifford workloads.
+//
+// The tableau stores 2n+1 rows of X/Z bit matrices plus sign bits: rows
+// 0..n-1 are destabilizers, rows n..2n-1 stabilizers, and row 2n is
+// scratch for measurement.
+package stabilizer
+
+import (
+	"fmt"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/rng"
+)
+
+// Tableau is the stabilizer state of an n-qubit system.
+type Tableau struct {
+	n int
+	// x[i][j], z[i][j] are the X/Z parts of row i for qubit j, packed in
+	// uint64 words.
+	x, z  [][]uint64
+	r     []uint8 // phase bits (0 or 1, meaning +1 or -1)
+	words int
+}
+
+// New returns the |0...0> stabilizer state.
+func New(n int) *Tableau {
+	if n < 1 {
+		panic("stabilizer: need at least one qubit")
+	}
+	words := (n + 63) / 64
+	t := &Tableau{n: n, words: words}
+	rows := 2*n + 1
+	t.x = make([][]uint64, rows)
+	t.z = make([][]uint64, rows)
+	t.r = make([]uint8, rows)
+	for i := range t.x {
+		t.x[i] = make([]uint64, words)
+		t.z[i] = make([]uint64, words)
+	}
+	for i := 0; i < n; i++ {
+		t.setX(i, i, true)   // destabilizer i = X_i
+		t.setZ(n+i, i, true) // stabilizer i = Z_i
+	}
+	return t
+}
+
+// NumQubits returns n.
+func (t *Tableau) NumQubits() int { return t.n }
+
+func (t *Tableau) getX(row, q int) bool { return t.x[row][q/64]>>(uint(q)%64)&1 == 1 }
+func (t *Tableau) getZ(row, q int) bool { return t.z[row][q/64]>>(uint(q)%64)&1 == 1 }
+
+func (t *Tableau) setX(row, q int, v bool) {
+	if v {
+		t.x[row][q/64] |= 1 << (uint(q) % 64)
+	} else {
+		t.x[row][q/64] &^= 1 << (uint(q) % 64)
+	}
+}
+
+func (t *Tableau) setZ(row, q int, v bool) {
+	if v {
+		t.z[row][q/64] |= 1 << (uint(q) % 64)
+	} else {
+		t.z[row][q/64] &^= 1 << (uint(q) % 64)
+	}
+}
+
+// H applies a Hadamard to qubit q.
+func (t *Tableau) H(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		xi, zi := t.getX(i, q), t.getZ(i, q)
+		if xi && zi {
+			t.r[i] ^= 1
+		}
+		t.setX(i, q, zi)
+		t.setZ(i, q, xi)
+	}
+}
+
+// S applies the phase gate to qubit q.
+func (t *Tableau) S(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		xi, zi := t.getX(i, q), t.getZ(i, q)
+		if xi && zi {
+			t.r[i] ^= 1
+		}
+		t.setZ(i, q, zi != xi)
+	}
+}
+
+// X applies Pauli-X (= HZH; flips stabilizer phases with Z on q).
+func (t *Tableau) X(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		if t.getZ(i, q) {
+			t.r[i] ^= 1
+		}
+	}
+}
+
+// Z applies Pauli-Z.
+func (t *Tableau) Z(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		if t.getX(i, q) {
+			t.r[i] ^= 1
+		}
+	}
+}
+
+// Y applies Pauli-Y (= iXZ; phase flips where X xor Z acts).
+func (t *Tableau) Y(q int) {
+	t.Z(q)
+	t.X(q)
+}
+
+// CX applies a CNOT with control c and target g.
+func (t *Tableau) CX(c, g int) {
+	for i := 0; i < 2*t.n; i++ {
+		xc, zc := t.getX(i, c), t.getZ(i, c)
+		xt, zt := t.getX(i, g), t.getZ(i, g)
+		if xc && zt && (xt == zc) {
+			t.r[i] ^= 1
+		}
+		t.setX(i, g, xt != xc)
+		t.setZ(i, c, zc != zt)
+	}
+}
+
+// CZ applies a controlled-Z (H on target conjugating CX).
+func (t *Tableau) CZ(a, b int) {
+	t.H(b)
+	t.CX(a, b)
+	t.H(b)
+}
+
+// rowsum implements the CHP "rowsum" operation: row h *= row i, tracking
+// the phase exponent mod 4.
+func (t *Tableau) rowsum(h, i int) {
+	// Phase exponent accumulates 2*r_h + 2*r_i + sum of g() terms.
+	phase := 2*int(t.r[h]) + 2*int(t.r[i])
+	for q := 0; q < t.n; q++ {
+		x1, z1 := t.getX(i, q), t.getZ(i, q)
+		x2, z2 := t.getX(h, q), t.getZ(h, q)
+		phase += gPhase(x1, z1, x2, z2)
+		t.setX(h, q, x1 != x2)
+		t.setZ(h, q, z1 != z2)
+	}
+	phase %= 4
+	if phase < 0 {
+		phase += 4
+	}
+	if phase == 0 {
+		t.r[h] = 0
+	} else if phase == 2 {
+		t.r[h] = 1
+	} else {
+		panic("stabilizer: rowsum produced imaginary phase")
+	}
+}
+
+// gPhase is the CHP g function: the exponent of i contributed when the
+// Pauli with bits (x1,z1) multiplies (x2,z2).
+func gPhase(x1, z1, x2, z2 bool) int {
+	switch {
+	case !x1 && !z1:
+		return 0
+	case x1 && z1: // Y
+		return b2i(z2) - b2i(x2)
+	case x1 && !z1: // X
+		if z2 && x2 {
+			return 1
+		}
+		if z2 && !x2 {
+			return -1
+		}
+		return 0
+	default: // Z
+		if x2 && !z2 {
+			return 1
+		}
+		if x2 && z2 {
+			return -1
+		}
+		return 0
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Measure measures qubit q in the computational basis, returning the
+// outcome bit. Random outcomes draw from r.
+func (t *Tableau) Measure(q int, r *rng.RNG) int {
+	n := t.n
+	// Case 1: some stabilizer anticommutes with Z_q (has X on q) —
+	// outcome is random.
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if t.getX(i, q) {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		for i := 0; i < 2*n; i++ {
+			if i != p && t.getX(i, q) {
+				t.rowsum(i, p)
+			}
+		}
+		// Destabilizer row p-n gets the old stabilizer; stabilizer p
+		// becomes ±Z_q.
+		copy(t.x[p-n], t.x[p])
+		copy(t.z[p-n], t.z[p])
+		t.r[p-n] = t.r[p]
+		for w := 0; w < t.words; w++ {
+			t.x[p][w] = 0
+			t.z[p][w] = 0
+		}
+		t.setZ(p, q, true)
+		out := uint8(0)
+		if r.Float64() < 0.5 {
+			out = 1
+		}
+		t.r[p] = out
+		return int(out)
+	}
+	// Case 2: deterministic — accumulate into the scratch row.
+	scratch := 2 * n
+	for w := 0; w < t.words; w++ {
+		t.x[scratch][w] = 0
+		t.z[scratch][w] = 0
+	}
+	t.r[scratch] = 0
+	for i := 0; i < n; i++ {
+		if t.getX(i, q) {
+			t.rowsum(scratch, i+n)
+		}
+	}
+	return int(t.r[scratch])
+}
+
+// MeasureAll measures every qubit (in order) and returns the packed
+// outcome.
+func (t *Tableau) MeasureAll(r *rng.RNG) uint64 {
+	if t.n > 64 {
+		panic("stabilizer: MeasureAll supports at most 64 qubits")
+	}
+	var out uint64
+	for q := 0; q < t.n; q++ {
+		if t.Measure(q, r) == 1 {
+			out |= 1 << uint(q)
+		}
+	}
+	return out
+}
+
+// Apply applies a Clifford gate instance. Non-Clifford kinds return an
+// error.
+func (t *Tableau) Apply(g gate.Gate) error {
+	switch g.Kind {
+	case gate.KindI:
+	case gate.KindX:
+		t.X(g.Qubits[0])
+	case gate.KindY:
+		t.Y(g.Qubits[0])
+	case gate.KindZ:
+		t.Z(g.Qubits[0])
+	case gate.KindH:
+		t.H(g.Qubits[0])
+	case gate.KindS:
+		t.S(g.Qubits[0])
+	case gate.KindSdg:
+		t.S(g.Qubits[0])
+		t.Z(g.Qubits[0])
+	case gate.KindCX:
+		t.CX(g.Qubits[0], g.Qubits[1])
+	case gate.KindCZ:
+		t.CZ(g.Qubits[0], g.Qubits[1])
+	case gate.KindSWAP:
+		a, b := g.Qubits[0], g.Qubits[1]
+		t.CX(a, b)
+		t.CX(b, a)
+		t.CX(a, b)
+	default:
+		return fmt.Errorf("stabilizer: %s is not a supported Clifford gate", g.Kind)
+	}
+	return nil
+}
+
+// IsClifford reports whether every gate of the circuit is in the supported
+// Clifford set.
+func IsClifford(c *circuit.Circuit) bool {
+	probe := New(c.NumQubits)
+	for _, g := range c.Gates {
+		if err := probe.Apply(g); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// RunNoisy performs one Pauli-noise trajectory of a Clifford circuit:
+// depolarizing insertions after each gate at the given rates, then a full
+// measurement. It returns an error for non-Clifford gates.
+func RunNoisy(c *circuit.Circuit, p1, p2 float64, r *rng.RNG) (uint64, error) {
+	t := New(c.NumQubits)
+	applyPauli := func(q, idx int) {
+		switch idx {
+		case 1:
+			t.X(q)
+		case 2:
+			t.Y(q)
+		case 3:
+			t.Z(q)
+		}
+	}
+	for _, g := range c.Gates {
+		if err := t.Apply(g); err != nil {
+			return 0, err
+		}
+		if g.Arity() == 1 {
+			if p1 > 0 && r.Float64() < p1 {
+				applyPauli(g.Qubits[0], 1+r.Intn(3))
+			}
+		} else if p2 > 0 && r.Float64() < p2 {
+			k := 1 + r.Intn(15)
+			if a := k & 3; a != 0 {
+				applyPauli(g.Qubits[0], a)
+			}
+			if b := k >> 2; b != 0 {
+				applyPauli(g.Qubits[1], b)
+			}
+		}
+	}
+	return t.MeasureAll(r), nil
+}
+
+// Counts runs `shots` noisy Clifford trajectories and histograms outcomes.
+func Counts(c *circuit.Circuit, p1, p2 float64, shots int, seed uint64) (map[uint64]int, error) {
+	root := rng.New(seed)
+	out := make(map[uint64]int)
+	for s := 0; s < shots; s++ {
+		v, err := RunNoisy(c, p1, p2, root.SplitAt(uint64(s)))
+		if err != nil {
+			return nil, err
+		}
+		out[v]++
+	}
+	return out, nil
+}

@@ -1,0 +1,538 @@
+// Package statevec implements the Schrödinger-style state-vector engine the
+// whole simulator runs on: 2^n complex amplitudes, in-place gate kernels with
+// fast paths for the common gates, goroutine-parallel application for large
+// registers, outcome sampling, and the inner-product machinery the fidelity
+// metrics need.
+//
+// Convention: basis index bit i is qubit i (little-endian). For a multi-qubit
+// gate, the first entry of Gate.Qubits is the least significant bit of the
+// gate matrix's basis index, matching internal/gate.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+)
+
+// ParallelThreshold is the amplitude count above which gate kernels split
+// across goroutines. Below it the goroutine fan-out costs more than it saves.
+// It is a variable, not a constant, so benchmarks can ablate it.
+var ParallelThreshold = 1 << 14
+
+// State is an n-qubit pure state.
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// NewZero returns |0...0> on n qubits.
+func NewZero(n int) *State {
+	if n < 1 || n > 30 {
+		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s
+}
+
+// NewBasis returns the computational basis state |index> on n qubits.
+func NewBasis(n int, index uint64) *State {
+	s := NewZero(n)
+	if index >= uint64(len(s.amps)) {
+		panic("statevec: basis index out of range")
+	}
+	s.amps[0] = 0
+	s.amps[index] = 1
+	return s
+}
+
+// FromAmplitudes builds a state from an amplitude slice (copied). The length
+// must be a power of two.
+func FromAmplitudes(amps []complex128) *State {
+	n := 0
+	for (1 << uint(n)) < len(amps) {
+		n++
+	}
+	if 1<<uint(n) != len(amps) || n == 0 {
+		panic("statevec: amplitude length must be a power of two >= 2")
+	}
+	s := &State{n: n, amps: make([]complex128, len(amps))}
+	copy(s.amps, amps)
+	return s
+}
+
+// Wrap adopts an existing amplitude slice without copying. It exists for
+// engines (e.g. internal/cluster's sharded simulator) that manage their own
+// amplitude storage but want to reuse this package's kernels. The slice
+// length must be a power of two.
+func Wrap(amps []complex128) *State {
+	n := 0
+	for (1 << uint(n)) < len(amps) {
+		n++
+	}
+	if 1<<uint(n) != len(amps) || n == 0 {
+		panic("statevec: Wrap needs a power-of-two amplitude slice")
+	}
+	return &State{n: n, amps: amps}
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() int { return s.n }
+
+// Dim returns 2^n.
+func (s *State) Dim() int { return len(s.amps) }
+
+// Amplitudes exposes the underlying amplitude slice. Callers must treat it
+// as read-only; mutating it bypasses normalization bookkeeping.
+func (s *State) Amplitudes() []complex128 { return s.amps }
+
+// Amplitude returns amplitude i.
+func (s *State) Amplitude(i uint64) complex128 { return s.amps[i] }
+
+// Bytes returns the memory footprint of the amplitude array.
+func (s *State) Bytes() int { return len(s.amps) * 16 }
+
+// Clone returns a deep copy — the "state copy" whose cost TQSim profiles.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	copy(c.amps, s.amps)
+	return c
+}
+
+// CopyFrom overwrites s with src without reallocating. Widths must match.
+func (s *State) CopyFrom(src *State) {
+	if s.n != src.n {
+		panic("statevec: CopyFrom width mismatch")
+	}
+	copy(s.amps, src.amps)
+}
+
+// Norm returns the Euclidean norm of the state.
+func (s *State) Norm() float64 { return qmath.VecNorm(s.amps) }
+
+// Normalize rescales the state to unit norm. It panics on the zero vector.
+func (s *State) Normalize() {
+	nrm := s.Norm()
+	if nrm == 0 {
+		panic("statevec: cannot normalize zero state")
+	}
+	inv := complex(1/nrm, 0)
+	for i := range s.amps {
+		s.amps[i] *= inv
+	}
+}
+
+// Inner returns <s|t>.
+func (s *State) Inner(t *State) complex128 {
+	if s.n != t.n {
+		panic("statevec: Inner width mismatch")
+	}
+	return qmath.VecInner(s.amps, t.amps)
+}
+
+// FidelityWith returns |<s|t>|^2.
+func (s *State) FidelityWith(t *State) float64 {
+	v := s.Inner(t)
+	return real(v)*real(v) + imag(v)*imag(v)
+}
+
+// Probabilities returns the measurement distribution over basis states.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amps))
+	for i, a := range s.amps {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Prob returns the probability of basis outcome i.
+func (s *State) Prob(i uint64) float64 {
+	a := s.amps[i]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Prob1 returns the marginal probability that qubit q measures 1. Noise
+// channels use it to compute quantum-jump probabilities analytically.
+func (s *State) Prob1(q int) float64 {
+	mask := uint64(1) << uint(q)
+	var p float64
+	for i, a := range s.amps {
+		if uint64(i)&mask != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Sample draws one basis outcome according to the state's distribution.
+// The state must be normalized.
+func (s *State) Sample(r *rng.RNG) uint64 {
+	target := r.Float64()
+	var acc float64
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if target < acc {
+			return uint64(i)
+		}
+	}
+	return uint64(len(s.amps) - 1)
+}
+
+// SampleMany draws k outcomes. For k large relative to the dimension it
+// builds a cumulative table once and binary-searches per draw; for small k
+// it falls back to linear scans.
+func (s *State) SampleMany(k int, r *rng.RNG) []uint64 {
+	out := make([]uint64, k)
+	if k*s.Dim() <= 1<<22 && k < 64 {
+		for i := range out {
+			out[i] = s.Sample(r)
+		}
+		return out
+	}
+	cum := make([]float64, len(s.amps))
+	var acc float64
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cum[i] = acc
+	}
+	for i := range out {
+		target := r.Float64() * acc
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = uint64(lo)
+	}
+	return out
+}
+
+// parallelFor splits [0, n) across workers when the problem is large enough.
+func parallelFor(n int, body func(start, end int)) {
+	if n < ParallelThreshold {
+		body(0, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Apply1Q applies the 2x2 matrix m to qubit t.
+func (s *State) Apply1Q(t int, m qmath.Matrix) {
+	if m.N != 2 {
+		panic("statevec: Apply1Q needs a 2x2 matrix")
+	}
+	s.apply1q(t, m.Data[0], m.Data[1], m.Data[2], m.Data[3])
+}
+
+func (s *State) apply1q(t int, m00, m01, m10, m11 complex128) {
+	if t < 0 || t >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range", t))
+	}
+	mask := 1 << uint(t)
+	half := len(s.amps) / 2
+	amps := s.amps
+	parallelFor(half, func(start, end int) {
+		for i := start; i < end; i++ {
+			lo := i & (mask - 1)
+			i0 := ((i >> uint(t)) << uint(t+1)) | lo
+			i1 := i0 | mask
+			a0, a1 := amps[i0], amps[i1]
+			amps[i0] = m00*a0 + m01*a1
+			amps[i1] = m10*a0 + m11*a1
+		}
+	})
+}
+
+// applyDiag1q multiplies the qubit-t zero and one amplitudes by d0 and d1.
+func (s *State) applyDiag1q(t int, d0, d1 complex128) {
+	mask := uint64(1) << uint(t)
+	amps := s.amps
+	parallelFor(len(amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			if uint64(i)&mask != 0 {
+				amps[i] *= d1
+			} else if d0 != 1 {
+				amps[i] *= d0
+			}
+		}
+	})
+}
+
+// applyX swaps pair amplitudes — the Pauli-X fast path.
+func (s *State) applyX(t int) {
+	mask := 1 << uint(t)
+	half := len(s.amps) / 2
+	amps := s.amps
+	parallelFor(half, func(start, end int) {
+		for i := start; i < end; i++ {
+			lo := i & (mask - 1)
+			i0 := ((i >> uint(t)) << uint(t+1)) | lo
+			i1 := i0 | mask
+			amps[i0], amps[i1] = amps[i1], amps[i0]
+		}
+	})
+}
+
+// applyCX applies CNOT with the given control and target.
+func (s *State) applyCX(ctl, tgt int) {
+	cmask := uint64(1) << uint(ctl)
+	tmask := uint64(1) << uint(tgt)
+	amps := s.amps
+	parallelFor(len(amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			ui := uint64(i)
+			// Visit each pair once via its target-0 member, control set.
+			if ui&cmask != 0 && ui&tmask == 0 {
+				j := ui | tmask
+				amps[i], amps[j] = amps[j], amps[i]
+			}
+		}
+	})
+}
+
+// applyCPhase multiplies amplitudes with both bits set by phase.
+func (s *State) applyCPhase(a, b int, phase complex128) {
+	am := uint64(1) << uint(a)
+	bm := uint64(1) << uint(b)
+	both := am | bm
+	amps := s.amps
+	parallelFor(len(amps), func(start, end int) {
+		for i := start; i < end; i++ {
+			if uint64(i)&both == both {
+				amps[i] *= phase
+			}
+		}
+	})
+}
+
+// Apply2Q applies the 4x4 matrix m to qubits (q0, q1), q0 the low bit of
+// the matrix basis index.
+func (s *State) Apply2Q(q0, q1 int, m qmath.Matrix) {
+	if m.N != 4 {
+		panic("statevec: Apply2Q needs a 4x4 matrix")
+	}
+	if q0 == q1 || q0 < 0 || q1 < 0 || q0 >= s.n || q1 >= s.n {
+		panic(fmt.Sprintf("statevec: bad qubit pair (%d,%d)", q0, q1))
+	}
+	m0 := uint64(1) << uint(q0)
+	m1 := uint64(1) << uint(q1)
+	// Iterate over indices with both bits clear by inserting two zero bits.
+	a, b := q0, q1
+	if a > b {
+		a, b = b, a
+	}
+	lowMask := uint64(1)<<uint(a) - 1
+	midMask := (uint64(1)<<uint(b-1) - 1) &^ lowMask
+	quarter := len(s.amps) / 4
+	amps := s.amps
+	md := m.Data
+	parallelFor(quarter, func(start, end int) {
+		for i := start; i < end; i++ {
+			ui := uint64(i)
+			base := ui & lowMask
+			base |= (ui & midMask) << 1
+			base |= (ui &^ (lowMask | midMask)) << 2
+			i00 := base
+			i01 := base | m0
+			i10 := base | m1
+			i11 := base | m0 | m1
+			a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
+			amps[i00] = md[0]*a00 + md[1]*a01 + md[2]*a10 + md[3]*a11
+			amps[i01] = md[4]*a00 + md[5]*a01 + md[6]*a10 + md[7]*a11
+			amps[i10] = md[8]*a00 + md[9]*a01 + md[10]*a10 + md[11]*a11
+			amps[i11] = md[12]*a00 + md[13]*a01 + md[14]*a10 + md[15]*a11
+		}
+	})
+}
+
+// Apply3Q applies the 8x8 matrix m to qubits (q0, q1, q2), q0 the low bit.
+func (s *State) Apply3Q(q0, q1, q2 int, m qmath.Matrix) {
+	if m.N != 8 {
+		panic("statevec: Apply3Q needs an 8x8 matrix")
+	}
+	qs := []int{q0, q1, q2}
+	masks := make([]uint64, 3)
+	for i, q := range qs {
+		if q < 0 || q >= s.n {
+			panic(fmt.Sprintf("statevec: qubit %d out of range", q))
+		}
+		masks[i] = uint64(1) << uint(q)
+	}
+	eighth := len(s.amps) / 8
+	amps := s.amps
+	var idx [8]uint64
+	var vals [8]complex128
+	sorted := []int{q0, q1, q2}
+	if sorted[0] > sorted[1] {
+		sorted[0], sorted[1] = sorted[1], sorted[0]
+	}
+	if sorted[1] > sorted[2] {
+		sorted[1], sorted[2] = sorted[2], sorted[1]
+	}
+	if sorted[0] > sorted[1] {
+		sorted[0], sorted[1] = sorted[1], sorted[0]
+	}
+	// Serial: 3-qubit gates are rare (CCX in arithmetic circuits) and the
+	// scatter/gather buffers above are not shareable across goroutines.
+	for i := 0; i < eighth; i++ {
+		base := insertZeroBits(uint64(i), sorted)
+		for b := 0; b < 8; b++ {
+			off := base
+			if b&1 != 0 {
+				off |= masks[0]
+			}
+			if b&2 != 0 {
+				off |= masks[1]
+			}
+			if b&4 != 0 {
+				off |= masks[2]
+			}
+			idx[b] = off
+			vals[b] = amps[off]
+		}
+		for row := 0; row < 8; row++ {
+			var acc complex128
+			mrow := m.Data[row*8 : row*8+8]
+			for col := 0; col < 8; col++ {
+				acc += mrow[col] * vals[col]
+			}
+			amps[idx[row]] = acc
+		}
+	}
+}
+
+// insertZeroBits expands i by inserting zero bits at the (sorted ascending)
+// positions given, producing an index with those bits clear.
+func insertZeroBits(i uint64, sortedPositions []int) uint64 {
+	for _, p := range sortedPositions {
+		lower := i & (uint64(1)<<uint(p) - 1)
+		i = (i>>uint(p))<<uint(p+1) | lower
+	}
+	return i
+}
+
+// Apply applies a gate instance, choosing a fast path when one exists.
+func (s *State) Apply(g gate.Gate) {
+	switch g.Kind {
+	case gate.KindI:
+		return
+	case gate.KindX:
+		s.applyX(g.Qubits[0])
+	case gate.KindZ:
+		s.applyDiag1q(g.Qubits[0], 1, -1)
+	case gate.KindS:
+		s.applyDiag1q(g.Qubits[0], 1, 1i)
+	case gate.KindSdg:
+		s.applyDiag1q(g.Qubits[0], 1, -1i)
+	case gate.KindT:
+		s.applyDiag1q(g.Qubits[0], 1, cmplx.Exp(1i*math.Pi/4))
+	case gate.KindTdg:
+		s.applyDiag1q(g.Qubits[0], 1, cmplx.Exp(-1i*math.Pi/4))
+	case gate.KindP:
+		s.applyDiag1q(g.Qubits[0], 1, cmplx.Exp(complex(0, g.Params[0])))
+	case gate.KindRZ:
+		t := g.Params[0] / 2
+		s.applyDiag1q(g.Qubits[0], cmplx.Exp(complex(0, -t)), cmplx.Exp(complex(0, t)))
+	case gate.KindCX:
+		s.applyCX(g.Qubits[0], g.Qubits[1])
+	case gate.KindCZ:
+		s.applyCPhase(g.Qubits[0], g.Qubits[1], -1)
+	case gate.KindCP:
+		s.applyCPhase(g.Qubits[0], g.Qubits[1], cmplx.Exp(complex(0, g.Params[0])))
+	default:
+		switch g.Arity() {
+		case 1:
+			s.Apply1Q(g.Qubits[0], g.Matrix())
+		case 2:
+			s.Apply2Q(g.Qubits[0], g.Qubits[1], g.Matrix())
+		case 3:
+			s.Apply3Q(g.Qubits[0], g.Qubits[1], g.Qubits[2], g.Matrix())
+		default:
+			panic(fmt.Sprintf("statevec: unsupported arity %d", g.Arity()))
+		}
+	}
+}
+
+// ApplyAll applies every gate of the circuit in order.
+func (s *State) ApplyAll(gs []gate.Gate) {
+	for _, g := range gs {
+		s.Apply(g)
+	}
+}
+
+// Marginal returns the measurement distribution over the listed qubits
+// (ascending significance: bit i of the returned index is qubits[i]),
+// tracing out the rest. Useful for workloads whose answer lives in a
+// sub-register, e.g. Bernstein-Vazirani's data qubits next to its ancilla.
+func (s *State) Marginal(qubits []int) []float64 {
+	masks := make([]uint64, len(qubits))
+	for i, q := range qubits {
+		if q < 0 || q >= s.n {
+			panic(fmt.Sprintf("statevec: marginal qubit %d out of range", q))
+		}
+		masks[i] = uint64(1) << uint(q)
+	}
+	out := make([]float64, 1<<uint(len(qubits)))
+	for i, a := range s.amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p == 0 {
+			continue
+		}
+		var idx uint64
+		for b, m := range masks {
+			if uint64(i)&m != 0 {
+				idx |= 1 << uint(b)
+			}
+		}
+		out[idx] += p
+	}
+	return out
+}
+
+// MarginalCounts projects a measurement histogram onto the listed qubits,
+// same bit convention as Marginal.
+func MarginalCounts(counts map[uint64]int, qubits []int) map[uint64]int {
+	out := make(map[uint64]int, len(counts))
+	for bits, n := range counts {
+		var idx uint64
+		for b, q := range qubits {
+			if bits>>uint(q)&1 == 1 {
+				idx |= 1 << uint(b)
+			}
+		}
+		out[idx] += n
+	}
+	return out
+}

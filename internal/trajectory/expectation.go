@@ -1,0 +1,44 @@
+package trajectory
+
+import (
+	"time"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/noise"
+	"tqsim/internal/observable"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
+)
+
+// ExpectationResult carries an observable estimate from a baseline
+// multi-shot run.
+type ExpectationResult struct {
+	Stats observable.EstimateStats
+	// GateApplications and Elapsed mirror Result's accounting.
+	GateApplications int64
+	Elapsed          time.Duration
+}
+
+// RunExpectation runs `shots` noisy trajectories and evaluates the
+// observable's exact expectation on each final state. The ensemble mean
+// converges to tr(rho H) with standard error sigma/sqrt(N) — the paper's
+// Equation 2.
+func RunExpectation(c *circuit.Circuit, m *noise.Model, h *observable.Hamiltonian, shots int, opt Options) (*ExpectationResult, error) {
+	if err := h.Validate(c.NumQubits); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	root := rng.New(opt.Seed)
+	st := statevec.NewZero(c.NumQubits)
+	out := &ExpectationResult{}
+	values := make([]float64, 0, shots)
+	for shot := 0; shot < shots; shot++ {
+		r := root.SplitAt(uint64(shot))
+		_, ops := runShot(c, m, st, r)
+		out.GateApplications += ops
+		values = append(values, h.ExpectationState(st))
+	}
+	out.Stats = observable.Summarize(values)
+	out.Elapsed = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/densmat"
+	"tqsim/internal/metrics"
+	"tqsim/internal/noise"
+	"tqsim/internal/observable"
+	"tqsim/internal/workloads"
+)
+
+func TestIdealRunSamplesFinalState(t *testing.T) {
+	c := circuit.New("bell", 2).H(0).CX(0, 1)
+	res := RunIdeal(c, 20000, 1)
+	if res.Shots != 20000 {
+		t.Fatalf("shots %d", res.Shots)
+	}
+	if res.Counts[1] != 0 || res.Counts[2] != 0 {
+		t.Fatalf("impossible outcomes sampled: %v", res.Counts)
+	}
+	f := float64(res.Counts[0]) / 20000
+	if math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("outcome frequency %v", f)
+	}
+}
+
+func TestNoiselessModelMatchesIdeal(t *testing.T) {
+	c := workloads.BV(5, workloads.BVSecret(5))
+	noisy := Run(c, noise.NewDepolarizing(0, 0), 2000, Options{Seed: 3})
+	ideal := RunIdeal(c, 2000, 3)
+	di := metrics.FromCounts(ideal.Counts, 1<<5)
+	dn := metrics.FromCounts(noisy.Counts, 1<<5)
+	if tvd := metrics.TVD(di, dn); tvd > 0.05 {
+		t.Fatalf("zero-noise trajectory deviates from ideal: TVD %v", tvd)
+	}
+}
+
+func TestCountsSumToShots(t *testing.T) {
+	c := workloads.BV(6, workloads.BVSecret(6))
+	res := Run(c, noise.NewSycamore(), 500, Options{Seed: 7})
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 500 {
+		t.Fatalf("counts sum %d, want 500", total)
+	}
+	if res.StateCopies != 500 {
+		t.Fatalf("state copies %d", res.StateCopies)
+	}
+	if res.GateApplications < int64(500*c.Len()) {
+		t.Fatalf("gate applications %d below %d", res.GateApplications, 500*c.Len())
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	c := workloads.QFT(5, true)
+	m := noise.NewSycamore()
+	a := Run(c, m, 200, Options{Seed: 11})
+	b := Run(c, m, 200, Options{Seed: 11})
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatal("seeded runs differ")
+	}
+	for k, v := range a.Counts {
+		if b.Counts[k] != v {
+			t.Fatalf("seeded runs differ at outcome %d", k)
+		}
+	}
+	other := Run(c, m, 200, Options{Seed: 12})
+	same := true
+	for k, v := range a.Counts {
+		if other.Counts[k] != v {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Counts) > 1 {
+		t.Fatal("different seeds produced identical histograms")
+	}
+}
+
+func TestParallelShotsMatchSequentialDistribution(t *testing.T) {
+	c := workloads.BV(6, workloads.BVSecret(6))
+	m := noise.NewSycamore()
+	seq := Run(c, m, 2000, Options{Seed: 5})
+	par := Run(c, m, 2000, Options{Seed: 5, Parallelism: 4})
+	// Shot i has its own SplitAt stream, so histograms must be identical.
+	for k, v := range seq.Counts {
+		if par.Counts[k] != v {
+			t.Fatalf("parallel run changed outcome %d: %d vs %d", k, par.Counts[k], v)
+		}
+	}
+}
+
+func TestTrajectoryEnsembleConvergesToDensityMatrix(t *testing.T) {
+	// The central correctness property (paper §2.4.1): the trajectory
+	// ensemble average approaches the density-matrix solution as N grows.
+	c := circuit.New("conv", 3).H(0).CX(0, 1).T(1).CX(1, 2).H(2)
+	models := []*noise.Model{
+		noise.NewDepolarizing(0.02, 0.05),
+		noise.NewAmplitudeDamping(0.05),
+		noise.NewPhaseDamping(0.05),
+		noise.NewThermalRelaxation(25, 30, 0.5),
+	}
+	for _, m := range models {
+		exact := metrics.NewDist(densmat.Simulate(c, m))
+		res := Run(c, m, 40000, Options{Seed: 21, Parallelism: 8})
+		emp := metrics.FromCounts(res.Counts, 1<<3)
+		if tvd := metrics.TVD(exact, emp); tvd > 0.02 {
+			t.Errorf("%s: trajectory ensemble TVD %v from density matrix", m.Name(), tvd)
+		}
+	}
+}
+
+func TestReadoutErrorShiftsDistribution(t *testing.T) {
+	c := circuit.New("id", 2).I(0).I(1)
+	m := &noise.Model{ModelName: "R", Readout: &noise.Readout{P01: 0.5, P10: 0}}
+	res := Run(c, m, 20000, Options{Seed: 9})
+	// Each bit flips 0->1 with p=0.5: outcome 3 should appear ~25%.
+	f := float64(res.Counts[3]) / 20000
+	if math.Abs(f-0.25) > 0.02 {
+		t.Fatalf("readout outcome frequency %v", f)
+	}
+}
+
+func TestIdealStateHelper(t *testing.T) {
+	c := circuit.New("x", 2).X(0)
+	st := IdealState(c)
+	if st.Prob(1) != 1 {
+		t.Fatal("IdealState wrong")
+	}
+}
+
+func TestElapsedAndMemoryAccounting(t *testing.T) {
+	c := workloads.BV(6, 1)
+	res := Run(c, noise.NewSycamore(), 50, Options{Seed: 1})
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+	if res.PeakStateBytes != int64(16*(1<<6)) {
+		t.Fatalf("peak bytes %d", res.PeakStateBytes)
+	}
+}
+
+func TestRunExpectationConvergesToDensityMatrix(t *testing.T) {
+	// The ensemble-averaged observable converges to tr(rho H) — the
+	// master-equation equivalence stated in §2.4.1, now for expectation
+	// values instead of histograms.
+	c := circuit.New("obs", 3).H(0).CX(0, 1).T(1).CX(1, 2).RX(0.3, 2)
+	m := noise.NewDepolarizing(0.02, 0.05)
+	h := observable.TransverseFieldIsing(3, 1.0, 0.7)
+
+	d := densmat.NewZero(3)
+	d.Run(c, m)
+	exact := h.ExpectationDensity(d)
+
+	res, err := RunExpectation(c, m, h, 20000, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Stats.Mean - exact); diff > 5*res.Stats.StdErr+0.02 {
+		t.Fatalf("ensemble mean %v vs exact %v (stderr %v)",
+			res.Stats.Mean, exact, res.Stats.StdErr)
+	}
+	// Equation 2 shape: quadrupling N halves the standard error.
+	small, err := RunExpectation(c, m, h, 5000, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := small.Stats.StdErr / res.Stats.StdErr
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("stderr scaling ratio %v, want ≈2", ratio)
+	}
+}
+
+func TestRunExpectationRejectsBadObservable(t *testing.T) {
+	c := circuit.New("x", 2).X(0)
+	h := &observable.Hamiltonian{Terms: []observable.PauliString{
+		observable.NewPauliString(1, "Z", 5), // out of range
+	}}
+	if _, err := RunExpectation(c, noise.NewSycamore(), h, 10, Options{}); err == nil {
+		t.Fatal("invalid observable accepted")
+	}
+}

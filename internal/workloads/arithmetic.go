@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"math"
+
+	"tqsim/internal/circuit"
+)
+
+// Adder builds a Cuccaro ripple-carry adder computing a+b with nBits-bit
+// operands, Toffolis decomposed into the Clifford+T gate set. Register
+// layout: qubit 0 is the carry-in, then (b_i, a_i) pairs interleaved, and
+// the final qubit is the carry-out, giving width 2*nBits + 2 — the 4- and
+// 10-qubit ADDER benchmarks use nBits = 1 and 4. aVal and bVal are the
+// classical inputs loaded with X gates (the paper's three variants per
+// width differ only in inputs).
+func Adder(nBits int, aVal, bVal uint64, variant int) *circuit.Circuit {
+	if nBits < 1 {
+		panic("workloads: adder needs at least 1 bit")
+	}
+	width := 2*nBits + 2
+	c := circuit.New(nameWith("adder", width, variant), width)
+	cin := 0
+	bReg := make([]int, nBits)
+	aReg := make([]int, nBits)
+	for i := 0; i < nBits; i++ {
+		bReg[i] = 1 + 2*i
+		aReg[i] = 2 + 2*i
+	}
+	cout := 2*nBits + 1
+
+	prepareValue(c, aVal, aReg)
+	prepareValue(c, bVal, bReg)
+
+	maj := func(x, y, z int) { // MAJ(c, b, a)
+		c.CX(z, y)
+		c.CX(z, x)
+		toffoli(c, x, y, z)
+	}
+	uma := func(x, y, z int) { // UMA(c, b, a)
+		toffoli(c, x, y, z)
+		c.CX(z, x)
+		c.CX(x, y)
+	}
+
+	maj(cin, bReg[0], aReg[0])
+	for i := 1; i < nBits; i++ {
+		maj(aReg[i-1], bReg[i], aReg[i])
+	}
+	c.CX(aReg[nBits-1], cout)
+	for i := nBits - 1; i >= 1; i-- {
+		uma(aReg[i-1], bReg[i], aReg[i])
+	}
+	uma(cin, bReg[0], aReg[0])
+	return c
+}
+
+// AdderSum returns the expected measurement outcome of Adder: the sum bits
+// land in the b register and the carry-out qubit; the a register and
+// carry-in return to their inputs.
+func AdderSum(nBits int, aVal, bVal uint64) uint64 {
+	sum := aVal + bVal
+	var out uint64
+	for i := 0; i < nBits; i++ {
+		if sum>>uint(i)&1 == 1 {
+			out |= 1 << uint(1+2*i) // b_i holds sum bit i
+		}
+		if aVal>>uint(i)&1 == 1 {
+			out |= 1 << uint(2+2*i) // a_i restored
+		}
+	}
+	if sum>>uint(nBits)&1 == 1 {
+		out |= 1 << uint(2*nBits+1) // carry-out
+	}
+	return out
+}
+
+// BV builds the Bernstein–Vazirani circuit on `width` qubits (width-1 data
+// qubits plus one ancilla) for the given secret string (bit i of secret is
+// data qubit i). Gate count grows linearly with width — the paper's
+// worst-case benchmark for TQSim.
+func BV(width int, secret uint64) *circuit.Circuit {
+	if width < 2 {
+		panic("workloads: BV needs at least 2 qubits")
+	}
+	c := circuit.New(nameWith("bv", width, -1), width)
+	anc := width - 1
+	c.X(anc)
+	for q := 0; q < width; q++ {
+		c.H(q)
+	}
+	for q := 0; q < width-1; q++ {
+		if secret>>uint(q)&1 == 1 {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < width-1; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// BVSecret is the deterministic secret the suite uses: alternating bits
+// starting with 1 (101010...) over width-1 data bits.
+func BVSecret(width int) uint64 {
+	var s uint64
+	for q := 0; q < width-1; q += 2 {
+		s |= 1 << uint(q)
+	}
+	return s
+}
+
+// BVExpected returns the noiseless BV outcome: the secret on the data
+// qubits; the ancilla measures 1 (it stays in |-> = H|1>, and the final
+// basis measurement of |-> is uniform — by convention we report the secret
+// with ancilla marginalized, so callers comparing full outcomes should
+// mask the ancilla bit).
+func BVExpected(width int, secret uint64) uint64 {
+	return secret
+}
+
+// Mul builds a Draper (QFT-based) multiplier computing aVal*bVal for
+// operands of na and nb bits. The product register has na+nb+1 qubits, so
+// the total width is 2*(na+nb)+1 — 13, 15 and 25 qubits for the paper's
+// (3,3), (3,4) and (6,6) instances. decomposeCP selects primitive-gate
+// decomposition of the controlled phases (matching the paper's larger MUL
+// gate counts).
+func Mul(na, nb int, aVal, bVal uint64, decomposeCP bool, variant int) *circuit.Circuit {
+	if na < 1 || nb < 1 {
+		panic("workloads: multiplier needs positive operand widths")
+	}
+	np := na + nb + 1
+	width := na + nb + np
+	c := circuit.New(nameWith("mul", width, variant), width)
+	aReg := rangeInts(0, na)
+	bReg := rangeInts(na, nb)
+	pReg := rangeInts(na+nb, np)
+
+	prepareValue(c, aVal, aReg)
+	prepareValue(c, bVal, bReg)
+
+	qftRegister(c, pReg, decomposeCP, false)
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			// Adds 2^(i+j) into the Fourier-space product register,
+			// controlled on a_i and b_j. Our qftRegister leaves output bit
+			// k of the transform on pReg[k] (its bit-reversal and the
+			// Draper phase ladder cancel), so the rotation for weight-2^k
+			// output bits lands on pReg[k] with angle 2pi * 2^(i+j) / 2^(k+1).
+			for k := 0; k < np; k++ {
+				theta := 2 * math.Pi * float64(uint64(1)<<uint(i+j)) /
+					math.Pow(2, float64(k+1))
+				theta = math.Mod(theta, 2*math.Pi)
+				if theta == 0 {
+					continue
+				}
+				ccphase(c, theta, aReg[i], bReg[j], pReg[k], decomposeCP)
+			}
+		}
+	}
+	qftRegister(c, pReg, decomposeCP, true)
+	return c
+}
+
+// MulExpected returns the expected measurement outcome of Mul: operands
+// unchanged, product register holding aVal*bVal.
+func MulExpected(na, nb int, aVal, bVal uint64) uint64 {
+	prod := (aVal & (1<<uint(na) - 1)) * (bVal & (1<<uint(nb) - 1))
+	out := aVal&(1<<uint(na)-1) | (bVal&(1<<uint(nb)-1))<<uint(na)
+	out |= prod << uint(na+nb)
+	return out
+}
+
+// qftRegister applies the (inverse, when inv is true) quantum Fourier
+// transform over the given qubit list, without the terminal swaps: the
+// Draper adder convention keeps the register bit-reversed internally, and
+// the inverse undoes it symmetrically.
+func qftRegister(c *circuit.Circuit, reg []int, decomposeCP, inv bool) {
+	n := len(reg)
+	if !inv {
+		for i := n - 1; i >= 0; i-- {
+			c.H(reg[i])
+			for j := i - 1; j >= 0; j-- {
+				cphase(c, math.Pi/math.Pow(2, float64(i-j)), reg[j], reg[i], decomposeCP)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			cphase(c, -math.Pi/math.Pow(2, float64(i-j)), reg[j], reg[i], decomposeCP)
+		}
+		c.H(reg[i])
+	}
+}

@@ -1,0 +1,99 @@
+// Package workloads generates the paper's benchmark suite (Table 2): ADDER,
+// BV, MUL, QAOA, QFT, QPE, QSC and QV circuits across the widths and gate
+// counts of Figure 11. Every generator is deterministic for a given
+// parameter set and seed, so experiments are reproducible end to end.
+package workloads
+
+import (
+	"fmt"
+
+	"tqsim/internal/circuit"
+)
+
+// toffoli appends the standard 15-gate {H, T, CX} decomposition of a
+// Toffoli gate CCX(c0, c1, t), keeping the gate stream strictly one- and
+// two-qubit so noise channels attach uniformly.
+func toffoli(c *circuit.Circuit, c0, c1, t int) {
+	c.H(t)
+	c.CX(c1, t)
+	c.Tdg(t)
+	c.CX(c0, t)
+	c.T(t)
+	c.CX(c1, t)
+	c.Tdg(t)
+	c.CX(c0, t)
+	c.T(c1)
+	c.T(t)
+	c.H(t)
+	c.CX(c0, c1)
+	c.T(c0)
+	c.Tdg(c1)
+	c.CX(c0, c1)
+}
+
+// cphase appends a controlled phase of angle theta. When decompose is true
+// it uses the 5-gate {RZ, CX} decomposition
+//
+//	CP(θ) = RZ(θ/2)@c · CX(c,t) · RZ(-θ/2)@t · CX(c,t) · RZ(θ/2)@t
+//
+// (up to global phase); otherwise the native two-qubit CP gate.
+func cphase(c *circuit.Circuit, theta float64, ctl, tgt int, decompose bool) {
+	if !decompose {
+		c.CP(theta, ctl, tgt)
+		return
+	}
+	c.RZ(theta/2, ctl)
+	c.CX(ctl, tgt)
+	c.RZ(-theta/2, tgt)
+	c.CX(ctl, tgt)
+	c.RZ(theta/2, tgt)
+}
+
+// swapGate appends a SWAP, either native or as three CNOTs.
+func swapGate(c *circuit.Circuit, a, b int, decompose bool) {
+	if !decompose {
+		c.SWAP(a, b)
+		return
+	}
+	c.CX(a, b)
+	c.CX(b, a)
+	c.CX(a, b)
+}
+
+// ccphase appends a doubly-controlled phase CCP(theta) on (c0, c1, t) using
+// the standard 5 controlled-phase construction.
+func ccphase(c *circuit.Circuit, theta float64, c0, c1, t int, decompose bool) {
+	cphase(c, theta/2, c1, t, decompose)
+	c.CX(c0, c1)
+	cphase(c, -theta/2, c1, t, decompose)
+	c.CX(c0, c1)
+	cphase(c, theta/2, c0, t, decompose)
+}
+
+// prepareValue loads the classical value into the register qubits (LSB
+// first) with X gates.
+func prepareValue(c *circuit.Circuit, value uint64, reg []int) {
+	for i, q := range reg {
+		if value>>uint(i)&1 == 1 {
+			c.X(q)
+		}
+	}
+}
+
+// rangeInts returns [start, start+count).
+func rangeInts(start, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// nameWith builds the conventional benchmark name "class_nQUBITS" with an
+// optional variant suffix.
+func nameWith(class string, qubits, variant int) string {
+	if variant < 0 {
+		return fmt.Sprintf("%s_n%d", class, qubits)
+	}
+	return fmt.Sprintf("%s_n%d_%d", class, qubits, variant)
+}

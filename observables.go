@@ -1,0 +1,67 @@
+package tqsim
+
+import (
+	"tqsim/internal/core"
+	"tqsim/internal/observable"
+	"tqsim/internal/trajectory"
+)
+
+// Observable types, re-exported for the VQA workflow of the paper's §5.7.
+type (
+	// PauliString is a weighted tensor product of single-qubit Paulis.
+	PauliString = observable.PauliString
+	// Hamiltonian is a sum of Pauli strings.
+	Hamiltonian = observable.Hamiltonian
+	// EstimateStats summarizes a trajectory-ensemble estimate: mean,
+	// standard deviation, and the paper's Equation 2 standard error.
+	EstimateStats = observable.EstimateStats
+)
+
+// NewPauliString builds a weighted Pauli string from a spec like "ZZ" on
+// the given qubits.
+func NewPauliString(coef float64, spec string, qubits ...int) PauliString {
+	return observable.NewPauliString(coef, spec, qubits...)
+}
+
+// TransverseFieldIsing builds H = -J sum Z_i Z_{i+1} - hx sum X_i on a ring.
+func TransverseFieldIsing(n int, j, hx float64) *Hamiltonian {
+	return observable.TransverseFieldIsing(n, j, hx)
+}
+
+// MaxCutHamiltonian builds the max-cut cost observable for a graph.
+func MaxCutHamiltonian(g *Graph) *Hamiltonian {
+	return observable.MaxCutHamiltonian(g.N, g.Edges)
+}
+
+// ExactExpectation returns <psi|H|psi> on the circuit's noise-free final
+// state.
+func ExactExpectation(c *Circuit, h *Hamiltonian) float64 {
+	return h.ExpectationState(trajectory.IdealState(c))
+}
+
+// EstimateExpectationBaseline estimates tr(rho H) with the conventional
+// multi-shot simulator: one exact expectation per trajectory, averaged.
+func EstimateExpectationBaseline(c *Circuit, m *NoiseModel, h *Hamiltonian, shots int, opt Options) (EstimateStats, error) {
+	res, err := trajectory.RunExpectation(c, m, h, shots, trajectory.Options{Seed: opt.Seed})
+	if err != nil {
+		return EstimateStats{}, err
+	}
+	return res.Stats, nil
+}
+
+// EstimateExpectationTQSim estimates tr(rho H) with the tree simulator:
+// DCP plans the tree, each leaf contributes one exact expectation.
+func EstimateExpectationTQSim(c *Circuit, m *NoiseModel, h *Hamiltonian, shots int, opt Options) (EstimateStats, *TreeResult, error) {
+	plan := PlanDCP(c, m, shots, opt)
+	ex := &core.Executor{
+		Backend:     opt.backend(),
+		Noise:       m,
+		Seed:        opt.Seed,
+		Parallelism: opt.Parallelism,
+	}
+	res, err := ex.RunExpectation(plan, h)
+	if err != nil {
+		return EstimateStats{}, nil, err
+	}
+	return res.Stats, res.Run, nil
+}

@@ -1,0 +1,314 @@
+// Package tqsim is a tree-based noisy quantum circuit simulator — a from-
+// scratch Go implementation of "Accelerating Simulation of Quantum Circuits
+// under Noise via Computational Reuse" (Wang, Tannu, Nair; ISCA 2025).
+//
+// Noisy (quantum-trajectory) simulation re-executes a circuit for thousands
+// of shots. TQSim partitions the circuit into subcircuits, arranges shots as
+// a simulation tree, and reuses each intermediate state across all children,
+// cutting total computation by 1.5-4x with a statistically bounded accuracy
+// loss.
+//
+// Basic use:
+//
+//	c := tqsim.NewCircuit("bell", 2)
+//	c.H(0).CX(0, 1)
+//	noise := tqsim.SycamoreNoise()
+//	cmp, err := tqsim.Compare(c, noise, 4000, tqsim.Options{Seed: 1})
+//	fmt.Println(cmp.Speedup, cmp.FidelityDiff)
+//
+// The facade re-exports the building blocks (circuits, gates, noise models,
+// partition plans, metrics, workload generators) so downstream code rarely
+// needs the internal packages directly.
+package tqsim
+
+import (
+	"sort"
+	"time"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/core"
+	"tqsim/internal/densmat"
+	"tqsim/internal/fusion"
+	"tqsim/internal/gate"
+	"tqsim/internal/metrics"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/qasm"
+	"tqsim/internal/rng"
+	"tqsim/internal/trajectory"
+)
+
+// Re-exported core types. The facade uses type aliases so values flow
+// freely between the public API and the internal engines.
+type (
+	// Circuit is an ordered gate list over a fixed qubit register.
+	Circuit = circuit.Circuit
+	// Gate is a single gate instance.
+	Gate = gate.Gate
+	// NoiseModel binds error channels to gates.
+	NoiseModel = noise.Model
+	// NoiseChannel is a single error channel.
+	NoiseChannel = noise.Channel
+	// Plan is a simulation-tree specification.
+	Plan = partition.Plan
+	// TreeResult is a TQSim run result.
+	TreeResult = core.Result
+	// BaselineResult is a conventional multi-shot run result.
+	BaselineResult = trajectory.Result
+	// Backend is a pluggable gate-execution engine.
+	Backend = core.Backend
+	// Dist is a dense probability distribution over basis outcomes.
+	Dist = metrics.Dist
+)
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// ParseQASM parses an OpenQASM 2.0 program (single quantum register,
+// standard gate set) into a circuit.
+func ParseQASM(name, src string) (*Circuit, error) {
+	prog, err := qasm.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Circuit, nil
+}
+
+// SerializeQASM renders a circuit as OpenQASM 2.0.
+func SerializeQASM(c *Circuit) (string, error) { return qasm.Serialize(c) }
+
+// SycamoreNoise returns the paper's primary model: depolarizing channels at
+// Google Sycamore error rates (0.1% one-qubit, 1.5% two-qubit).
+func SycamoreNoise() *NoiseModel { return noise.NewSycamore() }
+
+// DepolarizingNoise returns a depolarizing model at the given rates.
+func DepolarizingNoise(p1, p2 float64) *NoiseModel { return noise.NewDepolarizing(p1, p2) }
+
+// NoiseByName builds one of the paper's nine Figure-16 model variants (DC,
+// DCR, TR, TRR, AD, ADR, PD, PDR, ALL); unknown names return nil (ideal).
+func NoiseByName(name string) *NoiseModel { return noise.ByName(name) }
+
+// Options tunes a simulation run.
+type Options struct {
+	// Seed selects the reproducible trajectory stream (default 0).
+	Seed uint64
+	// CopyCost overrides the state-copy cost (gate-equivalents) used by
+	// DCP; zero profiles a default.
+	CopyCost float64
+	// MaxLevels caps the subcircuit count (0 = automatic).
+	MaxLevels int
+	// MemoryBudgetBytes caps concurrent intermediate-state memory
+	// (0 = unlimited).
+	MemoryBudgetBytes int64
+	// UseFusionBackend runs on the gate-fusion backend instead of the
+	// plain state-vector backend.
+	UseFusionBackend bool
+	// Parallelism sets worker counts: shot-level for the baseline and
+	// first-level-subtree for TQSim trees (0 = sequential). Histograms are
+	// seed-deterministic at any parallelism.
+	Parallelism int
+	// Epsilon overrides Equation 5's margin of error (0 = default 0.02).
+	Epsilon float64
+}
+
+func (o Options) backend() Backend {
+	if o.UseFusionBackend {
+		return fusion.New()
+	}
+	return core.PlainBackend{}
+}
+
+func (o Options) dcpOptions() partition.DCPOptions {
+	return partition.DCPOptions{
+		CopyCost:          o.CopyCost,
+		Epsilon:           o.Epsilon,
+		MaxLevels:         o.MaxLevels,
+		MemoryBudgetBytes: o.MemoryBudgetBytes,
+	}
+}
+
+// PlanDCP builds the Dynamic Circuit Partition plan for a circuit, noise
+// model, and shot budget.
+func PlanDCP(c *Circuit, m *NoiseModel, shots int, opt Options) *Plan {
+	return partition.Dynamic(c, m, shots, opt.dcpOptions())
+}
+
+// PlanStructure builds a manual plan with the given arity tuple over
+// equal-length subcircuits (e.g. the paper's Figure 17 structures).
+func PlanStructure(c *Circuit, arities []int) *Plan {
+	return partition.FromStructure(c, arities)
+}
+
+// RunBaseline simulates shots noisy trajectories the conventional way.
+func RunBaseline(c *Circuit, m *NoiseModel, shots int, opt Options) *BaselineResult {
+	return trajectory.Run(c, m, shots, trajectory.Options{
+		Seed:        opt.Seed,
+		Parallelism: opt.Parallelism,
+	})
+}
+
+// RunIdeal simulates the noise-free circuit once and samples shots
+// outcomes.
+func RunIdeal(c *Circuit, shots int, seed uint64) *BaselineResult {
+	return trajectory.RunIdeal(c, shots, seed)
+}
+
+// RunTQSim partitions the circuit with DCP and executes the simulation
+// tree.
+func RunTQSim(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, error) {
+	return RunPlan(PlanDCP(c, m, shots, opt), m, opt)
+}
+
+// RunPlan executes an explicit simulation-tree plan. Options.Parallelism
+// distributes first-level subtrees across workers; results are
+// seed-deterministic regardless.
+func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	ex := &core.Executor{
+		Backend:     opt.backend(),
+		Noise:       m,
+		Seed:        opt.Seed,
+		Parallelism: opt.Parallelism,
+	}
+	return ex.Run(p)
+}
+
+// IdealDistribution returns the exact noise-free outcome distribution.
+func IdealDistribution(c *Circuit) Dist {
+	return metrics.NewDist(trajectory.IdealState(c).Probabilities())
+}
+
+// ExactNoisyDistribution returns the density-matrix (exact) noisy outcome
+// distribution; feasible up to about 12 qubits.
+func ExactNoisyDistribution(c *Circuit, m *NoiseModel) Dist {
+	return metrics.NewDist(densmat.Simulate(c, m))
+}
+
+// CountsDist converts a shot histogram into a distribution over the
+// circuit's outcome space.
+func CountsDist(counts map[uint64]int, numQubits int) Dist {
+	return metrics.FromCounts(counts, 1<<uint(numQubits))
+}
+
+// NormalizedFidelity computes the paper's Equation 9 metric.
+func NormalizedFidelity(ideal, output Dist) float64 {
+	return metrics.NormalizedFidelity(ideal, output)
+}
+
+// Comparison reports a baseline-versus-TQSim run on one circuit — the
+// measurement underlying Figures 11 and 14.
+type Comparison struct {
+	// CircuitName, Width and Gates identify the workload.
+	CircuitName string
+	Width       int
+	Gates       int
+	// Structure is the DCP tree, e.g. "(464,3)".
+	Structure string
+	// Shots is the requested shot count; Outcomes the tree's leaf count.
+	Shots    int
+	Outcomes int
+	// BaselineTime and TQSimTime are wall-clock durations.
+	BaselineTime time.Duration
+	TQSimTime    time.Duration
+	// Speedup is BaselineTime / TQSimTime.
+	Speedup float64
+	// WorkRatio is TQSim kernel work over baseline kernel work — the
+	// machine-independent speedup predictor.
+	WorkRatio float64
+	// BaselineFidelity and TQSimFidelity are normalized fidelities versus
+	// the ideal distribution (Equation 9).
+	BaselineFidelity float64
+	TQSimFidelity    float64
+	// FidelityDiff is |BaselineFidelity - TQSimFidelity| (Figure 14's
+	// y-axis).
+	FidelityDiff float64
+	// TQSimPeakBytes is TQSim's peak state memory (Figure 9's x-axis).
+	TQSimPeakBytes int64
+}
+
+// Compare runs both simulators on the circuit and reports speedup and
+// fidelity agreement.
+func Compare(c *Circuit, m *NoiseModel, shots int, opt Options) (*Comparison, error) {
+	base := RunBaseline(c, m, shots, opt)
+	tq, err := RunTQSim(c, m, shots, opt)
+	if err != nil {
+		return nil, err
+	}
+	ideal := IdealDistribution(c)
+	baseF := NormalizedFidelity(ideal, CountsDist(base.Counts, c.NumQubits))
+	// The tree over-provisions outcomes (the arity product rounds up past
+	// the requested shots). Fidelity estimated from a histogram carries a
+	// sample-size-dependent bias, so compare equal-size samples: thin the
+	// tree's outcomes down to the baseline's shot count.
+	tqCounts := SubsampleCounts(tq.Counts, shots, opt.Seed^0x5eed)
+	tqF := NormalizedFidelity(ideal, CountsDist(tqCounts, c.NumQubits))
+	diff := baseF - tqF
+	if diff < 0 {
+		diff = -diff
+	}
+	cmp := &Comparison{
+		CircuitName:      c.Name,
+		Width:            c.NumQubits,
+		Gates:            c.Len(),
+		Structure:        tq.Structure,
+		Shots:            shots,
+		Outcomes:         tq.Outcomes,
+		BaselineTime:     base.Elapsed,
+		TQSimTime:        tq.Elapsed,
+		Speedup:          core.Speedup(base.Elapsed, tq.Elapsed),
+		BaselineFidelity: baseF,
+		TQSimFidelity:    tqF,
+		FidelityDiff:     diff,
+		TQSimPeakBytes:   tq.PeakStateBytes,
+	}
+	// Normalize work to a common outcome count: the baseline ran `shots`
+	// trajectories while the tree produced tq.Outcomes leaves.
+	basePerOutcome := float64(base.GateApplications) / float64(base.Shots)
+	tqPerOutcome := float64(tq.GateApplications) / float64(tq.Outcomes)
+	if basePerOutcome > 0 {
+		cmp.WorkRatio = tqPerOutcome / basePerOutcome
+	}
+	return cmp, nil
+}
+
+// SubsampleCounts draws `target` outcomes from a histogram without
+// replacement (deterministic for a given seed). Histograms at or below the
+// target are returned unchanged. Fidelity estimated from a histogram
+// carries a sample-size-dependent bias, so comparisons should thin both
+// sides to a common count — Compare does this automatically.
+func SubsampleCounts(counts map[uint64]int, target int, seed uint64) map[uint64]int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total <= target {
+		return counts
+	}
+	// Expand to a flat outcome list (sorted keys — map iteration order
+	// would break seed determinism) and take a partial Fisher-Yates
+	// prefix. Shot counts are a few thousand, so this stays cheap.
+	keys := make([]uint64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	flat := make([]uint64, 0, total)
+	for _, k := range keys {
+		for i := 0; i < counts[k]; i++ {
+			flat = append(flat, k)
+		}
+	}
+	r := rng.New(seed)
+	out := make(map[uint64]int, len(counts))
+	for i := 0; i < target; i++ {
+		j := i + r.Intn(total-i)
+		flat[i], flat[j] = flat[j], flat[i]
+		out[flat[i]]++
+	}
+	return out
+}
+
+// ProfileCopyCost measures this host's state-copy cost in gate-equivalents
+// at the given width (Figure 10's normalization). reps controls averaging.
+func ProfileCopyCost(qubits, reps int) float64 {
+	return core.ProfileCopyCost(qubits, reps).Ratio
+}
