@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench-kernels bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that carry concurrency: the statevec worker pool,
+# the parallel tree executor, and the parallel-shot baseline.
+race:
+	$(GO) test -race ./internal/statevec/... ./internal/core/... ./internal/trajectory/...
+
+# Kernel microbenchmarks: per-gate-class amps/s across widths and qubit
+# positions. Track these across PRs for hot-path regressions.
+bench-kernels:
+	$(GO) test -run xxx -bench 'BenchmarkKernels_' -benchtime 1s .
+
+# Full figure/table benchmark sweep (slow).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+ci: build test race

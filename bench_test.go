@@ -19,6 +19,7 @@ import (
 	"tqsim/internal/cluster"
 	"tqsim/internal/core"
 	"tqsim/internal/densmat"
+	"tqsim/internal/gate"
 	"tqsim/internal/hpcmodel"
 	"tqsim/internal/metrics"
 	"tqsim/internal/noise"
@@ -420,6 +421,108 @@ func BenchmarkKernels(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				dst.CopyFrom(st)
 			}
+		})
+	}
+}
+
+// --- Kernel microbenchmarks (BenchmarkKernels_*) ---
+//
+// Raw per-gate-class kernel throughput, reported as amps/s (amplitudes
+// visited per second, dim * iterations / elapsed). These are the numbers the
+// BENCH_*.json trajectory tracks for the state-vector hot path: every
+// tree-run speedup figure bottoms out here. Widths cover the sub-threshold
+// serial regime (q10), the parallel regime (q20), and a cache-pressure
+// point (q22, 64 MiB state). Qubit positions cover both the low-target
+// contiguous-run path and the high-target strided path.
+
+// benchKernel times g applied repeatedly to a w-qubit state.
+func benchKernel(b *testing.B, w int, g gate.Gate) {
+	st := statevec.NewZero(w)
+	b.SetBytes(int64(st.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Apply(g)
+	}
+	b.ReportMetric(float64(st.Dim())*float64(b.N)/b.Elapsed().Seconds(), "amps/s")
+}
+
+// kernelWidths are the register widths every kernel class is measured at.
+var kernelWidths = []int{10, 20, 22}
+
+func BenchmarkKernels_CX(b *testing.B) {
+	for _, w := range kernelWidths {
+		b.Run(fmt.Sprintf("q%d/lo", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindCX, 0, 1))
+		})
+		b.Run(fmt.Sprintf("q%d/mid", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindCX, w/2, w/2-1))
+		})
+		b.Run(fmt.Sprintf("q%d/hi", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindCX, w-1, w-2))
+		})
+	}
+}
+
+func BenchmarkKernels_CPhase(b *testing.B) {
+	for _, w := range kernelWidths {
+		b.Run(fmt.Sprintf("q%d/lo-hi", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindCZ, 0, w-1))
+		})
+		b.Run(fmt.Sprintf("q%d/mid", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindCZ, w/2, w/2-1))
+		})
+	}
+}
+
+func BenchmarkKernels_Diag(b *testing.B) {
+	for _, w := range kernelWidths {
+		b.Run(fmt.Sprintf("q%d/T", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindT, w/2))
+		})
+		b.Run(fmt.Sprintf("q%d/RZ", w), func(b *testing.B) {
+			benchKernel(b, w, gate.NewParam(gate.KindRZ, []float64{0.3}, w/2))
+		})
+	}
+}
+
+func BenchmarkKernels_1Q(b *testing.B) {
+	for _, w := range kernelWidths {
+		b.Run(fmt.Sprintf("q%d/lo", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindH, 0))
+		})
+		b.Run(fmt.Sprintf("q%d/hi", w), func(b *testing.B) {
+			benchKernel(b, w, gate.New(gate.KindH, w-1))
+		})
+	}
+}
+
+func BenchmarkKernels_2Q(b *testing.B) {
+	// CRX has no specialized fast path, so this times the generic Apply2Q
+	// gather/scatter kernel.
+	for _, w := range kernelWidths {
+		b.Run(fmt.Sprintf("q%d/lo", w), func(b *testing.B) {
+			benchKernel(b, w, gate.NewParam(gate.KindCRX, []float64{0.4}, 0, 1))
+		})
+		b.Run(fmt.Sprintf("q%d/hi", w), func(b *testing.B) {
+			benchKernel(b, w, gate.NewParam(gate.KindCRX, []float64{0.4}, w-1, w-2))
+		})
+	}
+}
+
+// benchSink keeps pure-function benchmark results alive; without it the
+// compiler inlines Prob1 and deletes the whole loop body as dead code.
+var benchSink float64
+
+func BenchmarkKernels_Prob1(b *testing.B) {
+	for _, w := range kernelWidths {
+		st := statevec.NewZero(w)
+		st.Apply(gate.New(gate.KindH, w-1))
+		b.Run(fmt.Sprintf("q%d", w), func(b *testing.B) {
+			b.SetBytes(int64(st.Bytes()))
+			for i := 0; i < b.N; i++ {
+				benchSink += st.Prob1(w - 1)
+			}
+			b.ReportMetric(float64(st.Dim())*float64(b.N)/b.Elapsed().Seconds(), "amps/s")
 		})
 	}
 }

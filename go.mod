@@ -1,0 +1,3 @@
+module tqsim
+
+go 1.24

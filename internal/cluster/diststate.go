@@ -30,6 +30,10 @@ type DistState struct {
 	nodes  int
 	global int // log2(nodes)
 	shards [][]complex128
+	// wrapped[i] is a statevec view over shards[i], built once so every
+	// node-local gate reuses the engine's strided fast-path kernels (and
+	// the worker pool) without re-wrapping per gate.
+	wrapped []*statevec.State
 	// BytesSent accumulates the total amplitude traffic between shards.
 	BytesSent int64
 	// Exchanges counts pairwise shard exchanges (message rounds).
@@ -52,8 +56,10 @@ func NewDistState(n, nodes int) *DistState {
 	d := &DistState{n: n, nodes: nodes, global: g}
 	shardLen := 1 << uint(n-g)
 	d.shards = make([][]complex128, nodes)
+	d.wrapped = make([]*statevec.State, nodes)
 	for i := range d.shards {
 		d.shards[i] = make([]complex128, shardLen)
+		d.wrapped[i] = statevec.Wrap(d.shards[i])
 	}
 	d.shards[0][0] = 1
 	return d
@@ -91,8 +97,8 @@ func (d *DistState) globalBit(q int) int { return q - (d.n - d.global) }
 // is global.
 func (d *DistState) Apply1Q(t int, m qmath.Matrix) {
 	if !d.isGlobal(t) {
-		for _, sh := range d.shards {
-			statevec.Wrap(sh).Apply1Q(t, m)
+		for _, w := range d.wrapped {
+			w.Apply1Q(t, m)
 		}
 		return
 	}
@@ -121,8 +127,8 @@ func (d *DistState) Apply2Q(q0, q1 int, m qmath.Matrix) {
 	g0, g1 := d.isGlobal(q0), d.isGlobal(q1)
 	switch {
 	case !g0 && !g1:
-		for _, sh := range d.shards {
-			statevec.Wrap(sh).Apply2Q(q0, q1, m)
+		for _, w := range d.wrapped {
+			w.Apply2Q(q0, q1, m)
 		}
 	case g0 && g1:
 		b0 := 1 << uint(d.globalBit(q0))
@@ -191,17 +197,55 @@ func (d *DistState) Apply2Q(q0, q1 int, m qmath.Matrix) {
 	}
 }
 
+// localQubits reports whether every operand of g is node-local.
+func (d *DistState) localQubits(g gate.Gate) bool {
+	for _, q := range g.Qubits {
+		if d.isGlobal(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasFastKernel reports whether statevec.Apply dispatches this kind to a
+// specialized kernel that never builds the gate matrix. Only these kinds
+// are routed per-shard through Apply; for the rest, building g.Matrix()
+// once here and sharing it across shards beats rebuilding it per shard.
+func hasFastKernel(k gate.Kind) bool {
+	switch k {
+	case gate.KindX, gate.KindZ, gate.KindS, gate.KindSdg, gate.KindT,
+		gate.KindTdg, gate.KindP, gate.KindRZ, gate.KindCX, gate.KindCZ,
+		gate.KindCP:
+		return true
+	}
+	return false
+}
+
 // Apply applies a 1- or 2-qubit gate instance. Wider gates must be
 // decomposed before distribution (the suite's generators already emit
-// 1q/2q streams when asked).
+// 1q/2q streams when asked). Gates whose operands are all node-local are
+// dispatched through the statevec fast-path kernels (specialized X, CX,
+// CZ/CP and diagonal kernels), not the generic dense matrix path.
 func (d *DistState) Apply(g gate.Gate) {
 	switch g.Arity() {
 	case 1:
 		if g.Kind == gate.KindI {
 			return
 		}
+		if !d.isGlobal(g.Qubits[0]) && hasFastKernel(g.Kind) {
+			for _, w := range d.wrapped {
+				w.Apply(g)
+			}
+			return
+		}
 		d.Apply1Q(g.Qubits[0], g.Matrix())
 	case 2:
+		if d.localQubits(g) && hasFastKernel(g.Kind) {
+			for _, w := range d.wrapped {
+				w.Apply(g)
+			}
+			return
+		}
 		d.Apply2Q(g.Qubits[0], g.Qubits[1], g.Matrix())
 	default:
 		panic("cluster: gates wider than 2 qubits must be decomposed for distribution")

@@ -76,12 +76,31 @@ func (e *Executor) runSegment(st *statevec.State, be Backend, gs []gate.Gate, r 
 // valid for the duration of the call; the RNG stream is the leaf node's own.
 type LeafFunc func(st *statevec.State, r *rng.RNG)
 
-// runTree walks the plan's simulation tree depth-first, invoking onLeaf for
-// every leaf, and fills the accounting fields of res. Parallelism > 1
-// distributes first-level subtrees across workers; node RNG streams are
-// keyed by deterministic DFS sequence numbers, so results are identical to
-// the serial walk.
-func (e *Executor) runTree(plan *partition.Plan, res *Result, onLeaf LeafFunc) error {
+// treeWorkers returns the worker count a tree run will use for the plan:
+// Parallelism clamped to [1, first-level arity].
+func (e *Executor) treeWorkers(plan *partition.Plan) int {
+	w := e.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	if w > plan.Arities[0] {
+		w = plan.Arities[0]
+	}
+	return w
+}
+
+// runTree walks the plan's simulation tree depth-first and fills the
+// accounting fields of res. Parallelism > 1 distributes first-level subtrees
+// across workers; node RNG streams are keyed by deterministic DFS sequence
+// numbers, so results are identical to the serial walk.
+//
+// leafFor is called once per worker, before that worker starts, and must
+// return the worker's private leaf observer. Each observer runs on exactly
+// one goroutine with no cross-worker synchronization — callers accumulate
+// into per-worker shards and merge after runTree returns, instead of the
+// previous design's global mutex around every leaf (which serialized the
+// sample-and-histogram tail of every subtree).
+func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worker int) LeafFunc) error {
 	be := e.Backend
 	if be == nil {
 		be = PlainBackend{}
@@ -101,13 +120,7 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, onLeaf LeafFunc) e
 		subtreeNodes += acc
 	}
 
-	workers := e.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > plan.Arities[0] {
-		workers = plan.Arities[0]
-	}
+	workers := e.treeWorkers(plan)
 	res.PeakStateBytes = int64(workers) * int64(levels+1) * (int64(16) << uint(n))
 
 	type shard struct {
@@ -115,9 +128,9 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, onLeaf LeafFunc) e
 	}
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes onLeaf when workers > 1
 
 	for w := 0; w < workers; w++ {
+		onLeaf := leafFor(w)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -154,13 +167,7 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, onLeaf LeafFunc) e
 					r := rootRNG.SplitAt(seq)
 					sh.ops += e.runSegment(st, be, gates, r)
 					if level == levels-1 {
-						if workers > 1 {
-							mu.Lock()
-							onLeaf(st, r)
-							mu.Unlock()
-						} else {
-							onLeaf(st, r)
-						}
+						onLeaf(st, r)
 					} else {
 						walk(level+1, st, seq+1)
 					}
@@ -178,13 +185,7 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, onLeaf LeafFunc) e
 				r := rootRNG.SplitAt(seq)
 				sh.ops += e.runSegment(st, be, gates0, r)
 				if levels == 1 {
-					if workers > 1 {
-						mu.Lock()
-						onLeaf(st, r)
-						mu.Unlock()
-					} else {
-						onLeaf(st, r)
-					}
+					onLeaf(st, r)
 				} else {
 					walk(1, st, seq+1)
 				}
@@ -218,14 +219,33 @@ func (e *Executor) Run(plan *partition.Plan) (*Result, error) {
 	}
 	n := plan.Circuit.NumQubits
 	start := time.Now()
-	err := e.runTree(plan, res, func(st *statevec.State, r *rng.RNG) {
-		out := st.Sample(r)
-		out = e.Noise.FlipReadout(out, n, r)
-		res.Counts[out]++
-		res.Outcomes++
+	// Each worker histograms its own leaves; the maps are merged once after
+	// the tree walk instead of locking around every sample. Counts are
+	// integers keyed by outcome, so the merged histogram is identical to a
+	// serial walk's for the same seed.
+	type leafShard struct {
+		counts   map[uint64]int
+		outcomes int
+	}
+	shards := make([]leafShard, e.treeWorkers(plan))
+	err := e.runTree(plan, res, func(worker int) LeafFunc {
+		sh := &shards[worker]
+		sh.counts = make(map[uint64]int)
+		return func(st *statevec.State, r *rng.RNG) {
+			out := st.Sample(r)
+			out = e.Noise.FlipReadout(out, n, r)
+			sh.counts[out]++
+			sh.outcomes++
+		}
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i := range shards {
+		for k, v := range shards[i].counts {
+			res.Counts[k] += v
+		}
+		res.Outcomes += shards[i].outcomes
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

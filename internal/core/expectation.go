@@ -38,14 +38,24 @@ func (e *Executor) RunExpectation(plan *partition.Plan, h *observable.Hamiltonia
 		Structure:   plan.Structure(),
 		BackendName: be.Name(),
 	}
-	var values []float64
+	// Per-worker value accumulation, concatenated in worker order after the
+	// walk — no lock on the leaf path, and a reproducible value order for a
+	// given parallelism (the old mutex design appended in whatever order
+	// workers reached the lock).
+	workerValues := make([][]float64, e.treeWorkers(plan))
 	start := time.Now()
-	err := e.runTree(plan, res, func(st *statevec.State, r *rng.RNG) {
-		values = append(values, h.ExpectationState(st))
-		res.Outcomes++
+	err := e.runTree(plan, res, func(worker int) LeafFunc {
+		return func(st *statevec.State, r *rng.RNG) {
+			workerValues[worker] = append(workerValues[worker], h.ExpectationState(st))
+		}
 	})
 	if err != nil {
 		return nil, err
+	}
+	var values []float64
+	for _, vs := range workerValues {
+		values = append(values, vs...)
+		res.Outcomes += len(vs)
 	}
 	res.Elapsed = time.Since(start)
 	return &ExpectationResult{

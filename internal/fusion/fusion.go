@@ -21,22 +21,40 @@ import (
 
 // Backend buffers single-qubit gates per qubit and fuses them. It satisfies
 // core.Backend.
+//
+// Buffers are qubit-indexed slices grown on demand rather than maps: the
+// executor flushes after every gate of a noisy segment, so the
+// buffer/flush pair runs once per gate and the map hashing + allocation of
+// the original implementation sat directly on the hot path. Fused products
+// are multiplied in place into the pending matrix's storage, so a run of k
+// gates costs one matrix allocation, not k.
 type Backend struct {
-	// pending[q] is the accumulated 2x2 unitary awaiting application to
-	// qubit q (nil when none).
-	pending map[int]qmath.Matrix
+	// pending[q] holds the accumulated 2x2 unitary awaiting application to
+	// qubit q; it is valid iff runLen[q] > 0.
+	pending []qmath.Matrix
+	// runLen tracks the constituent count of each pending matrix.
+	runLen []int
+	// touched lists qubits with possibly-pending work, so Flush skips the
+	// untouched remainder of the register.
+	touched []int
 	// FusedRuns counts fused applications; SingleFlushes counts pending
 	// matrices flushed with only one constituent gate. The ratio
 	// quantifies how much fusion a workload admitted.
 	FusedRuns     int64
 	SingleFlushes int64
-	// runLen tracks the constituent count of each pending matrix.
-	runLen map[int]int
 }
 
 // New returns an empty fusion backend.
 func New() *Backend {
-	return &Backend{pending: map[int]qmath.Matrix{}, runLen: map[int]int{}}
+	return &Backend{}
+}
+
+// grow ensures the per-qubit buffers cover qubit q.
+func (b *Backend) grow(q int) {
+	for len(b.pending) <= q {
+		b.pending = append(b.pending, qmath.Matrix{})
+		b.runLen = append(b.runLen, 0)
+	}
 }
 
 // Name implements core.Backend.
@@ -54,27 +72,40 @@ var (
 	_ core.Forker  = (*Backend)(nil)
 )
 
-// flushQubit applies the pending matrix for qubit q, if any.
+// flushQubit applies the pending matrix for qubit q, if any. The qubit may
+// linger on the touched list until the next Flush; runLen guards validity.
 func (b *Backend) flushQubit(s *statevec.State, q int) {
-	m, ok := b.pending[q]
-	if !ok {
+	if q >= len(b.runLen) || b.runLen[q] == 0 {
 		return
 	}
-	s.Apply1Q(q, m)
+	s.Apply1Q(q, b.pending[q])
 	if b.runLen[q] > 1 {
 		b.FusedRuns++
 	} else {
 		b.SingleFlushes++
 	}
-	delete(b.pending, q)
-	delete(b.runLen, q)
+	b.runLen[q] = 0
 }
 
-// Flush implements core.Backend: applies every pending fused matrix.
+// Flush implements core.Backend: applies every pending fused matrix, in
+// first-touch order (deterministic, unlike the original map iteration —
+// pending 1q matrices on distinct qubits commute, but a fixed order keeps
+// runs reproducible).
 func (b *Backend) Flush(s *statevec.State) {
-	for q := range b.pending {
+	for _, q := range b.touched {
 		b.flushQubit(s, q)
 	}
+	b.touched = b.touched[:0]
+}
+
+// mul2x2 sets dst = m * p (2x2), reading both fully before writing so dst
+// may alias p.
+func mul2x2(dst, m, p []complex128) {
+	d0 := m[0]*p[0] + m[1]*p[2]
+	d1 := m[0]*p[1] + m[1]*p[3]
+	d2 := m[2]*p[0] + m[3]*p[2]
+	d3 := m[2]*p[1] + m[3]*p[3]
+	dst[0], dst[1], dst[2], dst[3] = d0, d1, d2, d3
 }
 
 // Apply implements core.Backend. Single-qubit gates accumulate into the
@@ -86,13 +117,16 @@ func (b *Backend) Apply(s *statevec.State, g gate.Gate) {
 	}
 	if g.Arity() == 1 {
 		q := g.Qubits[0]
+		b.grow(q)
 		m := g.Matrix()
-		if prev, ok := b.pending[q]; ok {
-			b.pending[q] = qmath.Mul(m, prev) // later gate multiplies on the left
+		if b.runLen[q] > 0 {
+			// Later gate multiplies on the left, in place.
+			mul2x2(b.pending[q].Data, m.Data, b.pending[q].Data)
 			b.runLen[q]++
 		} else {
 			b.pending[q] = m
 			b.runLen[q] = 1
+			b.touched = append(b.touched, q)
 		}
 		return
 	}

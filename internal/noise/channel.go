@@ -55,15 +55,26 @@ func pauli1() [4]qmath.Matrix {
 	}
 }
 
+// Preallocated trajectory operators. Channels fire after every gate of every
+// tree node, so the per-application qmath.FromRows allocations the originals
+// made were pure hot-path garbage. X and Z go through the statevec swap and
+// diagonal subspace kernels instead of the generic 2x2 path.
+var (
+	pauliYMat = qmath.FromRows([][]complex128{{0, -1i}, {1i, 0}})
+	// adJumpMat is amplitude damping's (unnormalized) jump operator
+	// K1/sqrt(gamma): |0><1|.
+	adJumpMat = qmath.FromRows([][]complex128{{0, 1}, {0, 0}})
+)
+
 // applyPauli applies Pauli index p (1=X, 2=Y, 3=Z) to qubit q.
 func applyPauli(s *statevec.State, q, p int) {
 	switch p {
 	case 1:
-		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, 1}, {1, 0}}))
+		s.ApplyX(q)
 	case 2:
-		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, -1i}, {1i, 0}}))
+		s.Apply1Q(q, pauliYMat)
 	case 3:
-		s.Apply1Q(q, qmath.FromRows([][]complex128{{1, 0}, {0, -1}}))
+		s.ApplyDiag1Q(q, 1, -1)
 	}
 }
 
@@ -184,11 +195,10 @@ func (a AmplitudeDamping) ApplyTrajectory(s *statevec.State, qubits []int, r *rn
 	pJump := a.Gamma * p1
 	if r.Float64() < pJump {
 		// Jump: |1> -> |0| with K1; resulting state is |0> on q.
-		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, 1}, {0, 0}}))
+		s.Apply1Q(q, adJumpMat)
 	} else {
-		s.Apply1Q(q, qmath.FromRows([][]complex128{
-			{1, 0}, {0, complex(math.Sqrt(1-a.Gamma), 0)},
-		}))
+		// No-jump K0 = diag(1, sqrt(1-gamma)): subspace kernel, no matrix.
+		s.ApplyDiag1Q(q, 1, complex(math.Sqrt(1-a.Gamma), 0))
 	}
 	s.Normalize()
 	return 1
@@ -225,11 +235,9 @@ func (p PhaseDamping) ApplyTrajectory(s *statevec.State, qubits []int, r *rng.RN
 	pJump := p.Lambda * p1
 	if r.Float64() < pJump {
 		// Jump: project onto |1><1| (up to normalization).
-		s.Apply1Q(q, qmath.FromRows([][]complex128{{0, 0}, {0, 1}}))
+		s.ApplyDiag1Q(q, 0, 1)
 	} else {
-		s.Apply1Q(q, qmath.FromRows([][]complex128{
-			{1, 0}, {0, complex(math.Sqrt(1-p.Lambda), 0)},
-		}))
+		s.ApplyDiag1Q(q, 1, complex(math.Sqrt(1-p.Lambda), 0))
 	}
 	s.Normalize()
 	return 1

@@ -1,0 +1,149 @@
+package statevec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernel worker pool. A tree run applies millions of gate kernels, and
+// the original parallelFor spawned (and tore down) GOMAXPROCS goroutines for
+// every one of them. The pool below starts its workers once, lazily, and
+// thereafter dispatches each kernel as a single job whose chunk ranges the
+// long-lived workers claim with one atomic increment apiece — the per-call
+// cost is one job allocation and a channel wakeup instead of a goroutine
+// fan-out.
+//
+// The submitting goroutine always participates in draining its own job, so a
+// kernel makes progress even when every pool worker is busy with other jobs
+// (e.g. parallel tree workers in internal/core issuing kernels
+// concurrently). That also means the pool can never deadlock: job wakeups
+// are best-effort non-blocking sends.
+
+// minChunk is the smallest chunk (in loop iterations) worth handing to a
+// worker; below it the dispatch overhead dominates the loop body.
+const minChunk = 1 << 10
+
+// poolJob is one parallel loop: body over [0, n) split into fixed chunks.
+// Workers (and the submitter) claim chunk c via next and process
+// [c*chunk, min((c+1)*chunk, n)).
+type poolJob struct {
+	body  func(chunk, start, end int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// drain claims and runs chunks until the job is exhausted.
+func (j *poolJob) drain() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		start := c * j.chunk
+		if start >= j.n {
+			return
+		}
+		end := start + j.chunk
+		if end > j.n {
+			end = j.n
+		}
+		j.body(c, start, end)
+		j.wg.Done()
+	}
+}
+
+// workerPool is the package-level persistent pool.
+type workerPool struct {
+	workers int
+	jobs    chan *poolJob
+}
+
+var (
+	poolOnce sync.Once
+	pool     *workerPool
+)
+
+// getPool starts the pool on first use with GOMAXPROCS workers.
+func getPool() *workerPool {
+	poolOnce.Do(func() {
+		w := runtime.GOMAXPROCS(0)
+		if w < 1 {
+			w = 1
+		}
+		pool = &workerPool{workers: w, jobs: make(chan *poolJob, 4*w)}
+		for i := 0; i < w; i++ {
+			go func() {
+				for job := range pool.jobs {
+					job.drain()
+				}
+			}()
+		}
+	})
+	return pool
+}
+
+// split returns the chunk size and chunk count for an n-iteration loop. The
+// loop is oversplit 2x relative to the worker count (bounded below by
+// minChunk) so a worker that starts late or runs slow does not stretch the
+// whole kernel by a full chunk. The split depends only on n and the worker
+// count fixed at pool start, keeping chunk boundaries — and therefore any
+// per-chunk floating-point reduction order — deterministic for a process.
+func (p *workerPool) split(n int) (chunk, chunks int) {
+	chunks = 2 * p.workers
+	chunk = (n + chunks - 1) / chunks
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	chunks = (n + chunk - 1) / chunk
+	return chunk, chunks
+}
+
+// run executes body over [0, n) on the pool and returns when every chunk has
+// completed. The calling goroutine takes part in the work.
+func (p *workerPool) run(n int, body func(chunk, start, end int)) {
+	chunk, chunks := p.split(n)
+	job := &poolJob{body: body, n: n, chunk: chunk}
+	job.wg.Add(chunks)
+	// Wake at most chunks-1 workers; the caller claims a share itself. A
+	// full queue just means the caller (and already-busy workers) do more.
+	for i := 0; i < chunks-1; i++ {
+		select {
+		case p.jobs <- job:
+		default:
+			i = chunks // queue full; stop signalling
+		}
+	}
+	job.drain()
+	job.wg.Wait()
+}
+
+// parallelFor splits [0, n) across the persistent worker pool when the
+// problem is large enough. ParallelThreshold stays a variable so benchmarks
+// can ablate the serial/parallel crossover.
+func parallelFor(n int, body func(start, end int)) {
+	if n < ParallelThreshold {
+		body(0, n)
+		return
+	}
+	getPool().run(n, func(_, start, end int) { body(start, end) })
+}
+
+// parallelSum reduces fn over [0, n): each chunk's partial sum lands in a
+// slot indexed by its chunk number and the slots are added in ascending
+// order, so the floating-point result is independent of worker scheduling.
+func parallelSum(n int, fn func(start, end int) float64) float64 {
+	if n < ParallelThreshold {
+		return fn(0, n)
+	}
+	p := getPool()
+	_, chunks := p.split(n)
+	partials := make([]float64, chunks)
+	p.run(n, func(chunk, start, end int) {
+		partials[chunk] = fn(start, end)
+	})
+	var total float64
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}

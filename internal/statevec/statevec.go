@@ -13,8 +13,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"runtime"
-	"sync"
 
 	"tqsim/internal/gate"
 	"tqsim/internal/qmath"
@@ -159,14 +157,49 @@ func (s *State) Prob(i uint64) float64 {
 }
 
 // Prob1 returns the marginal probability that qubit q measures 1. Noise
-// channels use it to compute quantum-jump probabilities analytically.
+// channels use it to compute quantum-jump probabilities analytically. Only
+// the qubit-q=1 half-space is visited, in contiguous runs; partial sums are
+// combined in deterministic chunk order (see parallelSum), so results are
+// reproducible across runs regardless of worker scheduling.
 func (s *State) Prob1(q int) float64 {
-	mask := uint64(1) << uint(q)
+	half := len(s.amps) / 2
+	if half < ParallelThreshold {
+		// Direct call on the serial path: damping channels invoke Prob1
+		// once per gate, so the parallel path's closure allocation is worth
+		// dodging on small registers.
+		return s.prob1Range(q, 0, half)
+	}
+	return parallelSum(half, func(start, end int) float64 {
+		return s.prob1Range(q, start, end)
+	})
+}
+
+// prob1Range accumulates |amp|^2 over compressed qubit-q=1 subspace indices
+// [start, end), visiting amplitudes in ascending order (the summation order
+// is therefore independent of how the range is chunked only up to chunk
+// boundaries, which parallelSum pins deterministically).
+func (s *State) prob1Range(q, start, end int) float64 {
+	mask := 1 << uint(q)
+	amps := s.amps
 	var p float64
-	for i, a := range s.amps {
-		if uint64(i)&mask != 0 {
+	if q == 0 {
+		for i := 2*start + 1; i < 2*end; i += 2 {
+			a := amps[i]
 			p += real(a)*real(a) + imag(a)*imag(a)
 		}
+		return p
+	}
+	for j := start; j < end; {
+		off := j & (mask - 1)
+		base := (j>>uint(q))<<uint(q+1) | mask
+		run := mask - off
+		if run > end-j {
+			run = end - j
+		}
+		for _, a := range amps[base+off : base+off+run] {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+		j += run
 	}
 	return p
 }
@@ -218,35 +251,10 @@ func (s *State) SampleMany(k int, r *rng.RNG) []uint64 {
 	return out
 }
 
-// parallelFor splits [0, n) across workers when the problem is large enough.
-func parallelFor(n int, body func(start, end int)) {
-	if n < ParallelThreshold {
-		body(0, n)
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
-		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			body(s, e)
-		}(start, end)
-	}
-	wg.Wait()
-}
+// minRunLen is the shortest contiguous run worth iterating via subslices;
+// below it the per-run slicing overhead exceeds the per-index bit-expansion
+// it replaces, so kernels fall back to index arithmetic.
+const minRunLen = 8
 
 // Apply1Q applies the 2x2 matrix m to qubit t.
 func (s *State) Apply1Q(t int, m qmath.Matrix) {
@@ -256,6 +264,28 @@ func (s *State) Apply1Q(t int, m qmath.Matrix) {
 	s.apply1q(t, m.Data[0], m.Data[1], m.Data[2], m.Data[3])
 }
 
+// ApplyDiag1Q applies the diagonal matrix diag(d0, d1) to qubit t through
+// the subspace-only kernel. Noise channels use it to apply phase flips,
+// projectors, and damping no-jump operators without building a matrix.
+func (s *State) ApplyDiag1Q(t int, d0, d1 complex128) {
+	if t < 0 || t >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range", t))
+	}
+	s.applyDiag1q(t, d0, d1)
+}
+
+// ApplyX applies Pauli-X to qubit t through the swap fast path.
+func (s *State) ApplyX(t int) {
+	if t < 0 || t >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range", t))
+	}
+	s.applyX(t)
+}
+
+// apply1q visits the dim/2 (i0, i0|2^t) amplitude pairs in ascending order.
+// Low targets iterate contiguous adjacent pairs; high targets iterate runs
+// of 2^t consecutive amplitudes per subslice pair, so the inner loop is
+// branch-free index-increment code the compiler can keep in registers.
 func (s *State) apply1q(t int, m00, m01, m10, m11 complex128) {
 	if t < 0 || t >= s.n {
 		panic(fmt.Sprintf("statevec: qubit %d out of range", t))
@@ -263,31 +293,139 @@ func (s *State) apply1q(t int, m00, m01, m10, m11 complex128) {
 	mask := 1 << uint(t)
 	half := len(s.amps) / 2
 	amps := s.amps
+	switch {
+	case t == 0:
+		parallelFor(half, func(start, end int) {
+			for i := 2 * start; i < 2*end; i += 2 {
+				a0, a1 := amps[i], amps[i+1]
+				amps[i] = m00*a0 + m01*a1
+				amps[i+1] = m10*a0 + m11*a1
+			}
+		})
+	case mask < minRunLen:
+		parallelFor(half, func(start, end int) {
+			for i := start; i < end; i++ {
+				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
+				i1 := i0 | mask
+				a0, a1 := amps[i0], amps[i1]
+				amps[i0] = m00*a0 + m01*a1
+				amps[i1] = m10*a0 + m11*a1
+			}
+		})
+	default:
+		parallelFor(half, func(start, end int) {
+			for j := start; j < end; {
+				off := j & (mask - 1)
+				base := (j >> uint(t)) << uint(t+1)
+				run := mask - off
+				if run > end-j {
+					run = end - j
+				}
+				lo := amps[base+off : base+off+run]
+				hi := amps[base+off+mask : base+off+mask+run]
+				for k := range lo {
+					a0, a1 := lo[k], hi[k]
+					lo[k] = m00*a0 + m01*a1
+					hi[k] = m10*a0 + m11*a1
+				}
+				j += run
+			}
+		})
+	}
+}
+
+// scaleHalf multiplies the half-space where qubit t equals the chosen bit by
+// d, visiting only those dim/2 amplitudes in contiguous runs.
+func (s *State) scaleHalf(t int, one bool, d complex128) {
+	mask := 1 << uint(t)
+	sel := 0
+	if one {
+		sel = mask
+	}
+	half := len(s.amps) / 2
+	amps := s.amps
+	if t == 0 {
+		parallelFor(half, func(start, end int) {
+			for i := 2*start + sel; i < 2*end; i += 2 {
+				amps[i] *= d
+			}
+		})
+		return
+	}
 	parallelFor(half, func(start, end int) {
-		for i := start; i < end; i++ {
-			lo := i & (mask - 1)
-			i0 := ((i >> uint(t)) << uint(t+1)) | lo
-			i1 := i0 | mask
-			a0, a1 := amps[i0], amps[i1]
-			amps[i0] = m00*a0 + m01*a1
-			amps[i1] = m10*a0 + m11*a1
+		for j := start; j < end; {
+			off := j & (mask - 1)
+			base := (j>>uint(t))<<uint(t+1) | sel
+			run := mask - off
+			if run > end-j {
+				run = end - j
+			}
+			seg := amps[base+off : base+off+run]
+			for k := range seg {
+				seg[k] *= d
+			}
+			j += run
 		}
 	})
 }
 
 // applyDiag1q multiplies the qubit-t zero and one amplitudes by d0 and d1.
+// Identity halves are skipped entirely (phase gates touch dim/2 amplitudes,
+// not dim). When both halves are scaled and the target is low enough that
+// runs are sub-cache-line, a single fused pass avoids fetching every line
+// twice.
 func (s *State) applyDiag1q(t int, d0, d1 complex128) {
-	mask := uint64(1) << uint(t)
-	amps := s.amps
-	parallelFor(len(amps), func(start, end int) {
-		for i := start; i < end; i++ {
-			if uint64(i)&mask != 0 {
-				amps[i] *= d1
-			} else if d0 != 1 {
-				amps[i] *= d0
-			}
+	switch {
+	case d0 == 1:
+		if d1 != 1 {
+			s.scaleHalf(t, true, d1)
 		}
-	})
+	case d1 == 1:
+		s.scaleHalf(t, false, d0)
+	case 1<<uint(t) < minRunLen:
+		mask := 1 << uint(t)
+		half := len(s.amps) / 2
+		amps := s.amps
+		if t == 0 {
+			parallelFor(half, func(start, end int) {
+				for i := 2 * start; i < 2*end; i += 2 {
+					amps[i] *= d0
+					amps[i+1] *= d1
+				}
+			})
+			return
+		}
+		parallelFor(half, func(start, end int) {
+			for i := start; i < end; i++ {
+				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
+				amps[i0] *= d0
+				amps[i0|mask] *= d1
+			}
+		})
+	default:
+		// Both halves scaled, long runs: one fused pass with two sequential
+		// streams (2^t apart) so every cache line is loaded exactly once.
+		mask := 1 << uint(t)
+		half := len(s.amps) / 2
+		amps := s.amps
+		parallelFor(half, func(start, end int) {
+			for j := start; j < end; {
+				off := j & (mask - 1)
+				base := (j >> uint(t)) << uint(t+1)
+				run := mask - off
+				if run > end-j {
+					run = end - j
+				}
+				lo := amps[base+off : base+off+run]
+				hi := amps[base+off+mask : base+off+mask+run]
+				for k := range lo {
+					lo[k] *= d0
+					hi[k] *= d1
+				}
+				j += run
+			}
+		})
+	}
 }
 
 // applyX swaps pair amplitudes — the Pauli-X fast path.
@@ -295,44 +433,122 @@ func (s *State) applyX(t int) {
 	mask := 1 << uint(t)
 	half := len(s.amps) / 2
 	amps := s.amps
-	parallelFor(half, func(start, end int) {
-		for i := start; i < end; i++ {
-			lo := i & (mask - 1)
-			i0 := ((i >> uint(t)) << uint(t+1)) | lo
-			i1 := i0 | mask
-			amps[i0], amps[i1] = amps[i1], amps[i0]
-		}
-	})
-}
-
-// applyCX applies CNOT with the given control and target.
-func (s *State) applyCX(ctl, tgt int) {
-	cmask := uint64(1) << uint(ctl)
-	tmask := uint64(1) << uint(tgt)
-	amps := s.amps
-	parallelFor(len(amps), func(start, end int) {
-		for i := start; i < end; i++ {
-			ui := uint64(i)
-			// Visit each pair once via its target-0 member, control set.
-			if ui&cmask != 0 && ui&tmask == 0 {
-				j := ui | tmask
-				amps[i], amps[j] = amps[j], amps[i]
+	switch {
+	case t == 0:
+		parallelFor(half, func(start, end int) {
+			for i := 2 * start; i < 2*end; i += 2 {
+				amps[i], amps[i+1] = amps[i+1], amps[i]
 			}
+		})
+	case mask < minRunLen:
+		parallelFor(half, func(start, end int) {
+			for i := start; i < end; i++ {
+				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
+				i1 := i0 | mask
+				amps[i0], amps[i1] = amps[i1], amps[i0]
+			}
+		})
+	default:
+		parallelFor(half, func(start, end int) {
+			for j := start; j < end; {
+				off := j & (mask - 1)
+				base := (j >> uint(t)) << uint(t+1)
+				run := mask - off
+				if run > end-j {
+					run = end - j
+				}
+				lo := amps[base+off : base+off+run]
+				hi := amps[base+off+mask : base+off+mask+run]
+				for k := range lo {
+					lo[k], hi[k] = hi[k], lo[k]
+				}
+				j += run
+			}
+		})
+	}
+}
+
+// twoBitMasks returns the expansion masks for enumerating indices with the
+// (distinct) qubit-a and qubit-b bits clear: expand(j) spreads j across the
+// remaining bit positions.
+func twoBitMasks(a, b int) (lowMask, midMask int) {
+	if a > b {
+		a, b = b, a
+	}
+	lowMask = 1<<uint(a) - 1
+	midMask = (1<<uint(b-1) - 1) &^ lowMask
+	return lowMask, midMask
+}
+
+// applyCX applies CNOT with the given control and target. Only the
+// control=1 quarter of the index space is enumerated — each swap pair once,
+// via two-zero-bit insertion, with no branch in the inner loop.
+func (s *State) applyCX(ctl, tgt int) {
+	cmask := 1 << uint(ctl)
+	tmask := 1 << uint(tgt)
+	lowMask, midMask := twoBitMasks(ctl, tgt)
+	quarter := len(s.amps) / 4
+	amps := s.amps
+	if lowMask+1 < minRunLen {
+		parallelFor(quarter, func(start, end int) {
+			for j := start; j < end; j++ {
+				base := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
+				i0 := base | cmask
+				i1 := i0 | tmask
+				amps[i0], amps[i1] = amps[i1], amps[i0]
+			}
+		})
+		return
+	}
+	// Below the lower of the two qubits, compressed indices map to
+	// consecutive amplitudes: swap two contiguous streams per run.
+	parallelFor(quarter, func(start, end int) {
+		for j := start; j < end; {
+			off := j & lowMask
+			base := off | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2 | cmask
+			run := lowMask + 1 - off
+			if run > end-j {
+				run = end - j
+			}
+			s0 := amps[base : base+run]
+			s1 := amps[base+tmask : base+tmask+run]
+			for k := range s0 {
+				s0[k], s1[k] = s1[k], s0[k]
+			}
+			j += run
 		}
 	})
 }
 
-// applyCPhase multiplies amplitudes with both bits set by phase.
+// applyCPhase multiplies amplitudes with both bits set by phase, enumerating
+// only that quarter of the index space.
 func (s *State) applyCPhase(a, b int, phase complex128) {
-	am := uint64(1) << uint(a)
-	bm := uint64(1) << uint(b)
-	both := am | bm
+	both := 1<<uint(a) | 1<<uint(b)
+	lowMask, midMask := twoBitMasks(a, b)
+	quarter := len(s.amps) / 4
 	amps := s.amps
-	parallelFor(len(amps), func(start, end int) {
-		for i := start; i < end; i++ {
-			if uint64(i)&both == both {
+	if lowMask+1 < minRunLen {
+		parallelFor(quarter, func(start, end int) {
+			for j := start; j < end; j++ {
+				i := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2 | both
 				amps[i] *= phase
 			}
+		})
+		return
+	}
+	parallelFor(quarter, func(start, end int) {
+		for j := start; j < end; {
+			off := j & lowMask
+			base := off | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2 | both
+			run := lowMask + 1 - off
+			if run > end-j {
+				run = end - j
+			}
+			seg := amps[base : base+run]
+			for k := range seg {
+				seg[k] *= phase
+			}
+			j += run
 		}
 	})
 }
@@ -346,33 +562,54 @@ func (s *State) Apply2Q(q0, q1 int, m qmath.Matrix) {
 	if q0 == q1 || q0 < 0 || q1 < 0 || q0 >= s.n || q1 >= s.n {
 		panic(fmt.Sprintf("statevec: bad qubit pair (%d,%d)", q0, q1))
 	}
-	m0 := uint64(1) << uint(q0)
-	m1 := uint64(1) << uint(q1)
+	m0 := 1 << uint(q0)
+	m1 := 1 << uint(q1)
 	// Iterate over indices with both bits clear by inserting two zero bits.
-	a, b := q0, q1
-	if a > b {
-		a, b = b, a
-	}
-	lowMask := uint64(1)<<uint(a) - 1
-	midMask := (uint64(1)<<uint(b-1) - 1) &^ lowMask
+	lowMask, midMask := twoBitMasks(q0, q1)
 	quarter := len(s.amps) / 4
 	amps := s.amps
 	md := m.Data
+	if lowMask+1 < minRunLen {
+		// Low qubit too low for worthwhile runs: per-index bit expansion.
+		parallelFor(quarter, func(start, end int) {
+			for j := start; j < end; j++ {
+				base := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
+				i00 := base
+				i01 := base | m0
+				i10 := base | m1
+				i11 := base | m0 | m1
+				a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
+				amps[i00] = md[0]*a00 + md[1]*a01 + md[2]*a10 + md[3]*a11
+				amps[i01] = md[4]*a00 + md[5]*a01 + md[6]*a10 + md[7]*a11
+				amps[i10] = md[8]*a00 + md[9]*a01 + md[10]*a10 + md[11]*a11
+				amps[i11] = md[12]*a00 + md[13]*a01 + md[14]*a10 + md[15]*a11
+			}
+		})
+		return
+	}
+	// Consecutive compressed indices below the low qubit map to consecutive
+	// amplitude indices, so the four basis slots become four contiguous
+	// streams of up to 2^low elements each.
 	parallelFor(quarter, func(start, end int) {
-		for i := start; i < end; i++ {
-			ui := uint64(i)
-			base := ui & lowMask
-			base |= (ui & midMask) << 1
-			base |= (ui &^ (lowMask | midMask)) << 2
-			i00 := base
-			i01 := base | m0
-			i10 := base | m1
-			i11 := base | m0 | m1
-			a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
-			amps[i00] = md[0]*a00 + md[1]*a01 + md[2]*a10 + md[3]*a11
-			amps[i01] = md[4]*a00 + md[5]*a01 + md[6]*a10 + md[7]*a11
-			amps[i10] = md[8]*a00 + md[9]*a01 + md[10]*a10 + md[11]*a11
-			amps[i11] = md[12]*a00 + md[13]*a01 + md[14]*a10 + md[15]*a11
+		for j := start; j < end; {
+			off := j & lowMask
+			base := off | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
+			run := lowMask + 1 - off
+			if run > end-j {
+				run = end - j
+			}
+			s00 := amps[base : base+run]
+			s01 := amps[base+m0 : base+m0+run]
+			s10 := amps[base+m1 : base+m1+run]
+			s11 := amps[base+m0+m1 : base+m0+m1+run]
+			for k := range s00 {
+				a00, a01, a10, a11 := s00[k], s01[k], s10[k], s11[k]
+				s00[k] = md[0]*a00 + md[1]*a01 + md[2]*a10 + md[3]*a11
+				s01[k] = md[4]*a00 + md[5]*a01 + md[6]*a10 + md[7]*a11
+				s10[k] = md[8]*a00 + md[9]*a01 + md[10]*a10 + md[11]*a11
+				s11[k] = md[12]*a00 + md[13]*a01 + md[14]*a10 + md[15]*a11
+			}
+			j += run
 		}
 	})
 }
