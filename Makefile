@@ -1,17 +1,27 @@
 GO ?= go
 
-.PHONY: build test race bench-kernels bench ci
+.PHONY: build vet test race fuzz-smoke bench-kernels bench ci
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
-# Race-check the packages that carry concurrency: the statevec worker pool,
-# the parallel tree executor, and the parallel-shot baseline.
+# Race-check everything: the statevec worker pool, the parallel tree
+# executor (on every registered backend via the conformance suite), the
+# tableau tree runner, and the parallel-shot baseline all carry
+# concurrency.
 race:
-	$(GO) test -race ./internal/statevec/... ./internal/core/... ./internal/trajectory/...
+	$(GO) test -race ./...
+
+# Short fuzz smoke: the QASM parser/round-trip fuzzer plus its committed
+# regression corpus. Go runs one fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/qasm -run xxx -fuzz FuzzParseQASM -fuzztime 10s
 
 # Kernel microbenchmarks: per-gate-class amps/s across widths and qubit
 # positions. Track these across PRs for hot-path regressions.
@@ -22,4 +32,4 @@ bench-kernels:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build test race
+ci: build vet test race fuzz-smoke

@@ -27,7 +27,11 @@ func runAblation(cfg config) {
 			continue // too short for a 3-way comparison
 		}
 		ideal := tqsim.IdealDistribution(c)
-		base := tqsim.RunBaseline(c, m, shots, opt)
+		base, err := tqsim.RunBaselineBackend(c, m, shots, opt)
+		if err != nil {
+			fmt.Printf("%-14s error: %v\n", c.Name, err)
+			continue
+		}
 		baseF := tqsim.NormalizedFidelity(ideal, tqsim.CountsDist(base.Counts, c.NumQubits))
 		basePerShot := float64(base.GateApplications) / float64(base.Shots)
 

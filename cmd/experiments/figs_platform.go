@@ -108,7 +108,11 @@ func runFig18(cfg config) {
 				seed := cfg.seed + uint64(i*gridN+j)
 				baseOpt := opt
 				baseOpt.Seed = seed
-				base := tqsim.RunBaseline(c, m, shots, baseOpt)
+				base, err := tqsim.RunBaselineBackend(c, m, shots, baseOpt)
+				if err != nil {
+					fmt.Printf("  error: %v\n", err)
+					continue
+				}
 				baseSec += base.Elapsed.Seconds()
 				baseLand = append(baseLand, workloads.QAOAExpectedCutCounts(s.graph, base.Counts))
 				runOpt := opt

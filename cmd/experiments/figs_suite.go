@@ -58,6 +58,7 @@ func expOptions(cfg config) tqsim.Options {
 		Seed:     cfg.seed,
 		CopyCost: copyCostFor(),
 		Epsilon:  eps,
+		Backend:  cfg.backend,
 	}
 }
 
@@ -66,7 +67,11 @@ func expOptions(cfg config) tqsim.Options {
 func runSuiteComparison(cfg config, backend bool, row func(class string, cmp *tqsim.Comparison)) {
 	maxQ, shots := suiteConfig(cfg)
 	opt := expOptions(cfg)
-	opt.UseFusionBackend = backend
+	if backend {
+		// fig12 studies the fusion engine specifically; it overrides any
+		// -backend selection (Options.Backend wins over UseFusionBackend).
+		opt.Backend = "fusion"
+	}
 	for _, b := range tqsim.BenchmarkSuite(maxQ) {
 		cmp, err := tqsim.Compare(b.Circuit, tqsim.SycamoreNoise(), shots, opt)
 		if err != nil {
@@ -191,7 +196,11 @@ func runFig15(cfg config) {
 		for rep := 0; rep < reps; rep++ {
 			o := opt
 			o.Seed = cfg.seed + uint64(rep)*5701
-			base := tqsim.RunBaseline(c, m, shots, o)
+			base, err := tqsim.RunBaselineBackend(c, m, shots, o)
+			if err != nil {
+				fmt.Printf("%-12s error: %v\n", name, err)
+				continue
+			}
 			baseFs = append(baseFs, tqsim.NormalizedFidelity(ideal,
 				tqsim.CountsDist(base.Counts, c.NumQubits)))
 			res, err := tqsim.RunTQSim(c, m, shots, o)

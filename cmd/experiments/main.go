@@ -17,7 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
+
+	"tqsim"
 )
 
 // config carries the global experiment knobs. Quick mode (the default, like
@@ -26,6 +29,10 @@ import (
 type config struct {
 	full bool
 	seed uint64
+	// backend overrides the engine for the suite experiments (empty =
+	// statevec); see the "backends" experiment for a side-by-side of all
+	// registered engines.
+	backend string
 }
 
 type experiment struct {
@@ -55,13 +62,21 @@ var experiments = []experiment{
 	{"ablation", "DCP vs UCP vs XCP partitioners (DESIGN.md §5)", runAblation},
 	{"sensitivity", "shot-count sensitivity (paper §4.3)", runSensitivity},
 	{"oracle", "stabilizer-oracle cross-check on Clifford circuits", runOracle},
+	{"backends", "registry side-by-side: every engine on shared workloads", runBackends},
 }
 
 func main() {
 	var cfg config
 	flag.BoolVar(&cfg.full, "full", false, "run paper-scale parameters (slow)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "experiment seed")
+	flag.StringVar(&cfg.backend, "backend", "",
+		"execution engine for suite experiments: "+strings.Join(tqsim.Backends(), ", "))
 	flag.Parse()
+	if cfg.backend != "" && !slices.Contains(tqsim.Backends(), cfg.backend) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown backend %q (have %s)\n",
+			cfg.backend, strings.Join(tqsim.Backends(), ", "))
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

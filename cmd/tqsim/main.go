@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,7 +32,9 @@ func main() {
 		mode        = flag.String("mode", "compare", "baseline | tqsim | compare | ideal")
 		structure   = flag.String("structure", "", "explicit tree structure, e.g. 64,4,4 (tqsim mode)")
 		copyCost    = flag.Float64("copycost", 0, "state copy cost in gate-equivalents (0 = profile)")
-		fusionFlag  = flag.Bool("fusion", false, "use the gate-fusion backend")
+		backendName = flag.String("backend", "", "execution engine: "+strings.Join(tqsim.Backends(), ", ")+" (default statevec)")
+		nodes       = flag.Int("nodes", 0, "cluster backend shard count (power of two; 0 = default)")
+		fusionFlag  = flag.Bool("fusion", false, "use the gate-fusion backend (deprecated: -backend fusion)")
 		topK        = flag.Int("top", 8, "top outcomes to print")
 		list        = flag.Bool("list", false, "list the benchmark suite and exit")
 	)
@@ -45,10 +48,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *backendName != "" && !slices.Contains(tqsim.Backends(), *backendName) {
+		fatal(fmt.Errorf("unknown backend %q (have %s)",
+			*backendName, strings.Join(tqsim.Backends(), ", ")))
+	}
 	model := tqsim.NoiseByName(*noiseName)
 	opt := tqsim.Options{
 		Seed:             *seed,
 		CopyCost:         *copyCost,
+		Backend:          *backendName,
+		ClusterNodes:     *nodes,
 		UseFusionBackend: *fusionFlag,
 	}
 	if opt.CopyCost == 0 {
@@ -69,7 +78,10 @@ func main() {
 		fmt.Printf("ideal: %d shots in %v\n", res.Shots, res.Elapsed)
 		printCounts(res.Counts, c.NumQubits, *topK)
 	case "baseline":
-		res := tqsim.RunBaseline(c, model, *shots, opt)
+		res, err := tqsim.RunBaselineBackend(c, model, *shots, opt)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("baseline: %d shots, %d kernel ops in %v\n",
 			res.Shots, res.GateApplications, res.Elapsed)
 		printCounts(res.Counts, c.NumQubits, *topK)
@@ -143,6 +155,7 @@ func parseStructure(s string) ([]int, error) {
 }
 
 func printSuite() {
+	fmt.Println("backends:", strings.Join(tqsim.Backends(), ", "))
 	fmt.Println("benchmark suite (48 circuits, 8 classes):")
 	for _, b := range tqsim.BenchmarkSuite(0) {
 		c := b.Circuit

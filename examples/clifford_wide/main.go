@@ -1,0 +1,80 @@
+// Clifford at scale: the backend registry's stabilizer engine simulates
+// Clifford circuits under Pauli noise in polynomial time and memory, so
+// error-correction-style workloads at 30+ qubits — where a dense state
+// vector would need terabytes — run in milliseconds on a laptop. The same
+// engine, selected the same way (Options.Backend), transparently hands
+// off to the dense kernels when a circuit leaves the Clifford group.
+//
+//	go run ./examples/clifford_wide
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tqsim"
+)
+
+func main() {
+	noise := tqsim.DepolarizingNoise(0.001, 0.01)
+	const shots = 2000
+
+	// A 48-qubit GHZ state: the dense amplitude array would be 4 PiB.
+	ghz := tqsim.GHZCircuit(48)
+	opt := tqsim.Options{Seed: 7, Backend: "stabilizer", Parallelism: 8}
+	res, err := tqsim.RunBackend(ghz, noise, shots, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all1 := (uint64(1) << 48) - 1
+	fmt.Printf("%s: %d qubits, %d gates  (dense state: 4 PiB; tableau: %.1f KiB)\n",
+		ghz.Name, ghz.NumQubits, ghz.Len(), float64(res.PeakStateBytes)/1024)
+	fmt.Printf("  %d shots in %v: |0...0> %d, |1...1> %d, noise-perturbed %d\n\n",
+		res.Outcomes, res.Elapsed, res.Counts[0], res.Counts[all1],
+		res.Outcomes-res.Counts[0]-res.Counts[all1])
+
+	// A 40-qubit Bernstein-Vazirani instance — Clifford-only, so the
+	// secret is recoverable at a width no dense engine reaches.
+	secret := uint64(0x5A5A5A5A5A) & ((1 << 39) - 1)
+	bv := tqsim.BVCircuit(40, secret)
+	res, err = tqsim.RunBackend(bv, noise, shots, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	mask := (uint64(1) << 39) - 1
+	for out, n := range res.Counts {
+		if out&mask == secret {
+			hits += n
+		}
+	}
+	fmt.Printf("%s: %d qubits, %d gates\n", bv.Name, bv.NumQubits, bv.Len())
+	fmt.Printf("  secret recovered on %d/%d noisy shots in %v\n\n",
+		hits, res.Outcomes, res.Elapsed)
+
+	// The same backend on a noisy non-Clifford circuit: the hybrid
+	// dispatcher absorbs the Clifford prefix — gates and the Pauli noise
+	// insertions after them — into tableaux, and hands off to the dense
+	// kernels at the first non-Clifford gate. Noise sampling consumes the
+	// RNG exactly as the dense channels would, so the histogram is
+	// byte-identical to the plain engine's.
+	pfx := tqsim.CliffordPrefixCircuit(10, 6, 3)
+	hybrid, err := tqsim.RunBackend(pfx, noise, shots, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := tqsim.RunBackend(pfx, noise, shots, tqsim.Options{Seed: 7, Parallelism: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := len(hybrid.Counts) == len(plain.Counts)
+	for k, v := range plain.Counts {
+		if hybrid.Counts[k] != v {
+			same = false
+		}
+	}
+	fmt.Printf("%s: %d qubits, %d gates (non-Clifford tail)\n",
+		pfx.Name, pfx.NumQubits, pfx.Len())
+	fmt.Printf("  hybrid %v vs dense %v, identical histograms: %v\n",
+		hybrid.Elapsed, plain.Elapsed, same)
+}

@@ -40,28 +40,60 @@ type DistState struct {
 	Exchanges int64
 }
 
-// NewDistState returns |0...0> over the given node count (a power of two,
-// with at least one local qubit per shard).
-func NewDistState(n, nodes int) *DistState {
+// log2pow returns log2 of a power of two.
+func log2pow(p int) int {
+	g := 0
+	for 1<<uint(g) < p {
+		g++
+	}
+	return g
+}
+
+// distLayout validates the (n, nodes) geometry and returns a DistState
+// shell with empty shard slots; callers fill the shards with owned or
+// aliased storage.
+func distLayout(n, nodes int) *DistState {
 	if nodes < 1 || nodes&(nodes-1) != 0 {
 		panic("cluster: node count must be a power of two")
 	}
-	g := 0
-	for 1<<uint(g) < nodes {
-		g++
-	}
+	g := log2pow(nodes)
 	if n-g < 1 {
 		panic(fmt.Sprintf("cluster: %d qubits cannot shard over %d nodes", n, nodes))
 	}
 	d := &DistState{n: n, nodes: nodes, global: g}
-	shardLen := 1 << uint(n-g)
 	d.shards = make([][]complex128, nodes)
 	d.wrapped = make([]*statevec.State, nodes)
+	return d
+}
+
+// NewDistState returns |0...0> over the given node count (a power of two,
+// with at least one local qubit per shard).
+func NewDistState(n, nodes int) *DistState {
+	d := distLayout(n, nodes)
+	shardLen := 1 << uint(n-d.global)
 	for i := range d.shards {
 		d.shards[i] = make([]complex128, shardLen)
 		d.wrapped[i] = statevec.Wrap(d.shards[i])
 	}
 	d.shards[0][0] = 1
+	return d
+}
+
+// Over returns a DistState whose shards alias the amplitude storage of s
+// instead of owning their own: shard i is the i-th contiguous slice of the
+// little-endian amplitude array, exactly the memory layout a real cluster
+// partitions. Mutations through the returned DistState are visible in s
+// (and vice versa), which is how the cluster backend adapter executes the
+// sharded code paths against executor-owned states. The current contents of
+// s are adopted as-is.
+func Over(s *statevec.State, nodes int) *DistState {
+	d := distLayout(s.NumQubits(), nodes)
+	amps := s.Amplitudes()
+	shardLen := 1 << uint(d.n-d.global)
+	for i := range d.shards {
+		d.shards[i] = amps[i*shardLen : (i+1)*shardLen : (i+1)*shardLen]
+		d.wrapped[i] = statevec.Wrap(d.shards[i])
+	}
 	return d
 }
 

@@ -12,6 +12,8 @@ package core
 
 import (
 	"tqsim/internal/gate"
+	"tqsim/internal/noise"
+	"tqsim/internal/rng"
 	"tqsim/internal/statevec"
 )
 
@@ -34,6 +36,41 @@ type Forker interface {
 	// Fork returns a fresh backend equivalent to this one for use by one
 	// worker goroutine.
 	Fork() Backend
+}
+
+// StateShadow is implemented by backends that track some states in a cheaper
+// hidden representation than dense amplitudes — e.g. the stabilizer backend
+// shadows Clifford-reachable states with CHP tableaux, turning O(2^n) gate
+// and copy work into O(n^2). The executor routes state lifecycle events
+// (zero-initialization, inter-node copies, leaf sampling) through this
+// interface so a shadowed state is only materialized when something truly
+// needs amplitudes (a non-Clifford gate, a noise channel, an observable).
+//
+// Contract: for a StateShadow backend, Flush(st) must materialize st's dense
+// amplitudes (dropping the shadow); the executor calls it before noise
+// channels and observable evaluation. States not bound via BindZero or
+// CopyState are plain dense states and all methods must degrade to the
+// dense behavior for them.
+type StateShadow interface {
+	// BindZero declares st to be |0...0> and may begin shadowing it. It is
+	// called once per run per worker on the worker's root state, and resets
+	// any shadow bookkeeping from prior runs of the same backend instance.
+	BindZero(st *statevec.State)
+	// CopyState overwrites dst with src, shadow included. When src is
+	// shadowed the implementation may skip the dense copy entirely.
+	CopyState(dst, src *statevec.State)
+	// SampleState draws one measurement outcome from st without forcing a
+	// dense materialization when a shadow can sample directly.
+	SampleState(st *statevec.State, r *rng.RNG) uint64
+	// ApplyNoise applies the model's post-gate channels for g on the
+	// shadow representation when both the shadow is live and the model is
+	// expressible there (e.g. Pauli channels on a tableau), returning the
+	// kernel-op count and handled=true. handled=false means no randomness
+	// was consumed and the executor must materialize and run the dense
+	// channels. Implementations must consume the RNG exactly as the dense
+	// channels would, so a later materialization continues the identical
+	// trajectory.
+	ApplyNoise(st *statevec.State, g gate.Gate, m *noise.Model, r *rng.RNG) (ops int, handled bool)
 }
 
 // PlainBackend applies every gate immediately through the state-vector

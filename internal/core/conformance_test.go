@@ -1,0 +1,277 @@
+package core_test
+
+// Cross-backend differential conformance suite: every registered engine
+// runs a shared workload set at fixed seeds and is held to its strongest
+// checkable agreement with the PlainBackend reference.
+//
+// Conformance tiers (strongest applicable tier is asserted per backend):
+//
+//   - exact: byte-identical histograms to the reference at every
+//     parallelism. Applies to engines that execute the reference's kernels
+//     (or bitwise-equivalent arithmetic) and sample through the same
+//     cumulative scan: fusion, cluster, and the hybrid stabilizer adapter
+//     on circuits whose Clifford prefix hands off before sampling.
+//   - distributional: the engine samples the same outcome distribution
+//     through a different sampler (tableau measurement, exact
+//     density-matrix distribution), so realizations differ; the suite
+//     bounds the total-variation distance at the statistical scale of the
+//     outcome budget, and separately pins exact determinism (identical
+//     histograms across parallelism 0/1/8 and across repeated runs).
+//
+// Amplitude-level agreement of the tableau -> dense conversion (the 1e-12
+// tier) is covered by internal/stabilizer's TestWriteStateMatchesDense.
+//
+// These tests live in an external test package: the engine packages import
+// core for the Backend interfaces, so importing them from core's internal
+// tests would cycle.
+
+import (
+	"math"
+	"testing"
+
+	"tqsim"
+	"tqsim/internal/circuit"
+	"tqsim/internal/cluster"
+	"tqsim/internal/core"
+	"tqsim/internal/densmat"
+	"tqsim/internal/fusion"
+	"tqsim/internal/metrics"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/stabilizer"
+	"tqsim/internal/trajectory"
+	"tqsim/internal/workloads"
+)
+
+// The facade import links every engine registration (densmat registers
+// through the facade to avoid an import cycle) and provides the
+// public-API-level conformance entry point.
+var _ = tqsim.Backends
+
+// conformanceParallelisms are the worker settings every backend is run at.
+var conformanceParallelisms = []int{0, 1, 8}
+
+// conformanceCase is one workload x noise cell of the suite grid.
+type conformanceCase struct {
+	name  string
+	c     *circuit.Circuit
+	m     *noise.Model
+	plan  []int
+	exact bool // hybrid stabilizer adapter reaches the exact tier here
+}
+
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		// Clifford-only: the stabilizer adapter shadows everything and
+		// samples by tableau — distributional tier for it.
+		{name: "bv6_ideal", c: workloads.BV(6, workloads.BVSecret(6)), m: nil,
+			plan: []int{24, 4}},
+		{name: "clifford6_dc", c: workloads.Clifford(6, 4, 5), m: noise.NewSycamore(),
+			plan: []int{24, 4}},
+		// Clifford prefix + non-Clifford tail: handoff happens before
+		// sampling, so even the stabilizer adapter is exact.
+		{name: "cliffpfx6_ideal", c: workloads.CliffordPrefix(6, 3, 7), m: nil,
+			plan: []int{24, 4}, exact: true},
+		// Non-Clifford from gate one (H then CP): immediate handoff.
+		{name: "qft6_dc", c: workloads.QFT(6, true), m: noise.NewSycamore(),
+			plan: []int{16, 4}, exact: true},
+		// Supremacy-style random circuit under readout noise.
+		{name: "qsc6_dcr", c: workloads.QSC(6, 4, 9), m: noise.NewSycamore().WithReadout(0.02),
+			plan: []int{16, 4}, exact: true},
+		// Three-qubit gates (CCX): exercises the cluster backend's
+		// wide-gate fallback and the adder class.
+		{name: "adder_dc", c: workloads.Adder(2, 2, 3, -1), m: noise.NewSycamore(),
+			plan: []int{16, 2, 2}},
+	}
+}
+
+// runBackend executes the case on the named backend at the given
+// parallelism through the shared executor.
+func runConformance(t *testing.T, cc conformanceCase, be core.Backend, par int) *core.Result {
+	t.Helper()
+	plan := partition.FromStructure(cc.c, cc.plan)
+	res, err := (&core.Executor{
+		Backend:     be,
+		Noise:       cc.m,
+		Seed:        1234,
+		Parallelism: par,
+	}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes != plan.TotalOutcomes() {
+		t.Fatalf("%s: outcomes %d, want %d", cc.name, res.Outcomes, plan.TotalOutcomes())
+	}
+	return res
+}
+
+func requireSameCounts(t *testing.T, ctx string, want, got map[uint64]int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: histogram support %d vs %d", ctx, len(want), len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s: outcome %d: %d vs %d", ctx, k, v, got[k])
+		}
+	}
+}
+
+// TestConformanceGateApplyBackends drives every gate-apply backend across
+// the workload grid and parallelism settings against the PlainBackend
+// reference.
+func TestConformanceGateApplyBackends(t *testing.T) {
+	type engine struct {
+		name  string
+		fresh func() core.Backend
+		exact bool // exact on every case, not only handoff cases
+	}
+	engines := []engine{
+		{"fusion", func() core.Backend { return fusion.New() }, true},
+		{"cluster", func() core.Backend { return cluster.NewBackend(4) }, true},
+		{"cluster8", func() core.Backend { return cluster.NewBackend(8) }, true},
+		{"stabilizer", func() core.Backend { return stabilizer.NewBackend() }, false},
+	}
+	for _, cc := range conformanceCases() {
+		ref := runConformance(t, cc, core.PlainBackend{}, 0)
+		// The reference itself must be parallelism-invariant.
+		for _, par := range conformanceParallelisms[1:] {
+			requireSameCounts(t, cc.name+"/statevec-par",
+				ref.Counts, runConformance(t, cc, core.PlainBackend{}, par).Counts)
+		}
+		for _, eng := range engines {
+			var first *core.Result
+			for _, par := range conformanceParallelisms {
+				res := runConformance(t, cc, eng.fresh(), par)
+				if first == nil {
+					first = res
+					if eng.exact || cc.exact {
+						requireSameCounts(t, cc.name+"/"+eng.name, ref.Counts, res.Counts)
+					} else if tv := metrics.TVDCounts(ref.Counts, res.Counts, ref.Outcomes); tv > 0.25 {
+						t.Fatalf("%s/%s: total variation %.3f vs reference",
+							cc.name, eng.name, tv)
+					}
+					continue
+				}
+				// Parallelism invariance is exact for every engine.
+				requireSameCounts(t, cc.name+"/"+eng.name+"-par", first.Counts, res.Counts)
+			}
+			// Repeatability: a second identical run is byte-identical.
+			requireSameCounts(t, cc.name+"/"+eng.name+"-repeat",
+				first.Counts, runConformance(t, cc, eng.fresh(), 0).Counts)
+		}
+	}
+}
+
+// TestConformanceRegistryComplete pins the registered engine set: the five
+// engines of the public API must all be present.
+func TestConformanceRegistryComplete(t *testing.T) {
+	want := []string{"cluster", "densmat", "fusion", "stabilizer", "statevec"}
+	have := map[string]bool{}
+	for _, name := range core.Backends() {
+		have[name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Fatalf("backend %q not registered (have %v)", name, core.Backends())
+		}
+	}
+	for _, name := range []string{"statevec", "fusion", "cluster", "stabilizer"} {
+		be, err := core.NewBackend(name)
+		if err != nil {
+			t.Fatalf("NewBackend(%s): %v", name, err)
+		}
+		if be.Name() != name {
+			t.Fatalf("NewBackend(%s) reports name %q", name, be.Name())
+		}
+	}
+	if _, err := core.NewBackend("densmat"); err == nil {
+		t.Fatal("densmat should not construct a gate-apply backend")
+	}
+	if !core.IsExternal("densmat") {
+		t.Fatal("densmat should be registered external")
+	}
+	if _, err := core.NewBackend("no-such-engine"); err == nil {
+		t.Fatal("unknown names must error")
+	}
+}
+
+// TestConformanceDensmat holds the exact engine to its two obligations:
+// its ideal-circuit distribution must match the dense engine's amplitudes
+// to 1e-12, and its sampled noisy histograms must sit within the
+// statistical scale of the trajectory reference while being exactly
+// deterministic and parallelism-independent.
+func TestConformanceDensmat(t *testing.T) {
+	// Amplitude tier: exact distribution vs dense probabilities, ideal.
+	c := workloads.QFT(6, true)
+	probs := densmat.Simulate(c, nil)
+	dense := trajectory.IdealState(c).Probabilities()
+	for i := range probs {
+		if math.Abs(probs[i]-dense[i]) > 1e-12 {
+			t.Fatalf("ideal distribution diverges at %d: %g vs %g", i, probs[i], dense[i])
+		}
+	}
+	// Distribution tier under noise, via the public API.
+	m := noise.NewSycamore()
+	cl := workloads.Clifford(6, 4, 5)
+	ref, err := tqsim.RunBackend(cl, m, 4096, tqsim.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first map[uint64]int
+	for _, par := range conformanceParallelisms {
+		res, err := tqsim.RunBackend(cl, m, 4096, tqsim.Options{
+			Seed: 7, Backend: "densmat", Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BackendName != "densmat" {
+			t.Fatalf("backend name %q", res.BackendName)
+		}
+		if first == nil {
+			first = res.Counts
+			if tv := metrics.TVDCounts(ref.Counts, res.Counts, ref.Outcomes); tv > 0.2 {
+				t.Fatalf("densmat vs trajectory: total variation %.3f", tv)
+			}
+			continue
+		}
+		requireSameCounts(t, "densmat-par", first, res.Counts)
+	}
+	// Fidelity agreement: both engines must score the same normalized
+	// fidelity against the ideal distribution to within sampling noise.
+	ideal := metrics.NewDist(trajectory.IdealState(cl).Probabilities())
+	fRef := metrics.NormalizedFidelity(ideal, metrics.FromCounts(ref.Counts, 1<<6))
+	fDm := metrics.NormalizedFidelity(ideal, metrics.FromCounts(first, 1<<6))
+	if math.Abs(fRef-fDm) > 0.05 {
+		t.Fatalf("fidelity diverges: trajectory %.4f vs densmat %.4f", fRef, fDm)
+	}
+}
+
+// TestConformanceStabilizerTreeVsExecutor cross-checks the pure-tableau
+// tree runner (the wide-register path) against the dense executor on the
+// same plan, distributionally, plus exact parallelism invariance.
+func TestConformanceStabilizerTreeVsExecutor(t *testing.T) {
+	c := workloads.Clifford(7, 5, 13)
+	m := noise.NewSycamore()
+	plan := partition.FromStructure(c, []int{64, 8})
+	dense, err := (&core.Executor{Noise: m, Seed: 77}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *core.Result
+	for _, par := range conformanceParallelisms {
+		res, err := stabilizer.RunTree(plan, m, 77, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			if tv := metrics.TVDCounts(dense.Counts, res.Counts, dense.Outcomes); tv > 0.25 {
+				t.Fatalf("tableau tree vs dense executor: total variation %.3f", tv)
+			}
+			continue
+		}
+		requireSameCounts(t, "stabilizer-tree-par", first.Counts, res.Counts)
+	}
+}

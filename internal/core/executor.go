@@ -58,23 +58,68 @@ type Executor struct {
 // runSegment applies one subcircuit instance with fresh noise sampling.
 func (e *Executor) runSegment(st *statevec.State, be Backend, gs []gate.Gate, r *rng.RNG) int64 {
 	var ops int64
+	shadow, shadowed := be.(StateShadow)
 	for _, g := range gs {
 		if g.Kind != gate.KindI {
 			be.Apply(st, g)
 			ops++
 		}
 		if !e.Noise.Ideal() {
+			// Shadow backends get first refusal: Pauli channels land on the
+			// tableau (with dense-identical RNG consumption), keeping the
+			// Clifford fast path alive through noisy segments. Anything the
+			// shadow cannot express materializes and runs densely.
+			if shadowed {
+				if n, handled := shadow.ApplyNoise(st, g, e.Noise, r); handled {
+					ops += int64(n)
+					continue
+				}
+			}
 			be.Flush(st)
 			ops += int64(e.Noise.ApplyAfterGate(st, g, r))
 		}
 	}
-	be.Flush(st)
+	// Shadow backends keep the state in its cheap representation across the
+	// segment boundary: copies and sampling go through StateShadow, so no
+	// dense amplitudes are needed here. Buffering backends (fusion) must
+	// flush before the state is copied or sampled.
+	if !shadowed {
+		be.Flush(st)
+	}
 	return ops
 }
 
+// copyState copies src into dst through the backend, so shadow backends can
+// clone their cheap representation instead of the dense amplitudes.
+func copyState(be Backend, dst, src *statevec.State) {
+	if sh, ok := be.(StateShadow); ok {
+		sh.CopyState(dst, src)
+		return
+	}
+	dst.CopyFrom(src)
+}
+
 // LeafFunc observes a leaf state of the simulation tree. The state is only
-// valid for the duration of the call; the RNG stream is the leaf node's own.
-type LeafFunc func(st *statevec.State, r *rng.RNG)
+// valid for the duration of the call; be is the worker's backend instance
+// (leaves must route observation through it so shadow backends can sample or
+// materialize); the RNG stream is the leaf node's own.
+type LeafFunc func(st *statevec.State, be Backend, r *rng.RNG)
+
+// SubtreeSpan returns the number of DFS sequence slots occupied by one node
+// at the given level together with its whole subtree: 1 + A_{level+1} +
+// A_{level+1}*A_{level+2} + ... Node RNG streams are keyed by these
+// sequence numbers in every tree engine (the dense executor here and the
+// stabilizer tableau tree), so the arithmetic lives in exactly one place —
+// desynchronizing it would silently break cross-engine seed equivalence.
+func SubtreeSpan(arities []int, level int) uint64 {
+	span := uint64(1)
+	acc := uint64(1)
+	for _, a := range arities[level+1:] {
+		acc *= uint64(a)
+		span += acc
+	}
+	return span
+}
 
 // treeWorkers returns the worker count a tree run will use for the plan:
 // Parallelism clamped to [1, first-level arity].
@@ -111,14 +156,9 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 	rootRNG := rng.New(e.Seed)
 
 	// subtreeNodes is the node count of one subtree hanging off a level-0
-	// node: 1 + A1 + A1*A2 + ... — used to pre-assign deterministic DFS
-	// sequence numbers to parallel workers.
-	subtreeNodes := uint64(1)
-	acc := uint64(1)
-	for _, a := range plan.Arities[1:] {
-		acc *= uint64(a)
-		subtreeNodes += acc
-	}
+	// node — used to pre-assign deterministic DFS sequence numbers to
+	// parallel workers.
+	subtreeNodes := SubtreeSpan(plan.Arities, 0)
 
 	workers := e.treeWorkers(plan)
 	res.PeakStateBytes = int64(workers) * int64(levels+1) * (int64(16) << uint(n))
@@ -146,28 +186,26 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 				levelState[i] = statevec.NewZero(n)
 			}
 			root := statevec.NewZero(n)
+			if shadow, ok := be.(StateShadow); ok {
+				shadow.BindZero(root)
+			}
 			var walk func(level int, parent *statevec.State, seqBase uint64)
 			walk = func(level int, parent *statevec.State, seqBase uint64) {
 				arity := plan.Arities[level]
 				gates := subs[level].Gates
 				// Child i's subtree (including its own node) spans a fixed
 				// block of DFS sequence numbers.
-				blockLen := uint64(1)
-				a2 := uint64(1)
-				for _, a := range plan.Arities[level+1:] {
-					a2 *= uint64(a)
-					blockLen += a2
-				}
+				blockLen := SubtreeSpan(plan.Arities, level)
 				for child := 0; child < arity; child++ {
 					seq := seqBase + uint64(child)*blockLen
 					st := levelState[level]
-					st.CopyFrom(parent)
+					copyState(be, st, parent)
 					sh.copies++
 					sh.nodes++
 					r := rootRNG.SplitAt(seq)
 					sh.ops += e.runSegment(st, be, gates, r)
 					if level == levels-1 {
-						onLeaf(st, r)
+						onLeaf(st, be, r)
 					} else {
 						walk(level+1, st, seq+1)
 					}
@@ -179,13 +217,13 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 			for child := w; child < arity0; child += workers {
 				seq := 1 + uint64(child)*subtreeNodes
 				st := levelState[0]
-				st.CopyFrom(root)
+				copyState(be, st, root)
 				sh.copies++
 				sh.nodes++
 				r := rootRNG.SplitAt(seq)
 				sh.ops += e.runSegment(st, be, gates0, r)
 				if levels == 1 {
-					onLeaf(st, r)
+					onLeaf(st, be, r)
 				} else {
 					walk(1, st, seq+1)
 				}
@@ -231,8 +269,13 @@ func (e *Executor) Run(plan *partition.Plan) (*Result, error) {
 	err := e.runTree(plan, res, func(worker int) LeafFunc {
 		sh := &shards[worker]
 		sh.counts = make(map[uint64]int)
-		return func(st *statevec.State, r *rng.RNG) {
-			out := st.Sample(r)
+		return func(st *statevec.State, be Backend, r *rng.RNG) {
+			var out uint64
+			if shadow, ok := be.(StateShadow); ok {
+				out = shadow.SampleState(st, r)
+			} else {
+				out = st.Sample(r)
+			}
 			out = e.Noise.FlipReadout(out, n, r)
 			sh.counts[out]++
 			sh.outcomes++

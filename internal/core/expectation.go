@@ -45,7 +45,13 @@ func (e *Executor) RunExpectation(plan *partition.Plan, h *observable.Hamiltonia
 	workerValues := make([][]float64, e.treeWorkers(plan))
 	start := time.Now()
 	err := e.runTree(plan, res, func(worker int) LeafFunc {
-		return func(st *statevec.State, r *rng.RNG) {
+		return func(st *statevec.State, be Backend, r *rng.RNG) {
+			// Observables need amplitudes: force shadow backends to
+			// materialize the leaf (no-op for the rest — runSegment already
+			// flushed buffering backends).
+			if _, ok := be.(StateShadow); ok {
+				be.Flush(st)
+			}
 			workerValues[worker] = append(workerValues[worker], h.ExpectationState(st))
 		}
 	})

@@ -1,0 +1,50 @@
+// Whole-circuit entry point for the exact density-matrix engine. densmat
+// does not plug into the tree executor's gate-apply interface — it evolves
+// a mixed state for the whole circuit at once, averaging over every noise
+// realization analytically — so the facade registers it as an external
+// engine and routes "densmat" runs through RunCounts. (The registration
+// lives in the facade: internal/observable consumes this package, so
+// importing internal/core from here would cycle.)
+package densmat
+
+import (
+	"fmt"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/noise"
+	"tqsim/internal/rng"
+)
+
+// RunCounts computes the exact noisy outcome distribution and draws
+// `outcomes` seed-deterministic samples from it. Unlike the trajectory
+// engines, the distribution itself carries no sampling error and the
+// histogram is trivially independent of any parallelism setting.
+func RunCounts(c *circuit.Circuit, m *noise.Model, outcomes int, seed uint64) (map[uint64]int, error) {
+	if c.NumQubits > MaxQubits {
+		return nil, fmt.Errorf("densmat: %d qubits exceeds the %d-qubit density-matrix limit",
+			c.NumQubits, MaxQubits)
+	}
+	probs := Simulate(c, m)
+	cum := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	r := rng.New(seed ^ 0xdea5ed)
+	counts := make(map[uint64]int)
+	for i := 0; i < outcomes; i++ {
+		target := r.Float64() * acc
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[uint64(lo)]++
+	}
+	return counts, nil
+}

@@ -72,6 +72,10 @@ var (
 	_ core.Forker  = (*Backend)(nil)
 )
 
+func init() {
+	core.Register("fusion", func() core.Backend { return New() })
+}
+
 // flushQubit applies the pending matrix for qubit q, if any. The qubit may
 // linger on the touched list until the next Flush; runLen guards validity.
 func (b *Backend) flushQubit(s *statevec.State, q int) {

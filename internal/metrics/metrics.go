@@ -126,6 +126,23 @@ func TVD(a, b Dist) float64 {
 	return s / 2
 }
 
+// TVDCounts returns the total variation distance between two histograms of
+// `total` outcomes each, without densifying to the full 2^n outcome space —
+// the cross-backend conformance comparisons use it on wide registers where
+// a Dist would be infeasible.
+func TVDCounts(a, b map[uint64]int, total int) float64 {
+	var s float64
+	for k, va := range a {
+		s += math.Abs(float64(va - b[k]))
+	}
+	for k, vb := range b {
+		if _, seen := a[k]; !seen {
+			s += float64(vb)
+		}
+	}
+	return s / (2 * float64(total))
+}
+
 // MSE returns the mean squared error between two real-valued series, used
 // for the QAOA cost-landscape comparison (Figure 18).
 func MSE(a, b []float64) float64 {

@@ -111,6 +111,83 @@ func (m *Model) ApplyAfterGate(s *statevec.State, g gate.Gate, r *rng.RNG) int {
 	return ops
 }
 
+// ApplyPauliAfterGate mirrors ApplyAfterGate for purely depolarizing
+// models, routing each sampled Pauli insertion through apply(qubit, pauli)
+// (pauli 1=X, 2=Y, 3=Z) instead of the dense kernels — this is how the
+// stabilizer engine absorbs Pauli noise into tableaux. RNG consumption is
+// bit-identical to the dense channels' (including the always-taken draw per
+// channel), so a trajectory that later materializes dense amplitudes
+// continues on exactly the stream the dense engine would have. Returns
+// ok=false without consuming any randomness when the model has non-Pauli
+// channels; callers then fall back to the dense path.
+func (m *Model) ApplyPauliAfterGate(g gate.Gate, r *rng.RNG, apply func(q, pauli int)) (ops int, ok bool) {
+	if !m.PauliOnly() {
+		return 0, false
+	}
+	if m == nil {
+		return 0, true
+	}
+	one := func(q int) {
+		for _, c := range m.OneQubit {
+			d := c.(Depolarizing1Q)
+			if r.Float64() < d.P {
+				apply(q, 1+r.Intn(3))
+				ops++
+			}
+		}
+	}
+	two := func(qa, qb int) {
+		for _, c := range m.TwoQubit {
+			d := c.(Depolarizing2Q)
+			if r.Float64() < d.P {
+				k := 1 + r.Intn(15)
+				if a := k & 3; a != 0 {
+					apply(qa, a)
+					ops++
+				}
+				if b := k >> 2; b != 0 {
+					apply(qb, b)
+					ops++
+				}
+			}
+		}
+	}
+	switch g.Arity() {
+	case 1:
+		one(g.Qubits[0])
+	case 2:
+		two(g.Qubits[0], g.Qubits[1])
+	default:
+		// Same conservative three-qubit approximation as ApplyAfterGate.
+		two(g.Qubits[0], g.Qubits[1])
+		one(g.Qubits[2])
+	}
+	return ops, true
+}
+
+// PauliOnly reports whether every channel of the model is depolarizing
+// (Pauli), possibly plus a classical readout flip. Pauli channels map
+// stabilizer states to stabilizer states, so exactly these models admit
+// polynomial-time trajectory simulation on the tableau engine; damping and
+// thermal channels do not (their no-jump branch is non-unitary on
+// amplitudes).
+func (m *Model) PauliOnly() bool {
+	if m == nil {
+		return true
+	}
+	for _, c := range m.OneQubit {
+		if _, isDep := c.(Depolarizing1Q); !isDep {
+			return false
+		}
+	}
+	for _, c := range m.TwoQubit {
+		if _, isDep := c.(Depolarizing2Q); !isDep {
+			return false
+		}
+	}
+	return true
+}
+
 // FlipReadout applies the readout error (if any) to an n-bit outcome.
 func (m *Model) FlipReadout(bits uint64, n int, r *rng.RNG) uint64 {
 	if m == nil || m.Readout == nil {

@@ -1,0 +1,150 @@
+package qasm
+
+import (
+	"testing"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/workloads"
+)
+
+// fuzzSeeds is the hand-written half of the corpus: valid programs
+// covering every statement form, plus malformed fragments that must error
+// rather than panic.
+var fuzzSeeds = []string{
+	// Valid programs.
+	"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n",
+	"OPENQASM 2.0;\nqreg q[3];\nu3(pi/2,0,pi) q[0];\ncp(pi/4) q[0],q[2];\nbarrier q;\nid q[1];\n",
+	"OPENQASM 2.0;\nqreg a[2];\nqreg b[1];\ncreg c[3];\nccx a[0],a[1],b[0];\nswap a[0],b[0];\nmeasure a[0] -> c[0];\n",
+	"OPENQASM 2.0;\nqreg q[1];\nrz(-2.5e-3) q[0];\np(1.0/3.0*pi) q[0];\nu(0.1,0.2) q[0];\nu1(0.3) q[0];\n",
+	"// comment\nOPENQASM 2.0;\nqreg q[2];\ncz q[0],q[1];\ncrz(pi^2) q[0],q[1];\n",
+	// Malformed fragments: wrong operands, duplicate qubits, bad indices,
+	// missing semicolons, truncated expressions, unknown gates.
+	"OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n",
+	"OPENQASM 2.0;\nqreg q[2];\nh q[5];\n",
+	"OPENQASM 2.0;\nqreg q[2];\nh q[0]",
+	"OPENQASM 2.0;\nqreg q[0];\n",
+	"OPENQASM 2.0;\nqreg q[2];\nrx() q[0];\n",
+	"OPENQASM 2.0;\nqreg q[2];\nrx(1+) q[0];\n",
+	"OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n",
+	"qreg q[2];",
+	"OPENQASM 2.0;\nqreg q[99999999999999999999];\n",
+	"OPENQASM 2.0;\nqreg q[2];\nmeasure q[0] -> x[0];\n",
+	"\"unterminated",
+}
+
+// corpusCircuits is the generator half of the corpus: a cross-section of
+// the workload suite, so the fuzzer starts from every gate form the
+// generators emit.
+var corpusCircuits = []string{
+	"bv_n6", "qft_n8", "qpe_n4", "adder_n4_0", "qaoa_n6",
+}
+
+// FuzzParseQASM asserts two properties on arbitrary input: the parser
+// never panics (it returns errors), and accepted programs survive a
+// parse -> serialize -> parse round trip with an identical gate stream.
+func FuzzParseQASM(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	for _, name := range corpusCircuits {
+		c := workloads.ByName(name)
+		if c == nil {
+			f.Fatalf("suite circuit %s missing", name)
+		}
+		src, err := Serialize(c)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out, err := Serialize(prog.Circuit)
+		if err != nil {
+			// The parser only emits kinds from its gate table, all of
+			// which have QASM forms.
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		prog2, err := Parse("fuzz-roundtrip", out)
+		if err != nil {
+			t.Fatalf("serialized output failed to re-parse: %v\n%s", err, out)
+		}
+		assertSameCircuit(t, prog.Circuit, prog2.Circuit)
+	})
+}
+
+// TestParseSerializeRoundTripGenerators is the non-fuzz property test over
+// the workload generators: parse(serialize(c)) must reproduce c's gate
+// stream exactly — the writer emits %.17g, so parameters round-trip to the
+// bit — and serialization must be a textual fixed point.
+func TestParseSerializeRoundTripGenerators(t *testing.T) {
+	names := []string{
+		"bv_n6", "bv_n16", "qft_n8", "qft_n14", "qpe_n4", "adder_n4_0",
+		"adder_n10_0", "qaoa_n6", "mul_n13",
+	}
+	circuits := make([]*circuit.Circuit, 0, len(names)+3)
+	for _, name := range names {
+		c := workloads.ByName(name)
+		if c == nil {
+			t.Fatalf("suite circuit %s missing", name)
+		}
+		circuits = append(circuits, c)
+	}
+	circuits = append(circuits,
+		workloads.GHZ(8),
+		workloads.Clifford(6, 5, 3),
+		workloads.CliffordPrefix(5, 4, 9),
+	)
+	for _, c := range circuits {
+		src, err := Serialize(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		prog, err := Parse(c.Name, src)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", c.Name, err)
+		}
+		assertSameCircuit(t, c, prog.Circuit)
+		src2, err := Serialize(prog.Circuit)
+		if err != nil {
+			t.Fatalf("%s: re-serialize: %v", c.Name, err)
+		}
+		if src != src2 {
+			t.Fatalf("%s: serialization is not a fixed point", c.Name)
+		}
+	}
+}
+
+// assertSameCircuit requires bit-exact gate streams: kinds, operands, and
+// parameters.
+func assertSameCircuit(t *testing.T, a, b *circuit.Circuit) {
+	t.Helper()
+	if a.NumQubits != b.NumQubits {
+		t.Fatalf("width changed: %d vs %d", a.NumQubits, b.NumQubits)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatalf("gate count changed: %d vs %d", len(a.Gates), len(b.Gates))
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Kind != gb.Kind {
+			t.Fatalf("gate %d kind: %v vs %v", i, ga.Kind, gb.Kind)
+		}
+		if len(ga.Qubits) != len(gb.Qubits) || len(ga.Params) != len(gb.Params) {
+			t.Fatalf("gate %d shape changed: %v vs %v", i, ga, gb)
+		}
+		for j := range ga.Qubits {
+			if ga.Qubits[j] != gb.Qubits[j] {
+				t.Fatalf("gate %d operand %d: %d vs %d", i, j, ga.Qubits[j], gb.Qubits[j])
+			}
+		}
+		for j := range ga.Params {
+			if ga.Params[j] != gb.Params[j] {
+				t.Fatalf("gate %d param %d: %v vs %v", i, j, ga.Params[j], gb.Params[j])
+			}
+		}
+	}
+}

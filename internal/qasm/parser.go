@@ -32,6 +32,12 @@ type Register struct {
 	Offset, Size int
 }
 
+// MaxQubits caps the total declared register width. No engine simulates
+// anything near it (the tableau engine tops out at 64 packed outcome bits),
+// and an uncapped width lets a three-line program demand petabyte-scale
+// serialization work — found by FuzzParseQASM via "qreg q[9999999999999999]".
+const MaxQubits = 4096
+
 type parser struct {
 	toks []token
 	pos  int
@@ -148,6 +154,10 @@ func (p *parser) parseProgram(name string) (*Program, error) {
 			if size < 1 {
 				return nil, fmt.Errorf("qasm: line %d: register %q has size %d", id.line, id.text, size)
 			}
+			if size > MaxQubits || p.width+size > MaxQubits {
+				return nil, fmt.Errorf("qasm: line %d: register %q pushes the program past %d qubits",
+					id.line, id.text, MaxQubits)
+			}
 			p.regs[id.text] = Register{Offset: p.width, Size: size}
 			p.width += size
 		case "creg":
@@ -161,6 +171,10 @@ func (p *parser) parseProgram(name string) (*Program, error) {
 			}
 			if err := p.expectSymbol(";"); err != nil {
 				return nil, err
+			}
+			if size < 0 || size > MaxQubits || prog.CregSize+size > MaxQubits {
+				return nil, fmt.Errorf("qasm: line %d: classical registers exceed %d bits",
+					t.line, MaxQubits)
 			}
 			prog.CregSize += size
 		case "measure":

@@ -1,0 +1,118 @@
+// Tableau → state-vector conversion: the handoff half of the hybrid
+// Clifford dispatcher. A stabilizer state |psi> is the unique (+1)-eigenstate
+// of its n stabilizer generators, so
+//
+//	|psi><psi| = prod_i (I + g_i) / 2
+//
+// and for any basis state |x> with <x|psi> != 0 the projector product
+// applied to |x> is proportional to |psi>. The conversion finds such an x by
+// measuring every qubit on a scratch copy with forced outcomes (a measured
+// outcome always has nonzero probability), then applies the n projectors to
+// a dense vector in O(n * 2^n) — the same order as applying n dense gates,
+// paid once per handoff instead of once per Clifford gate.
+//
+// All intermediate amplitudes are Gaussian integers (the projector sums add
+// and subtract exact +-1 and +-i multiples), so cancellation is exact and
+// the only rounding is the final normalization.
+package stabilizer
+
+import (
+	"fmt"
+	"math/bits"
+	"math/cmplx"
+
+	"tqsim/internal/statevec"
+)
+
+// iPow is i^k for k in 0..3.
+var iPow = [4]complex128{1, 1i, -1, -1i}
+
+// basisCandidate returns a computational basis state with nonzero amplitude
+// in the tableau's state, deterministically (random measurement branches are
+// forced to 0). The tableau is not modified.
+func (t *Tableau) basisCandidate() uint64 {
+	if t.n > 64 {
+		panic("stabilizer: basisCandidate supports at most 64 qubits")
+	}
+	c := t.Clone()
+	var out uint64
+	zero := func() uint8 { return 0 }
+	for q := 0; q < c.n; q++ {
+		if c.measureWith(q, zero) == 1 {
+			out |= 1 << uint(q)
+		}
+	}
+	return out
+}
+
+// rowMasks packs stabilizer row i's X and Z parts into single words (valid
+// for n <= 64) plus the phase contribution that does not depend on the basis
+// state: 2*r + (#Y sites), mod 4.
+func (t *Tableau) rowMasks(row int) (xmask, zmask uint64, basePhase int) {
+	xmask = t.x[row][0]
+	zmask = t.z[row][0]
+	basePhase = 2 * int(t.r[row])
+	basePhase += bits.OnesCount64(xmask & zmask)
+	return xmask, zmask, basePhase & 3
+}
+
+// WriteState materializes the tableau's state into s, overwriting every
+// amplitude. Widths must match and n must be small enough for a dense state
+// (the statevec engine caps at 30 qubits, well under this routine's 64-qubit
+// packing limit). The global phase is canonicalized so the amplitude of the
+// projection's anchor basis state is real and positive; callers comparing
+// against an independently evolved dense state should compare up to global
+// phase.
+func (t *Tableau) WriteState(s *statevec.State) {
+	if t.n != s.NumQubits() {
+		panic(fmt.Sprintf("stabilizer: WriteState width mismatch (%d vs %d)",
+			t.n, s.NumQubits()))
+	}
+	if t.n > 64 {
+		panic("stabilizer: WriteState supports at most 64 qubits")
+	}
+	anchor := t.basisCandidate()
+	cur := s.Amplitudes()
+	clear(cur)
+	cur[anchor] = 1
+	next := make([]complex128, len(cur))
+	for row := t.n; row < 2*t.n; row++ {
+		// next = (I + g_row) cur, dropping the 1/2: normalization is exact
+		// at the end and unnormalized sums keep every value a Gaussian
+		// integer.
+		xmask, zmask, basePhase := t.rowMasks(row)
+		clear(next)
+		for b, a := range cur {
+			if a == 0 {
+				continue
+			}
+			next[b] += a
+			// g |b> = i^(base + 2*popcount(z & b)) |b ^ x>: Z sites
+			// contribute (-1)^b_j, Y sites i*(-1)^b_j with the i folded
+			// into basePhase.
+			ph := iPow[(basePhase+2*bits.OnesCount64(zmask&uint64(b)))&3]
+			next[uint64(b)^xmask] += ph * a
+		}
+		cur, next = next, cur
+	}
+	amps := s.Amplitudes()
+	if &cur[0] != &amps[0] {
+		copy(amps, cur)
+	}
+	// The anchor survives projection with a real positive coefficient only
+	// up to the stabilizer phases; canonicalize on it, then normalize.
+	if a := amps[anchor]; a != 0 {
+		rot := cmplx.Conj(a) / complex(cmplx.Abs(a), 0)
+		for i := range amps {
+			amps[i] *= rot
+		}
+	}
+	s.Normalize()
+}
+
+// ToState returns the tableau's state as a fresh dense state vector.
+func (t *Tableau) ToState() *statevec.State {
+	s := statevec.NewZero(t.n)
+	t.WriteState(s)
+	return s
+}

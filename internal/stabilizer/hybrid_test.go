@@ -1,0 +1,341 @@
+package stabilizer_test
+
+// Tests for the hybrid-dispatch machinery: tableau -> state-vector
+// conversion, the gate-apply adapter through the tree executor, and the
+// pure-tableau tree runner. These live in an external test package because
+// they drive internal/core, which the stabilizer package imports.
+
+import (
+	"math"
+	"testing"
+
+	"tqsim/internal/core"
+	"tqsim/internal/gate"
+	"tqsim/internal/metrics"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/rng"
+	"tqsim/internal/stabilizer"
+	"tqsim/internal/statevec"
+	"tqsim/internal/workloads"
+)
+
+// TestWriteStateMatchesDense checks the conversion against independent
+// dense evolution on random Clifford circuits: fidelity must be 1 (global
+// phase is not compared; the conversion canonicalizes its own).
+func TestWriteStateMatchesDense(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		c := workloads.Clifford(6, 5, seed)
+		tab := stabilizer.New(c.NumQubits)
+		dense := statevec.NewZero(c.NumQubits)
+		for _, g := range c.Gates {
+			if err := tab.Apply(g); err != nil {
+				t.Fatal(err)
+			}
+			dense.Apply(g)
+		}
+		conv := tab.ToState()
+		if f := conv.FidelityWith(dense); math.Abs(f-1) > 1e-12 {
+			t.Fatalf("seed %d: conversion fidelity %g", seed, f)
+		}
+		if n := conv.Norm(); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("seed %d: conversion norm %g", seed, n)
+		}
+	}
+}
+
+// TestCYMatchesDense pins the tableau CY decomposition against the dense
+// kernel.
+func TestCYMatchesDense(t *testing.T) {
+	gates := []gate.Gate{
+		gate.New(gate.KindH, 0),
+		gate.New(gate.KindCY, 0, 1),
+		gate.New(gate.KindS, 1),
+		gate.New(gate.KindCY, 1, 0),
+	}
+	tab := stabilizer.New(2)
+	dense := statevec.NewZero(2)
+	for _, g := range gates {
+		if err := tab.Apply(g); err != nil {
+			t.Fatal(err)
+		}
+		dense.Apply(g)
+	}
+	if f := tab.ToState().FidelityWith(dense); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("CY fidelity %g", f)
+	}
+}
+
+// TestIsCliffordKindMatchesApply locks the O(1) kind predicate to the
+// tableau engine's actual gate support: for every gate kind, IsCliffordKind
+// must agree with whether Tableau.Apply accepts an instance of it.
+func TestIsCliffordKindMatchesApply(t *testing.T) {
+	one := []float64{0.3}
+	instances := []gate.Gate{
+		gate.New(gate.KindI, 0), gate.New(gate.KindX, 0), gate.New(gate.KindY, 0),
+		gate.New(gate.KindZ, 0), gate.New(gate.KindH, 0), gate.New(gate.KindS, 0),
+		gate.New(gate.KindSdg, 0), gate.New(gate.KindT, 0), gate.New(gate.KindTdg, 0),
+		gate.New(gate.KindSX, 0), gate.New(gate.KindSY, 0), gate.New(gate.KindSW, 0),
+		gate.NewParam(gate.KindRX, one, 0), gate.NewParam(gate.KindRY, one, 0),
+		gate.NewParam(gate.KindRZ, one, 0), gate.NewParam(gate.KindP, one, 0),
+		gate.NewParam(gate.KindU3, []float64{0.1, 0.2, 0.3}, 0),
+		gate.New(gate.KindCX, 0, 1), gate.New(gate.KindCY, 0, 1),
+		gate.New(gate.KindCZ, 0, 1), gate.NewParam(gate.KindCP, one, 0, 1),
+		gate.NewParam(gate.KindCRZ, one, 0, 1), gate.NewParam(gate.KindCRX, one, 0, 1),
+		gate.NewParam(gate.KindCRY, one, 0, 1), gate.New(gate.KindCH, 0, 1),
+		gate.New(gate.KindSWAP, 0, 1), gate.New(gate.KindCCX, 0, 1, 2),
+		gate.New(gate.KindCSWAP, 0, 1, 2),
+	}
+	for _, g := range instances {
+		err := stabilizer.New(3).Apply(g)
+		if got, want := stabilizer.IsCliffordKind(g.Kind), err == nil; got != want {
+			t.Fatalf("IsCliffordKind(%v)=%v but Apply error=%v", g.Kind, got, err)
+		}
+	}
+}
+
+// TestMeasureDestabilizerPhase is the regression test for the rowsum fix:
+// measuring after this sequence multiplies the measured stabilizer into its
+// own anticommuting destabilizer partner (Y_q * X_q = iZ_q), which used to
+// panic on the imaginary intermediate phase. Destabilizer phase bits are
+// write-only, so the measurement must succeed, and outcome statistics must
+// match the dense engine's marginal.
+func TestMeasureDestabilizerPhase(t *testing.T) {
+	build := func() *stabilizer.Tableau {
+		tab := stabilizer.New(2)
+		for _, g := range []gate.Gate{
+			gate.New(gate.KindSdg, 1),
+			gate.New(gate.KindSWAP, 1, 0),
+			gate.New(gate.KindH, 0),
+		} {
+			if err := tab.Apply(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tab
+	}
+	r := rng.New(7)
+	ones := 0
+	const shots = 4000
+	for i := 0; i < shots; i++ {
+		if build().Measure(0, r) == 1 {
+			ones++
+		}
+	}
+	// The dense state assigns probability 1/2 to qubit 0 being 1.
+	if frac := float64(ones) / shots; math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("qubit-0 marginal %.3f, want ~0.5", frac)
+	}
+}
+
+// TestHybridBackendMatchesPlainOnClifford runs a Clifford circuit with a
+// non-Clifford-triggering noise model through the executor on both the
+// plain and the hybrid stabilizer backend: the hybrid adapter must shadow
+// the whole ideal prefix on tableaux and still produce a valid,
+// deterministic histogram (outcome distribution checked against the dense
+// run via total variation).
+func TestHybridBackendMatchesPlainOnClifford(t *testing.T) {
+	c := workloads.Clifford(5, 6, 3)
+	plan := partition.FromStructure(c, []int{64, 8})
+	plain, err := (&core.Executor{Seed: 9}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := stabilizer.NewBackend()
+	hybrid, err := (&core.Executor{Seed: 9, Backend: be}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.Outcomes != plain.Outcomes {
+		t.Fatalf("outcomes %d vs %d", hybrid.Outcomes, plain.Outcomes)
+	}
+	if be.DenseGates() != 0 || be.Handoffs() != 0 {
+		t.Fatalf("ideal Clifford run touched dense kernels: dense=%d handoffs=%d",
+			be.DenseGates(), be.Handoffs())
+	}
+	if tv := metrics.TVDCounts(plain.Counts, hybrid.Counts, plain.Outcomes); tv > 0.12 {
+		t.Fatalf("hybrid vs plain total variation %.3f", tv)
+	}
+	// Determinism: an independent identical run must match byte for byte.
+	again, err := (&core.Executor{Seed: 9, Backend: stabilizer.NewBackend(), Parallelism: 8}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, hybrid.Counts, again.Counts)
+}
+
+// TestHybridHandoffMatchesPlain runs a Clifford-prefix circuit (tableau
+// prefix, dense tail after the handoff) and compares the full histogram
+// against the plain backend: after materialization the leaf sampling is
+// dense, so the histogram must be identical given that converted amplitudes
+// agree to ~1e-15 (a sampling flip would need the RNG to land within fp
+// noise of a cumulative boundary).
+func TestHybridHandoffMatchesPlain(t *testing.T) {
+	c := workloads.CliffordPrefix(5, 5, 11)
+	plan := partition.FromStructure(c, []int{48, 4})
+	plain, err := (&core.Executor{Seed: 13}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := stabilizer.NewBackend()
+	hybrid, err := (&core.Executor{Seed: 13, Backend: be}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Handoffs() == 0 || be.CliffordGates() == 0 || be.DenseGates() == 0 {
+		t.Fatalf("expected mixed execution: clifford=%d dense=%d handoffs=%d",
+			be.CliffordGates(), be.DenseGates(), be.Handoffs())
+	}
+	assertSameCounts(t, plain.Counts, hybrid.Counts)
+
+	// Counters aggregate across forked workers: a parallel run of the same
+	// plan must report the same totals on the caller's instance.
+	bePar := stabilizer.NewBackend()
+	if _, err := (&core.Executor{Seed: 13, Backend: bePar, Parallelism: 8}).Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	if bePar.CliffordGates() != be.CliffordGates() || bePar.DenseGates() != be.DenseGates() ||
+		bePar.Handoffs() != be.Handoffs() {
+		t.Fatalf("parallel counters diverge: clifford %d vs %d, dense %d vs %d, handoffs %d vs %d",
+			bePar.CliffordGates(), be.CliffordGates(), bePar.DenseGates(), be.DenseGates(),
+			bePar.Handoffs(), be.Handoffs())
+	}
+}
+
+// TestHybridBackendWithPauliNoiseMatchesPlain: Pauli (depolarizing) noise
+// is absorbed into the tableau with RNG consumption identical to the dense
+// channels', so even a noisy Clifford-prefix trajectory hands off to the
+// dense kernels on exactly the stream the plain backend would have used —
+// the histogram must be byte-identical, and the prefix (gates and noise
+// insertions) must have run on tableaux.
+func TestHybridBackendWithPauliNoiseMatchesPlain(t *testing.T) {
+	c := workloads.CliffordPrefix(5, 5, 19)
+	m := noise.NewSycamore()
+	plan := partition.FromStructure(c, []int{32, 4})
+	plain, err := (&core.Executor{Noise: m, Seed: 4}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := stabilizer.NewBackend()
+	hybrid, err := (&core.Executor{Noise: m, Seed: 4, Backend: be}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.CliffordGates() == 0 || be.Handoffs() == 0 {
+		t.Fatalf("Pauli noise was not absorbed: clifford=%d handoffs=%d",
+			be.CliffordGates(), be.Handoffs())
+	}
+	assertSameCounts(t, plain.Counts, hybrid.Counts)
+}
+
+// TestHybridBackendWithDampingNoiseMatchesPlain: non-Pauli channels need
+// amplitudes after every gate, so the adapter materializes at the first
+// noisy gate and must degenerate to exactly the dense execution.
+func TestHybridBackendWithDampingNoiseMatchesPlain(t *testing.T) {
+	c := workloads.QSC(5, 4, 3)
+	m := noise.NewAmplitudeDamping(0.01)
+	plan := partition.FromStructure(c, []int{16, 4})
+	plain, err := (&core.Executor{Noise: m, Seed: 4}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := (&core.Executor{Noise: m, Seed: 4, Backend: stabilizer.NewBackend()}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, plain.Counts, hybrid.Counts)
+}
+
+// TestRunTreeDeterminism checks the pure-tableau tree runner's histograms
+// are identical across parallelism settings and repeated runs.
+func TestRunTreeDeterminism(t *testing.T) {
+	c := workloads.Clifford(8, 6, 21)
+	m := noise.NewSycamore()
+	plan := partition.FromStructure(c, []int{32, 4})
+	ref, err := stabilizer.RunTree(plan, m, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Outcomes != plan.TotalOutcomes() {
+		t.Fatalf("outcomes %d, want %d", ref.Outcomes, plan.TotalOutcomes())
+	}
+	for _, par := range []int{1, 3, 8} {
+		res, err := stabilizer.RunTree(plan, m, 5, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameCounts(t, ref.Counts, res.Counts)
+	}
+}
+
+// TestRunTreeMatchesDenseDistribution cross-checks the tableau tree against
+// the dense executor distributionally on a noisy Clifford workload — the
+// two engines share trajectory semantics but not RNG consumption, so only
+// the distributions agree.
+func TestRunTreeMatchesDenseDistribution(t *testing.T) {
+	c := workloads.BV(6, workloads.BVSecret(6))
+	m := noise.NewDepolarizing(0.002, 0.02)
+	plan := partition.FromStructure(c, []int{512})
+	tab, err := stabilizer.RunTree(plan, m, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := (&core.Executor{Noise: m, Seed: 3}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := metrics.TVDCounts(tab.Counts, dense.Counts, tab.Outcomes); tv > 0.1 {
+		t.Fatalf("tableau vs dense total variation %.3f", tv)
+	}
+}
+
+// TestRunTreeWide runs a 40-qubit Clifford workload — far beyond the dense
+// engines' reach — through the tableau tree with noise, checking shape and
+// determinism.
+func TestRunTreeWide(t *testing.T) {
+	c := workloads.GHZ(40)
+	m := noise.NewDepolarizing(0.001, 0.01)
+	plan := partition.Baseline(c, 256)
+	res, err := stabilizer.RunTree(plan, m, 17, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes != 256 {
+		t.Fatalf("outcomes %d", res.Outcomes)
+	}
+	// Under weak noise the two GHZ branches dominate.
+	all0, all1 := res.Counts[0], res.Counts[(uint64(1)<<40)-1]
+	if all0+all1 < 180 {
+		t.Fatalf("GHZ branches hold %d/256 outcomes", all0+all1)
+	}
+	again, err := stabilizer.RunTree(plan, m, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, res.Counts, again.Counts)
+}
+
+// TestRunTreeRejectsNonClifford ensures the runner refuses circuits and
+// models it cannot simulate exactly.
+func TestRunTreeRejectsNonClifford(t *testing.T) {
+	plan := partition.Baseline(workloads.QFT(4, true), 8)
+	if _, err := stabilizer.RunTree(plan, nil, 1, 0); err == nil {
+		t.Fatal("expected error for non-Clifford circuit")
+	}
+	plan = partition.Baseline(workloads.GHZ(4), 8)
+	if _, err := stabilizer.RunTree(plan, noise.NewAmplitudeDamping(0.01), 1, 0); err == nil {
+		t.Fatal("expected error for non-Pauli noise")
+	}
+}
+
+func assertSameCounts(t *testing.T, want, got map[uint64]int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("histogram support %d vs %d", len(want), len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("outcome %d: %d vs %d", k, v, got[k])
+		}
+	}
+}

@@ -53,6 +53,35 @@ func New(n int) *Tableau {
 // NumQubits returns n.
 func (t *Tableau) NumQubits() int { return t.n }
 
+// Bytes returns the approximate memory footprint of the tableau — the
+// polynomial-space analogue of statevec.State.Bytes for cost accounting.
+func (t *Tableau) Bytes() int64 {
+	rows := int64(2*t.n + 1)
+	return rows*int64(t.words)*16 + rows
+}
+
+// Clone deep-copies the tableau.
+func (t *Tableau) Clone() *Tableau {
+	c := New(t.n)
+	c.CopyFrom(t)
+	return c
+}
+
+// CopyFrom overwrites t with src without reallocating. Widths must match.
+// This is the tableau analogue of statevec.State.CopyFrom: O(n^2/64) words
+// instead of O(2^n) amplitudes, which is what makes tree reuse essentially
+// free on the stabilizer engine.
+func (t *Tableau) CopyFrom(src *Tableau) {
+	if t.n != src.n {
+		panic("stabilizer: CopyFrom width mismatch")
+	}
+	for i := range t.x {
+		copy(t.x[i], src.x[i])
+		copy(t.z[i], src.z[i])
+	}
+	copy(t.r, src.r)
+}
+
 func (t *Tableau) getX(row, q int) bool { return t.x[row][q/64]>>(uint(q)%64)&1 == 1 }
 func (t *Tableau) getZ(row, q int) bool { return t.z[row][q/64]>>(uint(q)%64)&1 == 1 }
 
@@ -141,6 +170,17 @@ func (t *Tableau) CZ(a, b int) {
 
 // rowsum implements the CHP "rowsum" operation: row h *= row i, tracking
 // the phase exponent mod 4.
+//
+// For stabilizer and scratch rows (h >= n) the summed rows always commute,
+// so the resulting phase is guaranteed real (+-1) and an imaginary result
+// is a corruption bug worth panicking over. Destabilizer rows (h < n) are
+// different: the measurement update multiplies the measured stabilizer into
+// every row carrying X on the target — including the destabilizer paired
+// with an anticommuting stabilizer (e.g. Y_q times X_q = iZ_q), where an
+// odd phase exponent is legitimate. Destabilizer phase bits are write-only
+// in the algorithm (no observable ever reads them; the destabilizer group
+// is defined up to phase), so the imaginary factor is dropped there, as in
+// the reference CHP implementation.
 func (t *Tableau) rowsum(h, i int) {
 	// Phase exponent accumulates 2*r_h + 2*r_i + sum of g() terms.
 	phase := 2*int(t.r[h]) + 2*int(t.r[i])
@@ -155,13 +195,12 @@ func (t *Tableau) rowsum(h, i int) {
 	if phase < 0 {
 		phase += 4
 	}
-	if phase == 0 {
-		t.r[h] = 0
-	} else if phase == 2 {
-		t.r[h] = 1
-	} else {
-		panic("stabilizer: rowsum produced imaginary phase")
+	if phase&1 == 1 && h >= t.n {
+		panic("stabilizer: rowsum produced imaginary phase on a stabilizer row")
 	}
+	// For odd phases (destabilizer rows only) this drops the imaginary
+	// unit and keeps the sign bit.
+	t.r[h] = uint8(phase >> 1)
 }
 
 // gPhase is the CHP g function: the exponent of i contributed when the
@@ -201,6 +240,19 @@ func b2i(b bool) int {
 // Measure measures qubit q in the computational basis, returning the
 // outcome bit. Random outcomes draw from r.
 func (t *Tableau) Measure(q int, r *rng.RNG) int {
+	return t.measureWith(q, func() uint8 {
+		if r.Float64() < 0.5 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// measureWith measures qubit q, resolving random outcomes through choose.
+// Passing a constant choose function collapses onto a fixed branch, which is
+// how the dense-conversion code deterministically finds a basis state of
+// nonzero amplitude.
+func (t *Tableau) measureWith(q int, choose func() uint8) int {
 	n := t.n
 	// Case 1: some stabilizer anticommutes with Z_q (has X on q) —
 	// outcome is random.
@@ -227,10 +279,7 @@ func (t *Tableau) Measure(q int, r *rng.RNG) int {
 			t.z[p][w] = 0
 		}
 		t.setZ(p, q, true)
-		out := uint8(0)
-		if r.Float64() < 0.5 {
-			out = 1
-		}
+		out := choose()
 		t.r[p] = out
 		return int(out)
 	}
@@ -284,6 +333,13 @@ func (t *Tableau) Apply(g gate.Gate) error {
 		t.Z(g.Qubits[0])
 	case gate.KindCX:
 		t.CX(g.Qubits[0], g.Qubits[1])
+	case gate.KindCY:
+		// CY = S_t CX S_t† (Y = S X S†): apply S† to the target, CX, S.
+		tgt := g.Qubits[1]
+		t.S(tgt)
+		t.Z(tgt) // S then Z is S†
+		t.CX(g.Qubits[0], tgt)
+		t.S(tgt)
 	case gate.KindCZ:
 		t.CZ(g.Qubits[0], g.Qubits[1])
 	case gate.KindSWAP:
@@ -297,12 +353,37 @@ func (t *Tableau) Apply(g gate.Gate) error {
 	return nil
 }
 
+// ApplyPauli applies Pauli index p (1=X, 2=Y, 3=Z, matching the encoding
+// of noise.Model.ApplyPauliAfterGate) to qubit q; 0 is the identity.
+func (t *Tableau) ApplyPauli(q, p int) {
+	switch p {
+	case 1:
+		t.X(q)
+	case 2:
+		t.Y(q)
+	case 3:
+		t.Z(q)
+	}
+}
+
+// IsCliffordKind reports whether Apply handles the gate kind. It must stay
+// in lockstep with Apply's switch; TestIsCliffordKindMatchesApply enforces
+// that.
+func IsCliffordKind(k gate.Kind) bool {
+	switch k {
+	case gate.KindI, gate.KindX, gate.KindY, gate.KindZ, gate.KindH,
+		gate.KindS, gate.KindSdg, gate.KindCX, gate.KindCY, gate.KindCZ,
+		gate.KindSWAP:
+		return true
+	}
+	return false
+}
+
 // IsClifford reports whether every gate of the circuit is in the supported
-// Clifford set.
+// Clifford set. O(gates): a kind check, no tableau evolution.
 func IsClifford(c *circuit.Circuit) bool {
-	probe := New(c.NumQubits)
 	for _, g := range c.Gates {
-		if err := probe.Apply(g); err != nil {
+		if !IsCliffordKind(g.Kind) {
 			return false
 		}
 	}
@@ -314,32 +395,18 @@ func IsClifford(c *circuit.Circuit) bool {
 // measurement. It returns an error for non-Clifford gates.
 func RunNoisy(c *circuit.Circuit, p1, p2 float64, r *rng.RNG) (uint64, error) {
 	t := New(c.NumQubits)
-	applyPauli := func(q, idx int) {
-		switch idx {
-		case 1:
-			t.X(q)
-		case 2:
-			t.Y(q)
-		case 3:
-			t.Z(q)
-		}
-	}
 	for _, g := range c.Gates {
 		if err := t.Apply(g); err != nil {
 			return 0, err
 		}
 		if g.Arity() == 1 {
 			if p1 > 0 && r.Float64() < p1 {
-				applyPauli(g.Qubits[0], 1+r.Intn(3))
+				t.ApplyPauli(g.Qubits[0], 1+r.Intn(3))
 			}
 		} else if p2 > 0 && r.Float64() < p2 {
 			k := 1 + r.Intn(15)
-			if a := k & 3; a != 0 {
-				applyPauli(g.Qubits[0], a)
-			}
-			if b := k >> 2; b != 0 {
-				applyPauli(g.Qubits[1], b)
-			}
+			t.ApplyPauli(g.Qubits[0], k&3)
+			t.ApplyPauli(g.Qubits[1], k>>2)
 		}
 	}
 	return t.MeasureAll(r), nil

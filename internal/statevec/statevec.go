@@ -24,6 +24,11 @@ import (
 // It is a variable, not a constant, so benchmarks can ablate it.
 var ParallelThreshold = 1 << 14
 
+// MaxQubits caps dense registers: 2^30 amplitudes is 16 GiB, the edge of
+// single-node feasibility. Engines with polynomial representations (the
+// stabilizer tableau) go beyond it; callers route wide circuits there.
+const MaxQubits = 30
+
 // State is an n-qubit pure state.
 type State struct {
 	n    int
@@ -32,7 +37,7 @@ type State struct {
 
 // NewZero returns |0...0> on n qubits.
 func NewZero(n int) *State {
-	if n < 1 || n > 30 {
+	if n < 1 || n > MaxQubits {
 		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
 	}
 	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}

@@ -1,0 +1,81 @@
+// Clifford-heavy workload generators: circuits whose gates lie (entirely or
+// mostly) in the Clifford group, the scenario class the stabilizer engine's
+// polynomial fast path unlocks at widths the dense engines cannot reach —
+// error-correction-style stabilizer circuits, GHZ fan-outs, and
+// Clifford-prefix circuits that exercise the hybrid dispatcher's tableau ->
+// state-vector handoff.
+package workloads
+
+import (
+	"fmt"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/gate"
+	"tqsim/internal/rng"
+)
+
+// GHZ returns the width-qubit GHZ preparation (H on qubit 0, then a CX
+// fan-out chain) — the minimal fully entangling Clifford circuit.
+func GHZ(width int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("ghz_n%d", width), width)
+	c.H(0)
+	for q := 1; q < width; q++ {
+		c.CX(q-1, q)
+	}
+	return c
+}
+
+// cliffordOneQubit is the single-qubit gate pool for random Clifford
+// circuits, restricted to kinds the tableau engine applies natively.
+var cliffordOneQubit = []gate.Kind{
+	gate.KindH, gate.KindS, gate.KindSdg, gate.KindX, gate.KindY, gate.KindZ,
+}
+
+// Clifford returns a seeded random width-qubit Clifford circuit of the
+// given depth. Each layer applies an independent random one-qubit Clifford
+// to every qubit, then entangles a random qubit pairing with CX, CZ, or
+// SWAP — the dense/random end of the Clifford scenario spectrum, as used by
+// stabilizer-simulation benchmarks.
+func Clifford(width, depth int, seed uint64) *circuit.Circuit {
+	if width < 2 {
+		panic("workloads: Clifford needs at least two qubits")
+	}
+	c := circuit.New(fmt.Sprintf("clifford_n%d_d%d", width, depth), width)
+	r := rng.New(seed ^ 0xc11f)
+	for d := 0; d < depth; d++ {
+		for q := 0; q < width; q++ {
+			c.Append(gate.New(cliffordOneQubit[r.Intn(len(cliffordOneQubit))], q))
+		}
+		perm := r.Perm(width)
+		for i := 0; i+1 < width; i += 2 {
+			a, b := perm[i], perm[i+1]
+			switch r.Intn(3) {
+			case 0:
+				c.CX(a, b)
+			case 1:
+				c.CZ(a, b)
+			default:
+				c.Append(gate.New(gate.KindSWAP, a, b))
+			}
+		}
+	}
+	return c
+}
+
+// CliffordPrefix returns a circuit whose first part is Clifford (a random
+// Clifford circuit of cliffordDepth layers) followed by a short
+// non-Clifford tail (a T + RZ + CP layer). It exercises the hybrid
+// dispatcher's handoff: the prefix runs on tableaux, the tail on dense
+// kernels.
+func CliffordPrefix(width, cliffordDepth int, seed uint64) *circuit.Circuit {
+	c := Clifford(width, cliffordDepth, seed)
+	c.Name = fmt.Sprintf("cliffpfx_n%d_d%d", width, cliffordDepth)
+	r := rng.New(seed ^ 0x7a11)
+	for q := 0; q < width; q++ {
+		c.Append(gate.New(gate.KindT, q))
+	}
+	for q := 0; q+1 < width; q += 2 {
+		c.Append(gate.NewParam(gate.KindCP, []float64{0.3 + 0.1*r.Float64()}, q, q+1))
+	}
+	return c
+}

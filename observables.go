@@ -53,8 +53,17 @@ func EstimateExpectationBaseline(c *Circuit, m *NoiseModel, h *Hamiltonian, shot
 // DCP plans the tree, each leaf contributes one exact expectation.
 func EstimateExpectationTQSim(c *Circuit, m *NoiseModel, h *Hamiltonian, shots int, opt Options) (EstimateStats, *TreeResult, error) {
 	plan := PlanDCP(c, m, shots, opt)
+	// Observables need dense leaf states, so there is no polynomial route
+	// here regardless of backend; diagnose infeasible widths up front.
+	if err := denseWidthCheck(c, opt.backendName(), m); err != nil {
+		return EstimateStats{}, nil, err
+	}
+	be, err := opt.backend()
+	if err != nil {
+		return EstimateStats{}, nil, err
+	}
 	ex := &core.Executor{
-		Backend:     opt.backend(),
+		Backend:     be,
 		Noise:       m,
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,

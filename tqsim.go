@@ -22,19 +22,25 @@
 package tqsim
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"tqsim/internal/circuit"
+	"tqsim/internal/cluster"
 	"tqsim/internal/core"
 	"tqsim/internal/densmat"
-	"tqsim/internal/fusion"
+	// Registration-only import: fusion's init registers the "fusion"
+	// engine in the core backend registry.
+	_ "tqsim/internal/fusion"
 	"tqsim/internal/gate"
 	"tqsim/internal/metrics"
 	"tqsim/internal/noise"
 	"tqsim/internal/partition"
 	"tqsim/internal/qasm"
 	"tqsim/internal/rng"
+	"tqsim/internal/stabilizer"
+	"tqsim/internal/statevec"
 	"tqsim/internal/trajectory"
 )
 
@@ -100,8 +106,22 @@ type Options struct {
 	// MemoryBudgetBytes caps concurrent intermediate-state memory
 	// (0 = unlimited).
 	MemoryBudgetBytes int64
+	// Backend selects the gate-execution engine by registry name:
+	// "statevec" (default), "fusion", "stabilizer", "densmat", or
+	// "cluster" — see Backends. "stabilizer" is the hybrid Clifford
+	// dispatcher: Clifford-only circuits under Pauli noise run entirely on
+	// tableaux (polynomial time and memory, so widths beyond the dense
+	// engines' reach work); circuits with non-Clifford gates run their
+	// maximal Clifford prefix on tableaux and hand off to the dense
+	// kernels at the first non-Clifford gate. "densmat" computes the exact
+	// noisy distribution (<= 12 qubits) and samples outcomes from it.
+	Backend string
+	// ClusterNodes sets the shard count for the cluster backend (a power
+	// of two; 0 selects the default). Ignored by other backends.
+	ClusterNodes int
 	// UseFusionBackend runs on the gate-fusion backend instead of the
-	// plain state-vector backend.
+	// plain state-vector backend. Deprecated: set Backend to "fusion";
+	// Backend wins when both are set.
 	UseFusionBackend bool
 	// Parallelism sets worker counts: shot-level for the baseline and
 	// first-level-subtree for TQSim trees (0 = sequential). Histograms are
@@ -111,11 +131,30 @@ type Options struct {
 	Epsilon float64
 }
 
-func (o Options) backend() Backend {
-	if o.UseFusionBackend {
-		return fusion.New()
+// Backends lists every registered engine name, sorted.
+func Backends() []string { return core.Backends() }
+
+// backendName resolves the effective engine name.
+func (o Options) backendName() string {
+	if o.Backend != "" {
+		return o.Backend
 	}
-	return core.PlainBackend{}
+	if o.UseFusionBackend {
+		return "fusion"
+	}
+	return "statevec"
+}
+
+// backend constructs the gate-apply backend for the tree executor. External
+// engines (densmat) and the pure-tableau path are routed before this is
+// called. Only the cluster shard-count override needs a special case; every
+// other name goes through the registry.
+func (o Options) backend() (Backend, error) {
+	name := o.backendName()
+	if name == "cluster" && o.ClusterNodes > 0 {
+		return cluster.NewBackend(o.ClusterNodes), nil
+	}
+	return core.NewBackend(name)
 }
 
 func (o Options) dcpOptions() partition.DCPOptions {
@@ -139,12 +178,49 @@ func PlanStructure(c *Circuit, arities []int) *Plan {
 	return partition.FromStructure(c, arities)
 }
 
-// RunBaseline simulates shots noisy trajectories the conventional way.
+// RunBaseline simulates shots noisy trajectories the conventional way. The
+// default state-vector engine runs through the dedicated trajectory
+// simulator; any other Options.Backend routes the (shots,) baseline plan
+// through the selected engine. Engine errors (unknown name, width beyond
+// the engine's limit) panic in this error-free signature — error-sensitive
+// callers use RunBaselineBackend or RunBackend.
 func RunBaseline(c *Circuit, m *NoiseModel, shots int, opt Options) *BaselineResult {
+	res, err := RunBaselineBackend(c, m, shots, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunBaselineBackend is RunBaseline with engine errors returned instead of
+// panicking.
+func RunBaselineBackend(c *Circuit, m *NoiseModel, shots int, opt Options) (*BaselineResult, error) {
+	if opt.backendName() != "statevec" {
+		res, err := RunBackend(c, m, shots, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &BaselineResult{
+			Counts:           res.Counts,
+			Shots:            res.Outcomes,
+			GateApplications: res.GateApplications,
+			StateCopies:      res.StateCopies,
+			PeakStateBytes:   res.PeakStateBytes,
+			Elapsed:          res.Elapsed,
+		}, nil
+	}
 	return trajectory.Run(c, m, shots, trajectory.Options{
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,
-	})
+	}), nil
+}
+
+// RunBackend executes shots independent trajectories of c on the engine
+// selected by Options.Backend, through the tree executor's flat baseline
+// plan. It is the uniform entry point the cross-backend conformance suite
+// drives: every registered engine is reachable from here by name.
+func RunBackend(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, error) {
+	return RunPlan(partition.Baseline(c, shots), m, opt)
 }
 
 // RunIdeal simulates the noise-free circuit once and samples shots
@@ -162,14 +238,79 @@ func RunTQSim(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, e
 // RunPlan executes an explicit simulation-tree plan. Options.Parallelism
 // distributes first-level subtrees across workers; results are
 // seed-deterministic regardless.
+//
+// Engine routing: "densmat" computes the exact distribution and samples the
+// plan's leaf count from it; "stabilizer" runs Clifford-only circuits under
+// ideal or depolarizing noise entirely on tableaux (no dense state is ever
+// allocated, so widths beyond the state-vector engine work) and otherwise
+// falls back to the hybrid adapter on the dense executor; everything else
+// is a gate-apply backend on the dense executor.
 func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	name := opt.backendName()
+	if name == "densmat" {
+		return runDensmat(p, m, opt)
+	}
+	if name == "stabilizer" && m.PauliOnly() && stabilizer.IsClifford(p.Circuit) {
+		return stabilizer.RunTree(p, m, opt.Seed, opt.Parallelism)
+	}
+	if err := denseWidthCheck(p.Circuit, name, m); err != nil {
+		return nil, err
+	}
+	be, err := opt.backend()
+	if err != nil {
+		return nil, err
+	}
 	ex := &core.Executor{
-		Backend:     opt.backend(),
+		Backend:     be,
 		Noise:       m,
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,
 	}
 	return ex.Run(p)
+}
+
+// denseWidthCheck fails with a diagnosis when a circuit is about to reach
+// the dense executor at a width it cannot allocate — instead of letting
+// statevec panic. Every dense-engine entry point (RunPlan, the observable
+// estimators) calls it after the polynomial-path routing has declined.
+func denseWidthCheck(c *Circuit, name string, m *NoiseModel) error {
+	n := c.NumQubits
+	if n <= statevec.MaxQubits {
+		return nil
+	}
+	if name == "stabilizer" {
+		return fmt.Errorf(
+			"tqsim: %d qubits exceeds the %d-qubit dense limit and the stabilizer fast path does not apply (circuit Clifford-only: %v, noise Pauli-only: %v)",
+			n, statevec.MaxQubits, stabilizer.IsClifford(c), m.PauliOnly())
+	}
+	return fmt.Errorf("tqsim: %d qubits exceeds the %s backend's %d-qubit dense limit",
+		n, name, statevec.MaxQubits)
+}
+
+// runDensmat executes a plan's leaf count of samples from the exact
+// density-matrix distribution, wrapped in the executor's result type.
+func runDensmat(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	start := time.Now()
+	counts, err := densmat.RunCounts(p.Circuit, m, p.TotalOutcomes(), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeResult{
+		Counts:         counts,
+		Outcomes:       p.TotalOutcomes(),
+		Structure:      p.Structure(),
+		BackendName:    "densmat",
+		PeakStateBytes: int64(16) << uint(2*p.Circuit.NumQubits),
+		Elapsed:        time.Since(start),
+	}, nil
+}
+
+func init() {
+	// internal/observable consumes densmat, so the external registration
+	// lives here rather than in a densmat init (core -> observable ->
+	// densmat -> core would cycle).
+	core.RegisterExternal("densmat",
+		"exact density-matrix engine; runs whole circuits outside the tree executor")
 }
 
 // IdealDistribution returns the exact noise-free outcome distribution.
@@ -228,7 +369,10 @@ type Comparison struct {
 // Compare runs both simulators on the circuit and reports speedup and
 // fidelity agreement.
 func Compare(c *Circuit, m *NoiseModel, shots int, opt Options) (*Comparison, error) {
-	base := RunBaseline(c, m, shots, opt)
+	base, err := RunBaselineBackend(c, m, shots, opt)
+	if err != nil {
+		return nil, err
+	}
 	tq, err := RunTQSim(c, m, shots, opt)
 	if err != nil {
 		return nil, err
@@ -271,17 +415,23 @@ func Compare(c *Circuit, m *NoiseModel, shots int, opt Options) (*Comparison, er
 }
 
 // SubsampleCounts draws `target` outcomes from a histogram without
-// replacement (deterministic for a given seed). Histograms at or below the
-// target are returned unchanged. Fidelity estimated from a histogram
-// carries a sample-size-dependent bias, so comparisons should thin both
-// sides to a common count — Compare does this automatically.
+// replacement (deterministic for a given seed). The result is always a
+// fresh map — histograms at or below the target are returned as a copy, so
+// callers may mutate the result without corrupting the input. Fidelity
+// estimated from a histogram carries a sample-size-dependent bias, so
+// comparisons should thin both sides to a common count — Compare does this
+// automatically.
 func SubsampleCounts(counts map[uint64]int, target int, seed uint64) map[uint64]int {
 	total := 0
 	for _, v := range counts {
 		total += v
 	}
 	if total <= target {
-		return counts
+		out := make(map[uint64]int, len(counts))
+		for k, v := range counts {
+			out[k] = v
+		}
+		return out
 	}
 	// Expand to a flat outcome list (sorted keys — map iteration order
 	// would break seed determinism) and take a partial Fisher-Yates

@@ -52,6 +52,24 @@ func QSCCircuit(width, depth int, seed uint64) *Circuit {
 	return workloads.QSC(width, depth, seed)
 }
 
+// Clifford-heavy workloads — the scenario class the stabilizer backend's
+// polynomial fast path unlocks at widths the dense engines cannot reach.
+
+// GHZCircuit builds the width-qubit GHZ preparation (H + CX chain).
+func GHZCircuit(width int) *Circuit { return workloads.GHZ(width) }
+
+// CliffordCircuit builds a seeded random Clifford circuit: depth layers of
+// random one-qubit Cliffords plus a random CX/CZ/SWAP pairing.
+func CliffordCircuit(width, depth int, seed uint64) *Circuit {
+	return workloads.Clifford(width, depth, seed)
+}
+
+// CliffordPrefixCircuit builds a random Clifford prefix followed by a short
+// non-Clifford tail — the hybrid dispatcher's handoff stress shape.
+func CliffordPrefixCircuit(width, cliffordDepth int, seed uint64) *Circuit {
+	return workloads.CliffordPrefix(width, cliffordDepth, seed)
+}
+
 // QVCircuit builds a Quantum-Volume model circuit at the canonical depth.
 func QVCircuit(width int, seed uint64) *Circuit {
 	return workloads.QV(width, workloads.QVDefaultDepth, false, seed)
