@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-smoke bench-kernels bench ci
+.PHONY: build vet test race fuzz-smoke bench-kernels bench ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Godoc contract: every exported symbol of the public tqsim package carries
+# a doc comment (determinism guarantees included — see docs/).
+docs-lint:
+	$(GO) run ./cmd/repolint -godoc .
+
+# Docs contract: every relative markdown link resolves, and every example
+# program still builds against the current API.
+docs-check:
+	$(GO) run ./cmd/repolint -links
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -32,4 +43,4 @@ bench-kernels:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build vet test race fuzz-smoke
+ci: build vet docs-lint test race fuzz-smoke docs-check

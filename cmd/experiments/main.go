@@ -63,6 +63,7 @@ var experiments = []experiment{
 	{"sensitivity", "shot-count sensitivity (paper §4.3)", runSensitivity},
 	{"oracle", "stabilizer-oracle cross-check on Clifford circuits", runOracle},
 	{"backends", "registry side-by-side: every engine on shared workloads", runBackends},
+	{"planner", "auto-dispatch decision table across the workload/noise/width grid", runPlanner},
 }
 
 func main() {
@@ -70,10 +71,11 @@ func main() {
 	flag.BoolVar(&cfg.full, "full", false, "run paper-scale parameters (slow)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "experiment seed")
 	flag.StringVar(&cfg.backend, "backend", "",
-		"execution engine for suite experiments: "+strings.Join(tqsim.Backends(), ", "))
+		"execution engine for suite experiments: auto, "+strings.Join(tqsim.Backends(), ", "))
 	flag.Parse()
-	if cfg.backend != "" && !slices.Contains(tqsim.Backends(), cfg.backend) {
-		fmt.Fprintf(os.Stderr, "experiments: unknown backend %q (have %s)\n",
+	if cfg.backend != "" && cfg.backend != tqsim.AutoBackend &&
+		!slices.Contains(tqsim.Backends(), cfg.backend) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown backend %q (have auto, %s)\n",
 			cfg.backend, strings.Join(tqsim.Backends(), ", "))
 		os.Exit(2)
 	}

@@ -6,6 +6,7 @@
 //
 //	tqsim -circuit qft_n12 -shots 2000                  # compare (default)
 //	tqsim -circuit qv_n10 -mode tqsim -structure 64,4,4 # explicit tree
+//	tqsim -circuit bv_n16 -mode tqsim -explain          # planner decision + run
 //	tqsim -qasm prog.qasm -noise TRR -mode baseline
 //	tqsim -list                                         # suite inventory
 package main
@@ -32,7 +33,8 @@ func main() {
 		mode        = flag.String("mode", "compare", "baseline | tqsim | compare | ideal")
 		structure   = flag.String("structure", "", "explicit tree structure, e.g. 64,4,4 (tqsim mode)")
 		copyCost    = flag.Float64("copycost", 0, "state copy cost in gate-equivalents (0 = profile)")
-		backendName = flag.String("backend", "", "execution engine: "+strings.Join(tqsim.Backends(), ", ")+" (default statevec)")
+		backendName = flag.String("backend", "", "execution engine: auto, "+strings.Join(tqsim.Backends(), ", ")+" (default: auto for tqsim/compare, statevec for baseline)")
+		explain     = flag.Bool("explain", false, "print the planner's engine decision (chosen + rejected candidates) before running")
 		nodes       = flag.Int("nodes", 0, "cluster backend shard count (power of two; 0 = default)")
 		fusionFlag  = flag.Bool("fusion", false, "use the gate-fusion backend (deprecated: -backend fusion)")
 		topK        = flag.Int("top", 8, "top outcomes to print")
@@ -48,8 +50,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *backendName != "" && !slices.Contains(tqsim.Backends(), *backendName) {
-		fatal(fmt.Errorf("unknown backend %q (have %s)",
+	if *backendName != "" && *backendName != tqsim.AutoBackend &&
+		!slices.Contains(tqsim.Backends(), *backendName) {
+		fatal(fmt.Errorf("unknown backend %q (have auto, %s)",
 			*backendName, strings.Join(tqsim.Backends(), ", ")))
 	}
 	model := tqsim.NoiseByName(*noiseName)
@@ -71,6 +74,33 @@ func main() {
 	}
 	fmt.Printf("circuit %s: %d qubits, %d gates, depth %d | noise %s | copy cost %.1f\n",
 		c.Name, c.NumQubits, c.Len(), c.Depth(), model.Name(), opt.CopyCost)
+
+	if *explain {
+		// Explain the plan this invocation will actually run: the flat plan
+		// for baseline mode, the explicit structure when one is given, the
+		// DCP tree otherwise.
+		var plan *tqsim.Plan
+		switch {
+		case *mode == "baseline" || *mode == "ideal":
+			plan = tqsim.PlanBaseline(c, *shots)
+		case *structure != "":
+			arities, err := parseStructure(*structure)
+			if err != nil {
+				fatal(err)
+			}
+			plan = tqsim.PlanStructure(c, arities)
+		default:
+			plan = tqsim.PlanDCP(c, model, *shots, opt)
+		}
+		d, err := tqsim.DecidePlan(plan, model, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(d)
+		if name := opt.Backend; name != "" && name != tqsim.AutoBackend && name != d.Backend {
+			fmt.Printf("note: -backend %s overrides the planner's choice\n", name)
+		}
+	}
 
 	switch *mode {
 	case "ideal":

@@ -1,0 +1,61 @@
+// Command tqsimd is the long-running TQSim batch service: an HTTP/JSON
+// daemon that accepts OpenQASM (or benchmark-suite) simulation jobs,
+// admission-controls them with the planner's cost and memory estimates,
+// batches shots through a bounded scheduler, caches plans keyed by
+// (circuit hash, noise, options), and streams per-batch histograms.
+//
+// Quickstart:
+//
+//	tqsimd -addr :8651 &
+//	curl -s localhost:8651/v1/jobs -d '{"circuit":"bv_n10","noise":"DC","shots":2000,"seed":1}'
+//	curl -s localhost:8651/v1/plan -d '{"circuit":"qft_n12","noise":"DC","shots":2000}'
+//
+// Endpoints:
+//
+//	POST /v1/jobs      run a job; {"stream":true} switches to NDJSON batches
+//	POST /v1/plan      planner decision only (explainable dispatch, no run)
+//	GET  /v1/backends  registered engines plus "auto"
+//	GET  /v1/stats     scheduler/cache/admission counters
+//	GET  /healthz      liveness
+//
+// Determinism: a single-batch job's histogram is byte-identical to
+// tqsim.RunTQSim at the same seed and options; multi-batch jobs merge
+// batches run at deterministically derived seeds (serve.BatchSeed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"tqsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8651", "listen address")
+		concurrent = flag.Int("max-concurrent", 0, "jobs executing simultaneously (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue-depth", 16, "jobs allowed to wait for a slot before 429")
+		budgetMB   = flag.Int64("memory-budget-mb", 0, "total planner-estimated state memory across running jobs, MiB (0 = unlimited)")
+		maxShots   = flag.Int("max-shots", 0, "per-job shot cap (0 = default 4194304)")
+		batchShots = flag.Int("batch-shots", 0, "default shots per batch when jobs don't choose (0 = one batch)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent:     *concurrent,
+		QueueDepth:        *queue,
+		MemoryBudgetBytes: *budgetMB << 20,
+		MaxShots:          *maxShots,
+		DefaultBatchShots: *batchShots,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("tqsimd listening on %s\n", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

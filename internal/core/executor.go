@@ -121,6 +121,15 @@ func SubtreeSpan(arities []int, level int) uint64 {
 	return span
 }
 
+// DensePeakBytes returns the dense executor's peak amplitude memory for a
+// tree run: one state per level plus the working copy, per worker. The
+// planner's admission estimates and the executor's reported PeakStateBytes
+// both come from here, so a job admitted on the estimate cannot observe a
+// different number at run time.
+func DensePeakBytes(workers, levels, numQubits int) int64 {
+	return int64(workers) * int64(levels+1) * (int64(16) << uint(numQubits))
+}
+
 // treeWorkers returns the worker count a tree run will use for the plan:
 // Parallelism clamped to [1, first-level arity].
 func (e *Executor) treeWorkers(plan *partition.Plan) int {
@@ -161,7 +170,7 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 	subtreeNodes := SubtreeSpan(plan.Arities, 0)
 
 	workers := e.treeWorkers(plan)
-	res.PeakStateBytes = int64(workers) * int64(levels+1) * (int64(16) << uint(n))
+	res.PeakStateBytes = DensePeakBytes(workers, levels, n)
 
 	type shard struct {
 		ops, copies, nodes int64

@@ -12,10 +12,34 @@
 // is available.
 package hpcmodel
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // BytesPerAmplitude is the storage of one complex128 amplitude.
 const BytesPerAmplitude = 16
+
+// FormatBytes renders a byte count with a binary-prefix unit (KiB … EiB),
+// e.g. 17179869184 -> "16 GiB". Every memory estimate the planner, the
+// facade's width diagnostics and the tqsimd admission controller print goes
+// through here, so their numbers always agree textually.
+func FormatBytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	switch {
+	case b >= 1024: // beyond EiB: scientific notation beats a 13-digit count
+		return fmt.Sprintf("%.3g %s", b, units[i])
+	case b == math.Trunc(b):
+		return fmt.Sprintf("%.0f %s", b, units[i])
+	default:
+		return fmt.Sprintf("%.1f %s", b, units[i])
+	}
+}
 
 // StatevectorBytes returns the memory of an n-qubit state vector: 16 * 2^n.
 func StatevectorBytes(n int) float64 {

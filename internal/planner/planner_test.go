@@ -1,0 +1,189 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"tqsim/internal/circuit"
+	"tqsim/internal/noise"
+	"tqsim/internal/partition"
+	"tqsim/internal/workloads"
+)
+
+// TestDecisionTable pins the dispatch policy across the workload grid ×
+// noise class × width plane: each row is (circuit shape, noise, budget) →
+// (backend, mode). Changing a cost constant that flips one of these rows
+// must update this table deliberately.
+func TestDecisionTable(t *testing.T) {
+	pauli := noise.NewSycamore()
+	thermal := noise.ByName("TRR")
+	var ideal *noise.Model
+
+	cases := []struct {
+		name        string
+		plan        *partition.Plan
+		noise       *noise.Model
+		budget      Budget
+		wantBackend string
+		wantMode    string
+	}{
+		// Clifford-only × Pauli noise: tableau tree at any width ≤ 64.
+		{"ghz8/pauli", dcp(workloads.GHZ(8), pauli, 2000), pauli, Budget{}, "stabilizer", "tableau-tree"},
+		{"ghz40/pauli", dcp(workloads.GHZ(40), pauli, 2000), pauli, Budget{}, "stabilizer", "tableau-tree"},
+		{"bv32/pauli", dcp(workloads.BV(32, 0xABCDE), pauli, 1000), pauli, Budget{}, "stabilizer", "tableau-tree"},
+		{"clifford56/ideal", dcp(workloads.Clifford(56, 6, 3), ideal, 500), ideal, Budget{}, "stabilizer", "tableau-tree"},
+
+		// Non-Clifford, narrow: dense state vector (the acceptance shape).
+		{"qft10/pauli", dcp(workloads.QFT(10, true), pauli, 2000), pauli, Budget{}, "statevec", ""},
+		{"qsc8/pauli", dcp(workloads.QSC(8, 6, 1), pauli, 2000), pauli, Budget{}, "statevec", ""},
+		{"qft6/thermal", dcp(workloads.QFT(6, true), thermal, 1000), thermal, Budget{}, "statevec", ""},
+
+		// Long Clifford prefix + short non-Clifford tail under Pauli noise:
+		// hybrid handoff shadows the prefix.
+		{"cliffprefix12/pauli", dcp(workloads.CliffordPrefix(12, 24, 5), pauli, 2000), pauli, Budget{}, "stabilizer", "hybrid-handoff"},
+
+		// Clifford circuit under non-Pauli noise: tableaux cannot absorb the
+		// channels, so a narrow circuit falls back to dense kernels.
+		{"ghz10/thermal", dcp(workloads.GHZ(10), thermal, 1000), thermal, Budget{}, "statevec", ""},
+
+		// Ideal runs fuse one-qubit gates: the fusion engine wins on
+		// 1q-heavy circuits.
+		{"qsc8/ideal", dcp(workloads.QSC(8, 6, 1), ideal, 2000), ideal, Budget{}, "fusion", ""},
+
+		// Explicit shard request: cluster wins outright when viable.
+		{"qft10/pauli/shards", dcp(workloads.QFT(10, true), pauli, 2000), pauli, Budget{ClusterNodes: 8}, "cluster", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Decide(tc.plan, tc.noise, tc.budget)
+			if err != nil {
+				t.Fatalf("Decide: %v", err)
+			}
+			if d.Backend != tc.wantBackend || d.Mode != tc.wantMode {
+				t.Fatalf("chose %s/%s, want %s/%s\n%s",
+					d.Backend, d.Mode, tc.wantBackend, tc.wantMode, d)
+			}
+			if d.Why == "" || len(d.Candidates) != 6 {
+				t.Fatalf("decision not explainable: why=%q candidates=%d", d.Why, len(d.Candidates))
+			}
+			if d.EstCost <= 0 {
+				t.Fatalf("chosen candidate carries no cost estimate: %+v", d)
+			}
+		})
+	}
+}
+
+// TestDecisionExplainsRejections asserts the two acceptance-criteria shapes
+// produce Decisions whose candidate tables explain both the choice and the
+// rejections.
+func TestDecisionExplainsRejections(t *testing.T) {
+	pauli := noise.NewSycamore()
+
+	// 40-qubit pure Clifford + Pauli noise → stabilizer; dense engines must
+	// be rejected with the width (and byte-estimate) reason.
+	d, err := Decide(dcp(workloads.GHZ(40), pauli, 2000), pauli, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend != "stabilizer" || d.Mode != "tableau-tree" {
+		t.Fatalf("40q Clifford chose %s/%s", d.Backend, d.Mode)
+	}
+	if !d.CliffordOnly || !d.PauliNoise || d.Width != 40 {
+		t.Fatalf("plan facts wrong: %+v", d)
+	}
+	found := 0
+	for _, c := range d.Rejected() {
+		if c.Backend == "statevec" || c.Backend == "fusion" || c.Backend == "cluster" {
+			if !strings.Contains(c.Reason, "30-qubit dense limit") || !strings.Contains(c.Reason, "TiB") {
+				t.Fatalf("dense rejection lacks width/bytes: %q", c.Reason)
+			}
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("expected 3 dense rejections, got %d\n%s", found, d)
+	}
+
+	// Narrow non-Clifford → statevec; the tableau candidate must name the
+	// first non-Clifford gate index.
+	d, err = Decide(dcp(workloads.QFT(10, true), pauli, 2000), pauli, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend != "statevec" {
+		t.Fatalf("narrow non-Clifford chose %s", d.Backend)
+	}
+	var tableau *Candidate
+	for i := range d.Candidates {
+		if d.Candidates[i].Mode == "tableau-tree" {
+			tableau = &d.Candidates[i]
+		}
+	}
+	if tableau == nil || tableau.Viable || !strings.Contains(tableau.Reason, "non-Clifford gate at index") {
+		t.Fatalf("tableau rejection unexplained: %+v", tableau)
+	}
+}
+
+// TestMemoryBudgetShedsWorkersThenRejects drives the admission arithmetic:
+// a budget that fits only a single worker clamps Parallelism to 1, and a
+// budget below one state set rejects every dense engine.
+func TestMemoryBudgetShedsWorkersThenRejects(t *testing.T) {
+	pauli := noise.NewSycamore()
+	plan := dcp(workloads.QFT(12, true), pauli, 2000)
+	levels := plan.Levels()
+	stateBytes := int64(16) << 12
+
+	oneWorker := Budget{Parallelism: 8, MemoryBytes: int64(levels+1) * stateBytes}
+	d, err := Decide(plan, pauli, oneWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Parallelism != 1 {
+		t.Fatalf("expected memory clamp to 1 worker, got %d", d.Parallelism)
+	}
+	if d.EstPeakBytes > oneWorker.MemoryBytes {
+		t.Fatalf("peak %d exceeds budget %d", d.EstPeakBytes, oneWorker.MemoryBytes)
+	}
+
+	tooSmall := Budget{MemoryBytes: stateBytes} // < (levels+1) states even for 1 worker
+	if _, err := Decide(plan, pauli, tooSmall); err == nil {
+		t.Fatal("expected no-viable-engine error under a one-state budget")
+	} else if !strings.Contains(err.Error(), "memory budget") {
+		t.Fatalf("budget rejection not explained: %v", err)
+	}
+}
+
+// TestCliffordPrefixLen pins the prefix scan against hand-built circuits.
+func TestCliffordPrefixLen(t *testing.T) {
+	c := workloads.GHZ(5)
+	if got := CliffordPrefixLen(c); got != c.Len() {
+		t.Fatalf("GHZ prefix %d, want %d", got, c.Len())
+	}
+	c.T(0).H(1)
+	want := c.Len() - 2
+	if got := CliffordPrefixLen(c); got != want {
+		t.Fatalf("prefix %d, want %d", got, want)
+	}
+}
+
+// TestDeciderDeterministic: same inputs, same Decision — the property the
+// tqsimd plan cache relies on.
+func TestDeciderDeterministic(t *testing.T) {
+	pauli := noise.NewSycamore()
+	plan := dcp(workloads.CliffordPrefix(10, 16, 7), pauli, 1500)
+	a, err := Decide(plan, pauli, Budget{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decide(plan, pauli, Budget{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("decisions diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func dcp(c *circuit.Circuit, m *noise.Model, shots int) *partition.Plan {
+	return partition.Dynamic(c, m, shots, partition.DCPOptions{CopyCost: 20})
+}

@@ -1,0 +1,736 @@
+// Package serve implements the tqsimd HTTP/JSON service: a long-running
+// entry point that accepts OpenQASM (or benchmark-suite) simulation jobs,
+// admission-controls them with the planner's cost/memory estimates, batches
+// shots through a bounded scheduler, caches simulation plans keyed by
+// (circuit hash, noise, options), and streams per-batch histograms as
+// NDJSON. cmd/tqsimd is a thin main around New.
+//
+// Determinism contract: a job that fits in one batch returns a histogram
+// byte-identical to tqsim.RunTQSim (mode "tqsim") or tqsim.RunBackend
+// (mode "baseline") at the same seed and options. A job split into B
+// batches runs batch i at the derived seed BatchSeed(seed, i) (batch 0
+// keeps the job seed) and returns the merged histogram — equal to merging
+// B single-process runs at those seeds, regardless of how many jobs the
+// server is executing concurrently.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tqsim"
+	"tqsim/internal/hpcmodel"
+	"tqsim/internal/planner"
+	"tqsim/internal/rng"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent bounds jobs executing simultaneously
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds jobs waiting for an execution slot; beyond it the
+	// server answers 429 instead of queueing unboundedly (default 16).
+	QueueDepth int
+	// MemoryBudgetBytes caps the planner-estimated peak state memory of
+	// all running jobs combined. A job whose estimate alone exceeds the
+	// budget is rejected 413; one that merely doesn't fit *now* is
+	// rejected 503 for the client to retry (0 = unlimited).
+	MemoryBudgetBytes int64
+	// MaxShots rejects absurd jobs up front (default 1<<22).
+	MaxShots int
+	// DefaultBatchShots splits jobs into batches of this many shots when
+	// the request doesn't choose (0 = one batch per job).
+	DefaultBatchShots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxShots <= 0 {
+		c.MaxShots = 1 << 22
+	}
+	return c
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	JobsCompleted     uint64 `json:"jobs_completed"`
+	JobsFailed        uint64 `json:"jobs_failed"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	RejectedMemory    uint64 `json:"rejected_memory"`
+	BatchesRun        uint64 `json:"batches_run"`
+	PlanCacheHits     uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses   uint64 `json:"plan_cache_misses"`
+	MemoryInUseBytes  int64  `json:"memory_in_use_bytes"`
+}
+
+// Server is the tqsimd HTTP handler. Construct with New.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	slots   chan struct{} // execution permits (MaxConcurrent)
+	pending atomic.Int64  // running + queued jobs
+
+	memMu     sync.Mutex
+	memInUse  int64
+	planMu    sync.Mutex
+	planCache map[string]*cachedPlan
+	stats     [7]atomic.Uint64 // indexed by the stat* constants
+}
+
+type cachedPlan struct {
+	plan     *tqsim.Plan
+	decision *tqsim.Decision
+}
+
+const (
+	statCompleted = iota
+	statFailed
+	statQueueFull
+	statMemory
+	statBatches
+	statPlanHits
+	statPlanMisses
+)
+
+// New returns a ready-to-serve handler.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		mux:       http.NewServeMux(),
+		planCache: make(map[string]*cachedPlan),
+	}
+	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// JobRequest is the POST /v1/jobs (and /v1/plan) body. Exactly one of QASM
+// or Circuit selects the program.
+type JobRequest struct {
+	// QASM is an OpenQASM 2.0 program.
+	QASM string `json:"qasm,omitempty"`
+	// Circuit names a benchmark-suite circuit (e.g. "qft_n12") instead.
+	Circuit string `json:"circuit,omitempty"`
+	// Noise names the model: DC (default), DCR, TR, TRR, AD, ADR, PD, PDR,
+	// ALL, or "ideal".
+	Noise string `json:"noise,omitempty"`
+	// Shots is the requested sample count (required, positive).
+	Shots int `json:"shots"`
+	// Seed selects the reproducible trajectory stream.
+	Seed uint64 `json:"seed"`
+	// Mode is "tqsim" (tree reuse, default) or "baseline" (flat plan).
+	Mode string `json:"mode,omitempty"`
+	// Backend picks the engine by registry name or "auto" (default).
+	Backend string `json:"backend,omitempty"`
+	// BatchShots splits the job into batches of this many shots
+	// (0 = the server's DefaultBatchShots; negative = force one batch).
+	BatchShots int `json:"batch_shots,omitempty"`
+	// Stream requests an NDJSON per-batch stream instead of one JSON body.
+	Stream bool `json:"stream,omitempty"`
+	// CopyCost, MaxLevels, MemoryBudgetBytes, Parallelism, Epsilon and
+	// ClusterNodes forward to tqsim.Options (zero = defaults). CopyCost is
+	// never host-profiled in the daemon: plans must be deterministic so the
+	// plan cache and cross-host replay agree.
+	CopyCost          float64 `json:"copy_cost,omitempty"`
+	MaxLevels         int     `json:"max_levels,omitempty"`
+	MemoryBudgetBytes int64   `json:"memory_budget_bytes,omitempty"`
+	Parallelism       int     `json:"parallelism,omitempty"`
+	Epsilon           float64 `json:"epsilon,omitempty"`
+	ClusterNodes      int     `json:"cluster_nodes,omitempty"`
+}
+
+// DecisionJSON is the wire form of a planner Decision.
+type DecisionJSON struct {
+	Backend      string          `json:"backend"`
+	Mode         string          `json:"mode,omitempty"`
+	Parallelism  int             `json:"parallelism"`
+	ClusterNodes int             `json:"cluster_nodes,omitempty"`
+	EstPeakBytes int64           `json:"est_peak_bytes"`
+	EstPeak      string          `json:"est_peak"`
+	Why          string          `json:"why"`
+	Rejected     []CandidateJSON `json:"rejected,omitempty"`
+}
+
+// CandidateJSON is one rejected engine in a DecisionJSON.
+type CandidateJSON struct {
+	Backend string `json:"backend"`
+	Mode    string `json:"mode,omitempty"`
+	Reason  string `json:"reason"`
+}
+
+func decisionJSON(d *tqsim.Decision) *DecisionJSON {
+	if d == nil {
+		return nil
+	}
+	out := &DecisionJSON{
+		Backend:      d.Backend,
+		Mode:         d.Mode,
+		Parallelism:  d.Parallelism,
+		ClusterNodes: d.ClusterNodes,
+		EstPeakBytes: d.EstPeakBytes,
+		EstPeak:      hpcmodel.FormatBytes(float64(d.EstPeakBytes)),
+		Why:          d.Why,
+	}
+	for _, c := range d.Rejected() {
+		out.Rejected = append(out.Rejected, CandidateJSON{Backend: c.Backend, Mode: c.Mode, Reason: c.Reason})
+	}
+	return out
+}
+
+// JobResponse is the non-streaming POST /v1/jobs body. Counts keys are the
+// decimal basis indices, values the shot counts.
+type JobResponse struct {
+	Circuit   string         `json:"circuit"`
+	Width     int            `json:"width"`
+	Backend   string         `json:"backend"`
+	Structure string         `json:"structure"`
+	Outcomes  int            `json:"outcomes"`
+	Batches   int            `json:"batches"`
+	Counts    map[string]int `json:"counts"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Decision  *DecisionJSON  `json:"decision,omitempty"`
+	PlanHit   bool           `json:"plan_cache_hit"`
+}
+
+// batchLine is one NDJSON record of a streaming response.
+type batchLine struct {
+	Type      string         `json:"type"` // "plan" | "batch" | "done" | "error"
+	Batch     int            `json:"batch,omitempty"`
+	Batches   int            `json:"batches,omitempty"`
+	Shots     int            `json:"shots,omitempty"`
+	Seed      uint64         `json:"seed,omitempty"`
+	Structure string         `json:"structure,omitempty"`
+	Backend   string         `json:"backend,omitempty"`
+	Counts    map[string]int `json:"counts,omitempty"`
+	Outcomes  int            `json:"outcomes,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms,omitempty"`
+	Decision  *DecisionJSON  `json:"decision,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+var knownNoise = map[string]bool{
+	"": true, "ideal": true, "DC": true, "DCR": true, "TR": true, "TRR": true,
+	"AD": true, "ADR": true, "PD": true, "PDR": true, "ALL": true,
+}
+
+// job is a validated, planned request ready to execute.
+type job struct {
+	circuit *tqsim.Circuit
+	noise   *tqsim.NoiseModel
+	opt     tqsim.Options
+	shots   int
+	mode    string
+	// batchSize is the per-batch shot count; 0 runs one batch. Batches are
+	// never materialized as a slice: a max-shots job at batch size 1 is
+	// millions of batches but only two distinct sizes, so plans are held
+	// per size and batch i's size is computed on demand.
+	batchSize  int
+	planBySize map[int]*cachedPlan
+	decision   *tqsim.Decision
+	// estPeak is the admission-control estimate: the chosen candidate's
+	// peak for auto jobs, the named engine's for explicit ones.
+	estPeak int64
+	planHit bool
+	stream  bool
+}
+
+// numBatches returns how many batches the job runs.
+func (j *job) numBatches() int {
+	if j.batchSize <= 0 || j.batchSize >= j.shots {
+		return 1
+	}
+	return (j.shots + j.batchSize - 1) / j.batchSize
+}
+
+// batchShots returns batch i's shot count (the last batch is ragged).
+func (j *job) batchShots(i int) int {
+	n := j.numBatches()
+	if n == 1 {
+		return j.shots
+	}
+	if i == n-1 {
+		return j.shots - (n-1)*j.batchSize
+	}
+	return j.batchSize
+}
+
+// planFor returns the cached plan for batch i.
+func (j *job) planFor(i int) *cachedPlan { return j.planBySize[j.batchShots(i)] }
+
+// httpError carries a status code with the message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// prepare validates the request, resolves the circuit and noise model,
+// plans every batch (through the cache) and records the planner decision.
+func (s *Server) prepare(req *JobRequest) (*job, *httpError) {
+	if (req.QASM == "") == (req.Circuit == "") {
+		return nil, errf(http.StatusBadRequest, "provide exactly one of qasm or circuit")
+	}
+	if req.Shots <= 0 {
+		return nil, errf(http.StatusBadRequest, "shots must be positive")
+	}
+	if req.Shots > s.cfg.MaxShots {
+		return nil, errf(http.StatusRequestEntityTooLarge,
+			"shots %d exceeds the server limit %d", req.Shots, s.cfg.MaxShots)
+	}
+	if !knownNoise[req.Noise] {
+		return nil, errf(http.StatusBadRequest, "unknown noise model %q", req.Noise)
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "tqsim"
+	}
+	if mode != "tqsim" && mode != "baseline" {
+		return nil, errf(http.StatusBadRequest, "mode must be tqsim or baseline, not %q", req.Mode)
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = tqsim.AutoBackend
+	}
+	if backend != tqsim.AutoBackend && !slices.Contains(tqsim.Backends(), backend) {
+		return nil, errf(http.StatusBadRequest, "unknown backend %q (have auto, %v)",
+			req.Backend, tqsim.Backends())
+	}
+
+	var c *tqsim.Circuit
+	var err error
+	if req.QASM != "" {
+		c, err = tqsim.ParseQASM("job", req.QASM)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "qasm: %v", err)
+		}
+	} else if c = tqsim.BenchmarkByName(req.Circuit); c == nil {
+		return nil, errf(http.StatusBadRequest, "unknown suite circuit %q", req.Circuit)
+	}
+
+	noiseName := req.Noise
+	if noiseName == "" {
+		noiseName = "DC"
+	}
+	m := tqsim.NoiseByName(noiseName) // nil for "ideal"
+
+	j := &job{
+		circuit:    c,
+		noise:      m,
+		shots:      req.Shots,
+		mode:       mode,
+		stream:     req.Stream,
+		planBySize: make(map[int]*cachedPlan, 2),
+		opt: tqsim.Options{
+			Seed:              req.Seed,
+			CopyCost:          req.CopyCost,
+			MaxLevels:         req.MaxLevels,
+			MemoryBudgetBytes: req.MemoryBudgetBytes,
+			Backend:           backend,
+			ClusterNodes:      req.ClusterNodes,
+			Parallelism:       req.Parallelism,
+			Epsilon:           req.Epsilon,
+		},
+	}
+	j.batchSize = req.BatchShots
+	if j.batchSize == 0 {
+		j.batchSize = s.cfg.DefaultBatchShots
+	}
+
+	// Plan the (at most two) distinct batch sizes: the full batch and the
+	// ragged last one.
+	hash := circuitHash(c, noiseName, mode, &j.opt)
+	n := j.numBatches()
+	for _, i := range []int{0, n - 1} {
+		size := j.batchShots(i)
+		if _, done := j.planBySize[size]; done {
+			continue
+		}
+		cp, hit, herr := s.planBatch(hash, c, m, size, mode, j.opt)
+		if herr != nil {
+			return nil, herr
+		}
+		j.planBySize[size] = cp
+		if j.decision == nil {
+			j.decision = cp.decision
+			j.planHit = hit
+		}
+	}
+
+	// Admission estimate: auto jobs run the decided candidate; explicit
+	// jobs run the named engine, so estimate that engine's peak directly.
+	if backend == tqsim.AutoBackend {
+		j.estPeak = j.decision.EstPeakBytes
+	} else {
+		budget := j.opt.MemoryBudgetBytes
+		if budget == 0 {
+			budget = s.cfg.MemoryBudgetBytes
+		}
+		j.estPeak = planner.PeakBytes(j.planFor(0).plan, m, backend, planner.Budget{
+			MemoryBytes:  budget,
+			Parallelism:  req.Parallelism,
+			ClusterNodes: req.ClusterNodes,
+		})
+	}
+	return j, nil
+}
+
+// planBatch returns the cached plan+decision for one batch size, computing
+// and caching it on miss.
+func (s *Server) planBatch(hash string, c *tqsim.Circuit, m *tqsim.NoiseModel, shots int, mode string, opt tqsim.Options) (*cachedPlan, bool, *httpError) {
+	key := fmt.Sprintf("%s|%d", hash, shots)
+	s.planMu.Lock()
+	cp, ok := s.planCache[key]
+	s.planMu.Unlock()
+	if ok {
+		s.stats[statPlanHits].Add(1)
+		return cp, true, nil
+	}
+	s.stats[statPlanMisses].Add(1)
+
+	var plan *tqsim.Plan
+	if mode == "baseline" {
+		plan = tqsim.PlanBaseline(c, shots)
+	} else {
+		plan = tqsim.PlanDCP(c, m, shots, opt)
+	}
+	// The planner admission-checks against the server budget even for
+	// explicit backends: its fitDense arithmetic is the single source of
+	// peak-memory truth.
+	budgetOpt := opt
+	if budgetOpt.MemoryBudgetBytes == 0 {
+		budgetOpt.MemoryBudgetBytes = s.cfg.MemoryBudgetBytes
+	}
+	decision, err := tqsim.DecidePlan(plan, m, budgetOpt)
+	if err != nil {
+		s.stats[statMemory].Add(1)
+		return nil, false, errf(http.StatusRequestEntityTooLarge, "planner: %v", err)
+	}
+	cp = &cachedPlan{plan: plan, decision: decision}
+	s.planMu.Lock()
+	s.planCache[key] = cp
+	s.planMu.Unlock()
+	return cp, false, nil
+}
+
+// circuitHash keys the plan cache: canonical QASM of the parsed circuit
+// plus every option that shapes the plan or the decision.
+func circuitHash(c *tqsim.Circuit, noiseName, mode string, opt *tqsim.Options) string {
+	src, err := tqsim.SerializeQASM(c)
+	if err != nil {
+		// Unserializable circuits (raw unitary gates) fall back to the
+		// structural identity; suite circuits by name are stable.
+		src = fmt.Sprintf("%s/%d/%d", c.Name, c.NumQubits, c.Len())
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%g\x00%d\x00%d\x00%s\x00%d\x00%d\x00%g",
+		src, noiseName, mode, opt.CopyCost, opt.MaxLevels, opt.MemoryBudgetBytes,
+		opt.Backend, opt.ClusterNodes, opt.Parallelism, opt.Epsilon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BatchSeed derives batch i's trajectory seed from the job seed. Batch 0
+// keeps the job seed, so single-batch jobs are byte-identical to
+// tqsim.RunTQSim at the same seed; later batches use statistically
+// independent split streams, deterministically.
+func BatchSeed(seed uint64, i int) uint64 {
+	if i == 0 {
+		return seed
+	}
+	return rng.New(seed).SplitAt(uint64(i)).Uint64()
+}
+
+// acquire takes an execution slot, bounded by MaxConcurrent running plus
+// QueueDepth waiting. Reports false when the queue is full.
+func (s *Server) acquire() bool {
+	if s.pending.Add(1) > int64(s.cfg.MaxConcurrent+s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		return false
+	}
+	s.slots <- struct{}{}
+	return true
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.pending.Add(-1)
+}
+
+// reserveMemory admits a job against the shared budget using the planner's
+// peak estimate. 413 when the job can never fit, 503 when it doesn't fit
+// right now.
+func (s *Server) reserveMemory(est int64) *httpError {
+	if s.cfg.MemoryBudgetBytes <= 0 {
+		return nil
+	}
+	if est > s.cfg.MemoryBudgetBytes {
+		s.stats[statMemory].Add(1)
+		return errf(http.StatusRequestEntityTooLarge,
+			"estimated peak %s exceeds the server budget %s",
+			hpcmodel.FormatBytes(float64(est)), hpcmodel.FormatBytes(float64(s.cfg.MemoryBudgetBytes)))
+	}
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	if s.memInUse+est > s.cfg.MemoryBudgetBytes {
+		s.stats[statMemory].Add(1)
+		return errf(http.StatusServiceUnavailable,
+			"estimated peak %s does not fit the budget right now (%s of %s in use); retry",
+			hpcmodel.FormatBytes(float64(est)), hpcmodel.FormatBytes(float64(s.memInUse)),
+			hpcmodel.FormatBytes(float64(s.cfg.MemoryBudgetBytes)))
+	}
+	s.memInUse += est
+	return nil
+}
+
+func (s *Server) releaseMemory(est int64) {
+	if s.cfg.MemoryBudgetBytes <= 0 {
+		return
+	}
+	s.memMu.Lock()
+	s.memInUse -= est
+	s.memMu.Unlock()
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, herr := s.prepare(&req)
+	if herr != nil {
+		s.stats[statFailed].Add(1)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	if !s.acquire() {
+		s.stats[statQueueFull].Add(1)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d running + %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth))
+		return
+	}
+	defer s.release()
+	// Memory is reserved only once the job holds an execution slot:
+	// queued jobs consume no state memory, so they must not pin the budget
+	// against the jobs actually running.
+	if herr := s.reserveMemory(j.estPeak); herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	defer s.releaseMemory(j.estPeak)
+
+	if j.stream {
+		s.runStreaming(w, j)
+		return
+	}
+	resp, herr := s.runJob(j, nil)
+	if herr != nil {
+		s.stats[statFailed].Add(1)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	s.stats[statCompleted].Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runJob executes every batch sequentially (the scheduler bounds jobs, not
+// batches) and merges histograms. onBatch, when non-nil, observes each
+// batch result as it completes — the streaming hook.
+func (s *Server) runJob(j *job, onBatch func(i int, res *tqsim.TreeResult, seed uint64) error) (*JobResponse, *httpError) {
+	start := time.Now()
+	merged := make(map[uint64]int)
+	outcomes := 0
+	backend := ""
+	structure := ""
+	for i, n := 0, j.numBatches(); i < n; i++ {
+		cp := j.planFor(i)
+		opt := j.opt
+		if opt.Backend == tqsim.AutoBackend {
+			// Execute exactly the configuration the job was admitted on:
+			// re-deciding inside RunPlan would ignore the server budget and
+			// could run more workers (or another engine) than the reserved
+			// estimate covers.
+			opt.Backend = cp.decision.Backend
+			opt.Parallelism = cp.decision.Parallelism
+			if opt.ClusterNodes == 0 {
+				opt.ClusterNodes = cp.decision.ClusterNodes
+			}
+		}
+		opt.Seed = BatchSeed(j.opt.Seed, i)
+		res, err := tqsim.RunPlan(cp.plan, j.noise, opt)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "batch %d: %v", i, err)
+		}
+		s.stats[statBatches].Add(1)
+		for k, v := range res.Counts {
+			merged[k] += v
+		}
+		outcomes += res.Outcomes
+		backend = res.BackendName
+		structure = res.Structure
+		if onBatch != nil {
+			if err := onBatch(i, res, opt.Seed); err != nil {
+				return nil, errf(http.StatusInternalServerError, "stream: %v", err)
+			}
+		}
+	}
+	return &JobResponse{
+		Circuit:   j.circuit.Name,
+		Width:     j.circuit.NumQubits,
+		Backend:   backend,
+		Structure: structure,
+		Outcomes:  outcomes,
+		Batches:   j.numBatches(),
+		Counts:    countsJSON(merged),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Decision:  decisionJSON(j.decision),
+		PlanHit:   j.planHit,
+	}, nil
+}
+
+// runStreaming writes the NDJSON stream: a plan header, one line per
+// batch, and a final done line with the merged histogram.
+func (s *Server) runStreaming(w http.ResponseWriter, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line *batchLine) error {
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	_ = emit(&batchLine{
+		Type:      "plan",
+		Batches:   j.numBatches(),
+		Structure: j.planFor(0).plan.Structure(),
+		Backend:   j.decision.Backend,
+		Decision:  decisionJSON(j.decision),
+	})
+	resp, herr := s.runJob(j, func(i int, res *tqsim.TreeResult, seed uint64) error {
+		return emit(&batchLine{
+			Type:   "batch",
+			Batch:  i,
+			Shots:  res.Outcomes,
+			Seed:   seed,
+			Counts: countsJSON(res.Counts),
+		})
+	})
+	if herr != nil {
+		s.stats[statFailed].Add(1)
+		_ = emit(&batchLine{Type: "error", Error: herr.msg})
+		return
+	}
+	s.stats[statCompleted].Add(1)
+	_ = emit(&batchLine{
+		Type:      "done",
+		Batches:   resp.Batches,
+		Outcomes:  resp.Outcomes,
+		Counts:    resp.Counts,
+		ElapsedMS: resp.ElapsedMS,
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, herr := s.prepare(&req)
+	if herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"circuit":   j.circuit.Name,
+		"width":     j.circuit.NumQubits,
+		"structure": j.planFor(0).plan.Structure(),
+		"batches":   j.numBatches(),
+		"decision":  decisionJSON(j.decision),
+		"explain":   j.decision.String(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"backends": append([]string{tqsim.AutoBackend}, tqsim.Backends()...),
+	})
+}
+
+// Snapshot returns the current counters (also served at /v1/stats).
+func (s *Server) Snapshot() Stats {
+	s.memMu.Lock()
+	inUse := s.memInUse
+	s.memMu.Unlock()
+	return Stats{
+		JobsCompleted:     s.stats[statCompleted].Load(),
+		JobsFailed:        s.stats[statFailed].Load(),
+		RejectedQueueFull: s.stats[statQueueFull].Load(),
+		RejectedMemory:    s.stats[statMemory].Load(),
+		BatchesRun:        s.stats[statBatches].Load(),
+		PlanCacheHits:     s.stats[statPlanHits].Load(),
+		PlanCacheMisses:   s.stats[statPlanMisses].Load(),
+		MemoryInUseBytes:  inUse,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// countsJSON renders a histogram with decimal string keys. Response bytes
+// are deterministic because encoding/json serializes map keys in sorted
+// (lexicographic) order itself.
+func countsJSON(counts map[uint64]int) map[string]int {
+	out := make(map[string]int, len(counts))
+	for k, v := range counts {
+		out[strconv.FormatUint(k, 10)] = v
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -55,9 +55,17 @@ func (t *Tableau) NumQubits() int { return t.n }
 
 // Bytes returns the approximate memory footprint of the tableau — the
 // polynomial-space analogue of statevec.State.Bytes for cost accounting.
-func (t *Tableau) Bytes() int64 {
-	rows := int64(2*t.n + 1)
-	return rows*int64(t.words)*16 + rows
+func (t *Tableau) Bytes() int64 { return TableauBytes(t.n) }
+
+// TableauBytes returns an n-qubit tableau's footprint without allocating
+// one: 2n+1 rows of x and z bit-vectors (ceil(n/64) words each) plus the
+// phase column. The planner's memory estimates and the tree runner's peak
+// accounting both use this, so admission control and the reported
+// PeakStateBytes always agree.
+func TableauBytes(n int) int64 {
+	rows := int64(2*n + 1)
+	words := int64((n + 63) / 64)
+	return rows*words*16 + rows
 }
 
 // Clone deep-copies the tableau.

@@ -64,7 +64,7 @@ func RunTree(plan *partition.Plan, m *noise.Model, seed uint64, parallelism int)
 		Structure:   plan.Structure(),
 		BackendName: "stabilizer",
 	}
-	res.PeakStateBytes = int64(workers) * int64(levels+1) * New(n).Bytes()
+	res.PeakStateBytes = int64(workers) * int64(levels+1) * TableauBytes(n)
 
 	type shard struct {
 		counts             map[uint64]int

@@ -34,13 +34,15 @@ func MaxCutHamiltonian(g *Graph) *Hamiltonian {
 }
 
 // ExactExpectation returns <psi|H|psi> on the circuit's noise-free final
-// state.
+// state. Fully deterministic: no noise, no sampling.
 func ExactExpectation(c *Circuit, h *Hamiltonian) float64 {
 	return h.ExpectationState(trajectory.IdealState(c))
 }
 
 // EstimateExpectationBaseline estimates tr(rho H) with the conventional
 // multi-shot simulator: one exact expectation per trajectory, averaged.
+// The estimate is a pure function of (circuit, noise, shots, Options.Seed):
+// repeated runs reproduce it bit-for-bit.
 func EstimateExpectationBaseline(c *Circuit, m *NoiseModel, h *Hamiltonian, shots int, opt Options) (EstimateStats, error) {
 	res, err := trajectory.RunExpectation(c, m, h, shots, trajectory.Options{Seed: opt.Seed})
 	if err != nil {
@@ -50,9 +52,20 @@ func EstimateExpectationBaseline(c *Circuit, m *NoiseModel, h *Hamiltonian, shot
 }
 
 // EstimateExpectationTQSim estimates tr(rho H) with the tree simulator:
-// DCP plans the tree, each leaf contributes one exact expectation.
+// DCP plans the tree, each leaf contributes one exact expectation. The
+// estimate is a pure function of (circuit, noise, shots, Options) —
+// identical at any Options.Parallelism, like the tree histograms, because
+// leaf RNG streams are keyed by DFS sequence numbers. Backend "auto"
+// resolves to the dense reference engine here: observables need dense leaf
+// states, so the planner's polynomial routes do not apply.
 func EstimateExpectationTQSim(c *Circuit, m *NoiseModel, h *Hamiltonian, shots int, opt Options) (EstimateStats, *TreeResult, error) {
 	plan := PlanDCP(c, m, shots, opt)
+	if opt.backendName() == AutoBackend {
+		// Observables evaluate <H> on dense leaf states, so the planner's
+		// polynomial winners (tableau tree, densmat) do not apply here; auto
+		// resolves to the dense reference engine.
+		opt.Backend = "statevec"
+	}
 	// Observables need dense leaf states, so there is no polynomial route
 	// here regardless of backend; diagnose infeasible widths up front.
 	if err := denseWidthCheck(c, opt.backendName(), m); err != nil {

@@ -34,9 +34,11 @@ import (
 	// engine in the core backend registry.
 	_ "tqsim/internal/fusion"
 	"tqsim/internal/gate"
+	"tqsim/internal/hpcmodel"
 	"tqsim/internal/metrics"
 	"tqsim/internal/noise"
 	"tqsim/internal/partition"
+	"tqsim/internal/planner"
 	"tqsim/internal/qasm"
 	"tqsim/internal/rng"
 	"tqsim/internal/stabilizer"
@@ -65,7 +67,26 @@ type (
 	Backend = core.Backend
 	// Dist is a dense probability distribution over basis outcomes.
 	Dist = metrics.Dist
+	// Decision is the planner's explainable engine choice: chosen backend,
+	// worker count, shard count, cost/peak-memory estimates, and every
+	// rejected candidate with its reason. Decisions are deterministic in
+	// (plan, noise, budget, worker count) — with Parallelism unset the
+	// worker count defaults to GOMAXPROCS, so within one process (the
+	// scope of tqsimd's cache) repeated calls always agree.
+	Decision = planner.Decision
+	// PlannerCandidate is one engine the planner evaluated for a Decision.
+	PlannerCandidate = planner.Candidate
 )
+
+// AutoBackend is the Options.Backend value that delegates engine selection
+// to the planner. It is the effective default for RunTQSim and RunBackend:
+// a zero Options runs each plan on the engine the planner picks (statevec
+// for narrow non-Clifford circuits, the stabilizer tableau tree for
+// Clifford circuits under Pauli noise, ...). Selection is deterministic in
+// (plan, noise, budget, worker count — GOMAXPROCS when Parallelism is
+// unset); the sampled histogram remains a pure function of (circuit,
+// noise, shots, seed, chosen backend) exactly as with an explicit Backend.
+const AutoBackend = "auto"
 
 // NewCircuit returns an empty circuit over n qubits.
 func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
@@ -99,7 +120,9 @@ type Options struct {
 	// Seed selects the reproducible trajectory stream (default 0).
 	Seed uint64
 	// CopyCost overrides the state-copy cost (gate-equivalents) used by
-	// DCP; zero profiles a default.
+	// DCP; zero selects the fixed library default (host-independent, so
+	// plans stay reproducible across machines). cmd/tqsim profiles the host
+	// instead; ProfileCopyCost exposes the same measurement.
 	CopyCost float64
 	// MaxLevels caps the subcircuit count (0 = automatic).
 	MaxLevels int
@@ -107,8 +130,11 @@ type Options struct {
 	// (0 = unlimited).
 	MemoryBudgetBytes int64
 	// Backend selects the gate-execution engine by registry name:
-	// "statevec" (default), "fusion", "stabilizer", "densmat", or
-	// "cluster" — see Backends. "stabilizer" is the hybrid Clifford
+	// "statevec", "fusion", "stabilizer", "densmat", or "cluster" — see
+	// Backends — or "auto" (AutoBackend) to let the planner choose.
+	// RunTQSim and RunBackend default to "auto"; RunPlan, RunBaseline and
+	// the observable estimators keep "statevec" as the empty-string default
+	// for compatibility. "stabilizer" is the hybrid Clifford
 	// dispatcher: Clifford-only circuits under Pauli noise run entirely on
 	// tableaux (polynomial time and memory, so widths beyond the dense
 	// engines' reach work); circuits with non-Clifford gates run their
@@ -134,7 +160,9 @@ type Options struct {
 // Backends lists every registered engine name, sorted.
 func Backends() []string { return core.Backends() }
 
-// backendName resolves the effective engine name.
+// backendName resolves the effective engine name. The empty name stays
+// "statevec" here — only RunTQSim and RunBackend promote it to "auto", so
+// lower-level entry points keep their historical default.
 func (o Options) backendName() string {
 	if o.Backend != "" {
 		return o.Backend
@@ -143,6 +171,66 @@ func (o Options) backendName() string {
 		return "fusion"
 	}
 	return "statevec"
+}
+
+// autoDefault promotes the zero-value backend to planner dispatch — the
+// RunTQSim/RunBackend default. The deprecated UseFusionBackend flag keeps
+// its explicit meaning.
+func (o Options) autoDefault() Options {
+	if o.Backend == "" && !o.UseFusionBackend {
+		o.Backend = AutoBackend
+	}
+	return o
+}
+
+// plannerBudget translates the run options into the planner's resource
+// budget.
+func (o Options) plannerBudget() planner.Budget {
+	return planner.Budget{
+		MemoryBytes:  o.MemoryBudgetBytes,
+		Parallelism:  o.Parallelism,
+		ClusterNodes: o.ClusterNodes,
+	}
+}
+
+// resolveAuto replaces Backend "auto" with the planner's concrete choice for
+// the plan, folding the decided parallelism and shard count into the
+// options. Non-auto options pass through untouched.
+func (o Options) resolveAuto(p *Plan, m *NoiseModel) (Options, *Decision, error) {
+	if o.backendName() != AutoBackend {
+		return o, nil, nil
+	}
+	d, err := planner.Decide(p, m, o.plannerBudget())
+	if err != nil {
+		return o, d, err
+	}
+	o.Backend = d.Backend
+	// Always adopt the decided worker count: for an explicit
+	// Options.Parallelism the planner starts from it and only lowers it
+	// when the memory budget cannot hold that many worker state sets —
+	// keeping the caller's count would overrun the budget the decision
+	// just enforced.
+	o.Parallelism = d.Parallelism
+	if o.ClusterNodes == 0 {
+		o.ClusterNodes = d.ClusterNodes
+	}
+	return o, d, nil
+}
+
+// DecidePlan returns the planner's Decision for an explicit plan — the
+// explainability hook behind Options.Backend == "auto". The Decision lists
+// the chosen engine, worker count and shard count plus every rejected
+// candidate with its reason; it never executes anything. Deterministic in
+// (plan, noise, budget).
+func DecidePlan(p *Plan, m *NoiseModel, opt Options) (*Decision, error) {
+	return planner.Decide(p, m, opt.plannerBudget())
+}
+
+// Explain returns the planner's Decision for the DCP plan RunTQSim would
+// execute with these options, without running it. cmd/tqsim -explain and
+// the tqsimd plan endpoint render its String form.
+func Explain(c *Circuit, m *NoiseModel, shots int, opt Options) (*Decision, error) {
+	return DecidePlan(PlanDCP(c, m, shots, opt), m, opt)
 }
 
 // backend constructs the gate-apply backend for the tree executor. External
@@ -167,7 +255,10 @@ func (o Options) dcpOptions() partition.DCPOptions {
 }
 
 // PlanDCP builds the Dynamic Circuit Partition plan for a circuit, noise
-// model, and shot budget.
+// model, and shot budget. Planning is deterministic: the same inputs (with
+// an explicit CopyCost — zero selects the fixed default, never a host
+// profile) always produce the same tree, which is what lets tqsimd cache
+// plans by job key.
 func PlanDCP(c *Circuit, m *NoiseModel, shots int, opt Options) *Plan {
 	return partition.Dynamic(c, m, shots, opt.dcpOptions())
 }
@@ -178,7 +269,17 @@ func PlanStructure(c *Circuit, arities []int) *Plan {
 	return partition.FromStructure(c, arities)
 }
 
-// RunBaseline simulates shots noisy trajectories the conventional way. The
+// PlanBaseline returns the conventional flat (shots, 1, ..., 1) plan: no
+// subcircuit reuse, one independent trajectory per shot — what RunBackend
+// executes. Exposed so services can plan and admission-check baseline jobs
+// through the same DecidePlan path as tree jobs.
+func PlanBaseline(c *Circuit, shots int) *Plan {
+	return partition.Baseline(c, shots)
+}
+
+// RunBaseline simulates shots noisy trajectories the conventional way.
+// Histograms are a pure function of (circuit, noise, shots, seed, backend):
+// identical across Options.Parallelism settings and repeated runs. The
 // default state-vector engine runs through the dedicated trajectory
 // simulator; any other Options.Backend routes the (shots,) baseline plan
 // through the selected engine. Engine errors (unknown name, width beyond
@@ -218,20 +319,27 @@ func RunBaselineBackend(c *Circuit, m *NoiseModel, shots int, opt Options) (*Bas
 // RunBackend executes shots independent trajectories of c on the engine
 // selected by Options.Backend, through the tree executor's flat baseline
 // plan. It is the uniform entry point the cross-backend conformance suite
-// drives: every registered engine is reachable from here by name.
+// drives: every registered engine is reachable from here by name. A zero
+// Backend defaults to "auto" (planner dispatch); histograms remain a pure
+// function of (circuit, noise, shots, seed, chosen backend) at any
+// Parallelism.
 func RunBackend(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, error) {
-	return RunPlan(partition.Baseline(c, shots), m, opt)
+	return RunPlan(partition.Baseline(c, shots), m, opt.autoDefault())
 }
 
 // RunIdeal simulates the noise-free circuit once and samples shots
-// outcomes.
+// outcomes. Deterministic in (circuit, shots, seed).
 func RunIdeal(c *Circuit, shots int, seed uint64) *BaselineResult {
 	return trajectory.RunIdeal(c, shots, seed)
 }
 
 // RunTQSim partitions the circuit with DCP and executes the simulation
-// tree.
+// tree. A zero Options.Backend defaults to "auto": the planner inspects the
+// plan and picks the engine (see Explain for the reasoning). For a fixed
+// chosen backend the histogram is a pure function of (circuit, noise,
+// shots, seed) — identical across Parallelism settings and repeated runs.
 func RunTQSim(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, error) {
+	opt = opt.autoDefault()
 	return RunPlan(PlanDCP(c, m, shots, opt), m, opt)
 }
 
@@ -239,13 +347,22 @@ func RunTQSim(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, e
 // distributes first-level subtrees across workers; results are
 // seed-deterministic regardless.
 //
-// Engine routing: "densmat" computes the exact distribution and samples the
-// plan's leaf count from it; "stabilizer" runs Clifford-only circuits under
+// Engine routing: "auto" resolves to the planner's Decision for this plan
+// first (see DecidePlan); "densmat" computes the exact distribution and
+// samples the plan's leaf count from it; "stabilizer" runs Clifford-only
+// circuits under
 // ideal or depolarizing noise entirely on tableaux (no dense state is ever
 // allocated, so widths beyond the state-vector engine work) and otherwise
 // falls back to the hybrid adapter on the dense executor; everything else
 // is a gate-apply backend on the dense executor.
 func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	if opt.backendName() == AutoBackend {
+		resolved, _, err := opt.resolveAuto(p, m)
+		if err != nil {
+			return nil, err
+		}
+		opt = resolved
+	}
 	name := opt.backendName()
 	if name == "densmat" {
 		return runDensmat(p, m, opt)
@@ -272,19 +389,23 @@ func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
 // denseWidthCheck fails with a diagnosis when a circuit is about to reach
 // the dense executor at a width it cannot allocate — instead of letting
 // statevec panic. Every dense-engine entry point (RunPlan, the observable
-// estimators) calls it after the polynomial-path routing has declined.
+// estimators) calls it after the polynomial-path routing has declined. The
+// message carries the hpcmodel state-vector estimate, the same number the
+// planner's rejection reasons report, so CLI errors and Decision candidate
+// tables agree.
 func denseWidthCheck(c *Circuit, name string, m *NoiseModel) error {
 	n := c.NumQubits
 	if n <= statevec.MaxQubits {
 		return nil
 	}
+	est := hpcmodel.FormatBytes(hpcmodel.StatevectorBytes(n))
 	if name == "stabilizer" {
 		return fmt.Errorf(
-			"tqsim: %d qubits exceeds the %d-qubit dense limit and the stabilizer fast path does not apply (circuit Clifford-only: %v, noise Pauli-only: %v)",
-			n, statevec.MaxQubits, stabilizer.IsClifford(c), m.PauliOnly())
+			"tqsim: %d qubits exceeds the %d-qubit dense limit (state vector ≈ %s) and the stabilizer fast path does not apply (circuit Clifford-only: %v, noise Pauli-only: %v)",
+			n, statevec.MaxQubits, est, stabilizer.IsClifford(c), m.PauliOnly())
 	}
-	return fmt.Errorf("tqsim: %d qubits exceeds the %s backend's %d-qubit dense limit",
-		n, name, statevec.MaxQubits)
+	return fmt.Errorf("tqsim: %d qubits exceeds the %s backend's %d-qubit dense limit (state vector ≈ %s)",
+		n, name, statevec.MaxQubits, est)
 }
 
 // runDensmat executes a plan's leaf count of samples from the exact
@@ -313,24 +434,28 @@ func init() {
 		"exact density-matrix engine; runs whole circuits outside the tree executor")
 }
 
-// IdealDistribution returns the exact noise-free outcome distribution.
+// IdealDistribution returns the exact noise-free outcome distribution —
+// fully deterministic, no sampling.
 func IdealDistribution(c *Circuit) Dist {
 	return metrics.NewDist(trajectory.IdealState(c).Probabilities())
 }
 
 // ExactNoisyDistribution returns the density-matrix (exact) noisy outcome
-// distribution; feasible up to about 12 qubits.
+// distribution; feasible up to about 12 qubits. Fully deterministic: the
+// density matrix averages over all trajectories, so there is no sampling
+// and no seed.
 func ExactNoisyDistribution(c *Circuit, m *NoiseModel) Dist {
 	return metrics.NewDist(densmat.Simulate(c, m))
 }
 
 // CountsDist converts a shot histogram into a distribution over the
-// circuit's outcome space.
+// circuit's outcome space. Deterministic in its inputs.
 func CountsDist(counts map[uint64]int, numQubits int) Dist {
 	return metrics.FromCounts(counts, 1<<uint(numQubits))
 }
 
 // NormalizedFidelity computes the paper's Equation 9 metric.
+// Deterministic in its two distributions.
 func NormalizedFidelity(ideal, output Dist) float64 {
 	return metrics.NormalizedFidelity(ideal, output)
 }
@@ -367,8 +492,19 @@ type Comparison struct {
 }
 
 // Compare runs both simulators on the circuit and reports speedup and
-// fidelity agreement.
+// fidelity agreement. A zero or "auto" Backend is resolved through the
+// planner once, against the DCP plan, and the same concrete engine then
+// runs both sides — comparing a statevec baseline against a tableau tree
+// would measure an engine swap, not the tree reuse.
 func Compare(c *Circuit, m *NoiseModel, shots int, opt Options) (*Comparison, error) {
+	opt = opt.autoDefault()
+	if opt.backendName() == AutoBackend {
+		resolved, _, err := opt.resolveAuto(PlanDCP(c, m, shots, opt), m)
+		if err != nil {
+			return nil, err
+		}
+		opt = resolved
+	}
 	base, err := RunBaselineBackend(c, m, shots, opt)
 	if err != nil {
 		return nil, err
@@ -459,6 +595,10 @@ func SubsampleCounts(counts map[uint64]int, target int, seed uint64) map[uint64]
 
 // ProfileCopyCost measures this host's state-copy cost in gate-equivalents
 // at the given width (Figure 10's normalization). reps controls averaging.
+// This is the one deliberately host-dependent entry point: it times real
+// copies and kernels, so its result varies across machines and runs. Feed
+// it into Options.CopyCost for locally tuned plans, or leave CopyCost zero
+// for the fixed default when cross-host plan reproducibility matters.
 func ProfileCopyCost(qubits, reps int) float64 {
 	return core.ProfileCopyCost(qubits, reps).Ratio
 }

@@ -14,7 +14,11 @@ type QAOAParams = workloads.QAOAParams
 // Benchmark couples a suite circuit with its class label.
 type Benchmark = workloads.Bench
 
-// Workload generators — the paper's Table 2 benchmark classes.
+// Workload generators — the paper's Table 2 benchmark classes. Every
+// generator is a pure function of its arguments: the same (width, inputs,
+// seed) always yields the gate-identical circuit, so seeded workloads can be
+// regenerated on any host (the tqsimd plan cache and the decision-table
+// tests rely on this).
 
 // AdderCircuit builds a Cuccaro ripple-carry adder over nBits-bit operands
 // (width 2*nBits+2), inputs loaded classically.
@@ -47,7 +51,8 @@ func QAOACircuit(g *Graph, layers []QAOAParams) *Circuit {
 	return workloads.QAOA(g, layers)
 }
 
-// QSCCircuit builds a supremacy-style random circuit.
+// QSCCircuit builds a supremacy-style random circuit, fully determined by
+// (width, depth, seed).
 func QSCCircuit(width, depth int, seed uint64) *Circuit {
 	return workloads.QSC(width, depth, seed)
 }
@@ -59,24 +64,28 @@ func QSCCircuit(width, depth int, seed uint64) *Circuit {
 func GHZCircuit(width int) *Circuit { return workloads.GHZ(width) }
 
 // CliffordCircuit builds a seeded random Clifford circuit: depth layers of
-// random one-qubit Cliffords plus a random CX/CZ/SWAP pairing.
+// random one-qubit Cliffords plus a random CX/CZ/SWAP pairing. The gate
+// sequence is a pure function of (width, depth, seed).
 func CliffordCircuit(width, depth int, seed uint64) *Circuit {
 	return workloads.Clifford(width, depth, seed)
 }
 
 // CliffordPrefixCircuit builds a random Clifford prefix followed by a short
-// non-Clifford tail — the hybrid dispatcher's handoff stress shape.
+// non-Clifford tail — the hybrid dispatcher's handoff stress shape. The
+// gate sequence is a pure function of (width, cliffordDepth, seed).
 func CliffordPrefixCircuit(width, cliffordDepth int, seed uint64) *Circuit {
 	return workloads.CliffordPrefix(width, cliffordDepth, seed)
 }
 
-// QVCircuit builds a Quantum-Volume model circuit at the canonical depth.
+// QVCircuit builds a Quantum-Volume model circuit at the canonical depth,
+// fully determined by (width, seed).
 func QVCircuit(width int, seed uint64) *Circuit {
 	return workloads.QV(width, workloads.QVDefaultDepth, false, seed)
 }
 
 // BenchmarkSuite generates the full 48-circuit Table 2 suite; maxQubits > 0
 // filters wider circuits (13 reproduces the artifact's default subset).
+// The suite is fixed: repeated calls regenerate gate-identical circuits.
 func BenchmarkSuite(maxQubits int) []Benchmark { return workloads.Suite(maxQubits) }
 
 // BenchmarkByName regenerates one suite circuit from its conventional name
@@ -85,7 +94,8 @@ func BenchmarkByName(name string) *Circuit { return workloads.ByName(name) }
 
 // Graph constructors for the QAOA workloads (Figure 18's three families).
 
-// RandomGraph returns a seeded Erdős–Rényi G(n, p) graph.
+// RandomGraph returns a seeded Erdős–Rényi G(n, p) graph — the same
+// (n, p, seed) always yields the same edge set.
 func RandomGraph(n int, p float64, seed uint64) *Graph { return graphs.Random(n, p, seed) }
 
 // StarGraph returns the star graph on n vertices.
@@ -95,7 +105,8 @@ func StarGraph(n int) *Graph { return graphs.Star(n) }
 func Regular3Graph(n int) *Graph { return graphs.Regular3(n) }
 
 // ExpectedCut computes the expected max-cut value of a shot histogram —
-// the QAOA cost function of Figure 18.
+// the QAOA cost function of Figure 18. Deterministic in its inputs: no
+// sampling happens here.
 func ExpectedCut(g *Graph, counts map[uint64]int) float64 {
 	return workloads.QAOAExpectedCutCounts(g, counts)
 }
