@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-smoke bench-kernels bench ci docs-lint docs-check
+.PHONY: build vet test race test-distributed fuzz-smoke bench-kernels bench ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Distributed serving suite under the race detector: coordinator + 3
+# in-process workers (merge byte-identity, kill-one-mid-job failover,
+# planner placement, local fallback), the BatchSeed partition property
+# test, and the serve-layer reliability regressions (LRU plan cache,
+# graceful drain, request cancellation).
+test-distributed:
+	$(GO) test -race ./internal/serve -run 'TestDistributed|TestShard|TestGracefulDrain|TestCancelled|TestPlanCacheLRU'
+
 # Short fuzz smoke: the QASM parser/round-trip fuzzer plus its committed
 # regression corpus. Go runs one fuzz target per invocation.
 fuzz-smoke:
@@ -43,4 +51,4 @@ bench-kernels:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build vet docs-lint test race fuzz-smoke docs-check
+ci: build vet docs-lint test race test-distributed fuzz-smoke docs-check

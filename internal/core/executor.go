@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -53,6 +54,18 @@ type Executor struct {
 	// Parallelism distributes first-level subtrees across workers
 	// (<= 1 runs serially). Outcomes are seed-deterministic either way.
 	Parallelism int
+	// Context, when non-nil, cancels the run cooperatively: every worker
+	// checks it once per tree node (a node is O(2^n) kernel work, so the
+	// check granularity is coarse enough to be free and fine enough to stop
+	// within one subcircuit instance). A cancelled run returns ctx.Err()
+	// and no result — partial histograms are never exposed, because a
+	// partially executed tree is not a sample from any defined distribution.
+	Context context.Context
+}
+
+// cancelled reports whether the executor's context (if any) is done.
+func (e *Executor) cancelled() bool {
+	return e.Context != nil && e.Context.Err() != nil
 }
 
 // runSegment applies one subcircuit instance with fresh noise sampling.
@@ -206,6 +219,9 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 				// block of DFS sequence numbers.
 				blockLen := SubtreeSpan(plan.Arities, level)
 				for child := 0; child < arity; child++ {
+					if e.cancelled() {
+						return
+					}
 					seq := seqBase + uint64(child)*blockLen
 					st := levelState[level]
 					copyState(be, st, parent)
@@ -224,6 +240,9 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 			arity0 := plan.Arities[0]
 			gates0 := subs[0].Gates
 			for child := w; child < arity0; child += workers {
+				if e.cancelled() {
+					return
+				}
 				seq := 1 + uint64(child)*subtreeNodes
 				st := levelState[0]
 				copyState(be, st, root)
@@ -240,6 +259,9 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 		}(w)
 	}
 	wg.Wait()
+	if e.cancelled() {
+		return e.Context.Err()
+	}
 	for _, sh := range shards {
 		res.GateApplications += sh.ops
 		res.StateCopies += sh.copies

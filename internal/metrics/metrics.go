@@ -143,6 +143,16 @@ func TVDCounts(a, b map[uint64]int, total int) float64 {
 	return s / (2 * float64(total))
 }
 
+// MergeCounts adds the src histogram into dst. Histogram merging is
+// commutative and associative, which is what makes sharded execution
+// deterministic: any partition of a job's batches over any worker set
+// merges to the identical histogram, regardless of completion order.
+func MergeCounts(dst, src map[uint64]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
 // MSE returns the mean squared error between two real-valued series, used
 // for the QAOA cost-landscape comparison (Figure 18).
 func MSE(a, b []float64) float64 {

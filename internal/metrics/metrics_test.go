@@ -208,3 +208,28 @@ func TestDimensionMismatchesPanic(t *testing.T) {
 		}()
 	}
 }
+
+func TestMergeCountsOrderIndependent(t *testing.T) {
+	parts := []map[uint64]int{
+		{0: 3, 1: 2},
+		{1: 5, 7: 1},
+		{0: 1, 7: 4, 9: 2},
+	}
+	want := map[uint64]int{0: 4, 1: 7, 7: 5, 9: 2}
+	// Every merge order must produce the identical histogram.
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}}
+	for _, ord := range orders {
+		got := map[uint64]int{}
+		for _, i := range ord {
+			MergeCounts(got, parts[i])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("order %v: support %d", ord, len(got))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("order %v: key %d = %d, want %d", ord, k, got[k], v)
+			}
+		}
+	}
+}

@@ -484,6 +484,29 @@ func PeakBytes(p *partition.Plan, m *noise.Model, name string, b Budget) int64 {
 	}
 }
 
+// WorkerSlots returns how many shards of a job a worker can execute
+// concurrently under its advertised memory budget: budget / estPeak,
+// clamped to the worker's execution slots. estPeak is the job's admission
+// estimate (PeakBytes or the auto Decision's EstPeakBytes — both built on
+// core.DensePeakBytes / stabilizer.TableauBytes). A zero budget means
+// unlimited memory; a zero return means the job can never be placed on
+// that worker, however idle it is — the distributed coordinator uses this
+// to skip workers a job cannot fit on instead of dispatching shards that
+// would bounce off the worker's own admission control.
+func WorkerSlots(estPeak, budgetBytes int64, maxConcurrent int) int {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if budgetBytes <= 0 || estPeak <= 0 {
+		return maxConcurrent
+	}
+	slots := budgetBytes / estPeak
+	if slots > int64(maxConcurrent) {
+		return maxConcurrent
+	}
+	return int(slots)
+}
+
 func overBudget(peak int64, b Budget) string {
 	return fmt.Sprintf("estimated peak %s exceeds the %s memory budget even single-threaded",
 		hpcmodel.FormatBytes(float64(peak)), hpcmodel.FormatBytes(float64(b.MemoryBytes)))

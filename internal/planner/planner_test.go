@@ -187,3 +187,24 @@ func TestDeciderDeterministic(t *testing.T) {
 func dcp(c *circuit.Circuit, m *noise.Model, shots int) *partition.Plan {
 	return partition.Dynamic(c, m, shots, partition.DCPOptions{CopyCost: 20})
 }
+
+func TestWorkerSlots(t *testing.T) {
+	cases := []struct {
+		est, budget int64
+		maxc, want  int
+	}{
+		{1 << 20, 4 << 20, 8, 4},  // budget-bound
+		{1 << 20, 64 << 20, 4, 4}, // slot-bound
+		{1 << 20, 0, 4, 4},        // unlimited memory
+		{8 << 20, 4 << 20, 4, 0},  // never fits
+		{0, 4 << 20, 4, 4},        // no estimate: slot-bound
+	}
+	for _, tc := range cases {
+		if got := WorkerSlots(tc.est, tc.budget, tc.maxc); got != tc.want {
+			t.Fatalf("WorkerSlots(%d,%d,%d) = %d, want %d", tc.est, tc.budget, tc.maxc, got, tc.want)
+		}
+	}
+	if got := WorkerSlots(1<<20, 1<<40, 0); got < 1 {
+		t.Fatalf("zero maxConcurrent must default to GOMAXPROCS, got %d", got)
+	}
+}

@@ -1,0 +1,398 @@
+package serve
+
+// The coordinator side of the distributed shard protocol. A Server
+// constructed with Config.Workers shards every multi-batch job across its
+// worker pool: the job's batch range is cut into contiguous leases, leases
+// are handed to workers up to each worker's planner-derived slot count,
+// and per-batch histograms are merged as shards complete. Failure
+// semantics: a worker that errors is marked dead, its unacked leases are
+// re-dispatched to the remaining workers, and its health is re-probed at
+// the start of later jobs; when no worker can take a job the coordinator
+// finishes it locally. Determinism: batch i's histogram is a pure function
+// of the job request and i (workers run batch i at BatchSeed(seed, i)),
+// and the coordinator records each batch index at most once, so the merge
+// is byte-identical to the single-process run whatever the worker count,
+// lease placement, failure timing, or completion order.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tqsim/internal/metrics"
+	"tqsim/internal/planner"
+)
+
+// leasesPerSlot sets the lease granularity: about this many leases per
+// worker slot, so fast workers pick up the slack of slow ones while each
+// lease still amortizes one HTTP round-trip over several batches.
+const leasesPerSlot = 4
+
+// healthCheckTimeout bounds the /v1/worker probe; a worker that cannot
+// answer a capacity query this fast should not be leased trajectory work.
+const healthCheckTimeout = 2 * time.Second
+
+// probeBackoff is the minimum spacing between probes of a dead worker.
+// refresh runs on the job submission path, so without it a blackholed
+// worker (drops packets instead of refusing) would add healthCheckTimeout
+// of latency to every multi-batch job until it recovers.
+const probeBackoff = 5 * time.Second
+
+// workerClient is the coordinator's view of one worker.
+type workerClient struct {
+	base string
+	hc   *http.Client
+
+	mu        sync.Mutex
+	alive     bool
+	info      WorkerInfo
+	lastProbe time.Time
+}
+
+// pool is the coordinator's worker set.
+type pool struct {
+	workers []*workerClient
+}
+
+func newPool(urls []string) *pool {
+	p := &pool{}
+	for _, u := range urls {
+		p.workers = append(p.workers, &workerClient{
+			base: strings.TrimRight(u, "/"),
+			// No client timeout: a shard lease legitimately runs for as
+			// long as its batches take; cancellation comes from the job's
+			// request context.
+			hc: &http.Client{},
+		})
+	}
+	return p
+}
+
+// refresh re-probes every worker not currently believed alive — the
+// requeue-on-failure loop's recovery half: a worker marked dead by a
+// failed lease rejoins the pool once it answers its health check again.
+func (p *pool) refresh(ctx context.Context) {
+	now := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		w.mu.Lock()
+		skip := w.alive || now.Sub(w.lastProbe) < probeBackoff
+		if !skip {
+			w.lastProbe = now
+		}
+		w.mu.Unlock()
+		if skip {
+			continue
+		}
+		wg.Add(1)
+		go func(w *workerClient) {
+			defer wg.Done()
+			w.check(ctx)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// check probes /v1/worker and updates liveness and the capacity
+// advertisement.
+func (w *workerClient) check(ctx context.Context) bool {
+	cctx, cancel := context.WithTimeout(ctx, healthCheckTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, w.base+"/v1/worker", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		w.markDead()
+		return false
+	}
+	defer resp.Body.Close()
+	var info WorkerInfo
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&info) != nil {
+		w.markDead()
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.info = info
+	w.alive = info.Worker && !info.Draining
+	return w.alive
+}
+
+func (w *workerClient) markDead() {
+	w.mu.Lock()
+	w.alive = false
+	w.mu.Unlock()
+}
+
+func (w *workerClient) snapshot() (bool, WorkerInfo) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive, w.info
+}
+
+func (p *pool) aliveCount() int {
+	n := 0
+	for _, w := range p.workers {
+		if alive, _ := w.snapshot(); alive {
+			n++
+		}
+	}
+	return n
+}
+
+// shardError is a failed lease attempt. status 0 is a transport error
+// (worker unreachable mid-lease); otherwise the HTTP status the worker
+// answered.
+type shardError struct {
+	status int
+	msg    string
+}
+
+// shard posts one lease and decodes the response.
+func (w *workerClient) shard(ctx context.Context, req *ShardRequest) (*ShardResponse, *shardError) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &shardError{msg: "marshal: " + err.Error()}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, &shardError{msg: err.Error()}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(hreq)
+	if err != nil {
+		return nil, &shardError{msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, &shardError{msg: "read: " + err.Error()}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &shardError{status: resp.StatusCode, msg: strings.TrimSpace(string(raw))}
+	}
+	var out ShardResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, &shardError{msg: "decode: " + err.Error()}
+	}
+	return &out, nil
+}
+
+// lease is a contiguous block of batch indices dispatched as one shard.
+type lease struct{ from, to int }
+
+// runDistributed shards the job's batches across the worker pool and
+// merges the per-batch histograms. Matches runBatches' return contract.
+func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batchResult) error) (map[uint64]int, int, string, string, *httpError) {
+	n := j.numBatches()
+	s.pool.refresh(ctx)
+
+	// Planner-driven placement: a worker may hold as many concurrent
+	// leases as whole copies of the job's peak estimate fit in its
+	// advertised memory budget (capped by its execution slots); a worker
+	// the job can never fit on gets no leases at all.
+	slots := make(map[*workerClient]int)
+	totalSlots := 0
+	for _, w := range s.pool.workers {
+		alive, info := w.snapshot()
+		if !alive {
+			continue
+		}
+		if k := planner.WorkerSlots(j.estPeak, info.MemoryBudgetBytes, info.MaxConcurrent); k > 0 {
+			slots[w] = k
+			totalSlots += k
+		}
+	}
+
+	merged := make(map[uint64]int)
+	outcomes := 0
+	backend, structure := "", ""
+	got := make([]bool, n)
+
+	// record merges one acked batch, exactly once: a batch index that
+	// somehow arrives twice (it cannot, under the lease bookkeeping below,
+	// but the guarantee is cheap) is dropped rather than double-counted.
+	record := func(sb *ShardBatch) *httpError {
+		if sb.Batch < 0 || sb.Batch >= n {
+			return errf(http.StatusBadGateway, "worker returned batch %d outside the job's %d batches", sb.Batch, n)
+		}
+		if got[sb.Batch] {
+			return nil
+		}
+		got[sb.Batch] = true
+		counts := make(map[uint64]int, len(sb.Counts))
+		for k, v := range sb.Counts {
+			key, err := strconv.ParseUint(k, 10, 64)
+			if err != nil {
+				return errf(http.StatusBadGateway, "worker returned non-numeric outcome key %q", k)
+			}
+			counts[key] = v
+		}
+		metrics.MergeCounts(merged, counts)
+		outcomes += sb.Outcomes
+		s.stats[statBatches].Add(1)
+		if onBatch != nil {
+			if err := onBatch(&batchResult{index: sb.Batch, seed: sb.Seed, outcomes: sb.Outcomes, counts: counts}); err != nil {
+				return errf(http.StatusInternalServerError, "stream: %v", err)
+			}
+		}
+		return nil
+	}
+
+	// runLocal finishes leases in-process — the degraded path when no
+	// worker can take the job (pool down, or the job fits no worker's
+	// budget). Local execution re-enters the coordinator's own admission
+	// budget, so a degraded pool degrades to single-process service
+	// without overcommitting the coordinator.
+	runLocal := func(ls []lease) *httpError {
+		if herr := s.reserveMemory(j.estPeak); herr != nil {
+			return herr
+		}
+		defer s.releaseMemory(j.estPeak)
+		for _, l := range ls {
+			_, _, be, st, herr := s.runBatches(ctx, j, l.from, l.to, func(br *batchResult) error {
+				got[br.index] = true
+				metrics.MergeCounts(merged, br.counts)
+				outcomes += br.outcomes
+				if onBatch != nil {
+					return onBatch(br)
+				}
+				return nil
+			})
+			if herr != nil {
+				return herr
+			}
+			backend, structure = be, st
+		}
+		return nil
+	}
+
+	// Cut the batch range into leases.
+	chunk := 1
+	if totalSlots > 0 {
+		chunk = (n + leasesPerSlot*totalSlots - 1) / (leasesPerSlot * totalSlots)
+	}
+	var queue []lease
+	for i := 0; i < n; i += chunk {
+		end := i + chunk
+		if end > n {
+			end = n
+		}
+		queue = append(queue, lease{i, end})
+	}
+
+	// Shard calls run on a child context so an aborted job cancels its
+	// in-flight leases (the workers' executors stop, not just the HTTP
+	// calls).
+	sctx, cancelShards := context.WithCancel(ctx)
+	defer cancelShards()
+
+	type doneMsg struct {
+		w    *workerClient
+		l    lease
+		resp *ShardResponse
+		err  *shardError
+	}
+	done := make(chan doneMsg)
+	inflight := make(map[*workerClient]int)
+	inflightN := 0
+	// reap lets in-flight senders finish after an abort so their
+	// goroutines exit; cancelShards has already stopped their work.
+	reap := func() {
+		if inflightN > 0 {
+			go func(k int) {
+				for i := 0; i < k; i++ {
+					<-done
+				}
+			}(inflightN)
+		}
+	}
+
+	for {
+		// Hand queued leases to the least-loaded free workers.
+		for len(queue) > 0 {
+			var pick *workerClient
+			for w, k := range slots {
+				if inflight[w] < k && (pick == nil || inflight[w] < inflight[pick]) {
+					pick = w
+				}
+			}
+			if pick == nil {
+				break
+			}
+			l := queue[0]
+			queue = queue[1:]
+			inflight[pick]++
+			inflightN++
+			s.stats[statShardsDispatched].Add(1)
+			go func(w *workerClient, l lease) {
+				resp, serr := w.shard(sctx, &ShardRequest{Job: *j.wire, From: l.from, To: l.to})
+				done <- doneMsg{w: w, l: l, resp: resp, err: serr}
+			}(pick, l)
+		}
+		if inflightN == 0 {
+			if len(queue) == 0 {
+				break
+			}
+			if herr := runLocal(queue); herr != nil {
+				return nil, 0, "", "", herr
+			}
+			break
+		}
+
+		d := <-done
+		inflightN--
+		inflight[d.w]--
+		if d.err != nil {
+			if ctx.Err() != nil {
+				reap()
+				return nil, 0, "", "", errf(statusClientClosedRequest, "job cancelled: %v", ctx.Err())
+			}
+			s.stats[statShardsRequeued].Add(1)
+			queue = append(queue, d.l)
+			switch {
+			case d.err.status == http.StatusServiceUnavailable || d.err.status == http.StatusRequestEntityTooLarge:
+				// The worker is healthy but cannot take this job (at
+				// capacity, or the job exceeds its budget): stop leasing
+				// this job to it, leave it in the pool.
+				delete(slots, d.w)
+			case d.err.status >= 400 && d.err.status < 500:
+				// The worker rejected the job itself; re-dispatching the
+				// identical request cannot succeed anywhere.
+				reap()
+				return nil, 0, "", "", errf(http.StatusBadGateway,
+					"worker %s rejected lease [%d,%d): %s", d.w.base, d.l.from, d.l.to, d.err.msg)
+			default:
+				// Transport error or 5xx: the worker is dead. Its unacked
+				// lease is already back in the queue; pool.refresh re-probes
+				// it on later jobs.
+				s.stats[statWorkerFailures].Add(1)
+				d.w.markDead()
+				delete(slots, d.w)
+			}
+			continue
+		}
+		for i := range d.resp.Batches {
+			if herr := record(&d.resp.Batches[i]); herr != nil {
+				reap()
+				return nil, 0, "", "", herr
+			}
+		}
+		backend, structure = d.resp.Backend, d.resp.Structure
+	}
+
+	for i, ok := range got {
+		if !ok {
+			return nil, 0, "", "", errf(http.StatusInternalServerError, "batch %d was never executed", i)
+		}
+	}
+	return merged, outcomes, backend, structure, nil
+}

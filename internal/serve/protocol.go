@@ -1,0 +1,67 @@
+package serve
+
+// The distributed shard protocol. A coordinator (a Server constructed with
+// Config.Workers) splits a job's batches into contiguous leases and posts
+// each lease to a worker (a Server constructed with Config.WorkerMode) as a
+// ShardRequest. The worker plans the job independently — planning is
+// deterministic in the request, so coordinator and worker always agree on
+// the batch arithmetic — runs batches [From, To) at their derived seeds
+// (BatchSeed(job seed, i)), and returns one ShardBatch histogram per batch.
+//
+// Determinism contract: batch i's histogram is a pure function of the job
+// request and i, so the coordinator's merge is byte-identical to the
+// single-process run of the same job at the same seed regardless of how
+// many workers participated, which worker ran which lease, or how a failed
+// worker's leases were re-dispatched. Re-running a lease after a worker
+// failure is safe for the same reason: the retry reproduces the identical
+// per-batch histograms, and the coordinator records each batch index at
+// most once.
+
+// ShardRequest is the POST /v1/shard body: a complete job description plus
+// the half-open batch-index range this worker is leasing.
+type ShardRequest struct {
+	// Job is the full job request. Stream is ignored; Shots, Seed and
+	// BatchShots must match the coordinator's so both sides derive the same
+	// batch count, sizes and seeds.
+	Job JobRequest `json:"job"`
+	// From and To bound the leased batch indices: From <= i < To.
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// ShardBatch is one executed batch inside a ShardResponse.
+type ShardBatch struct {
+	// Batch is the job-wide batch index.
+	Batch int `json:"batch"`
+	// Seed echoes BatchSeed(job seed, Batch) — the stream the batch ran at.
+	Seed uint64 `json:"seed"`
+	// Outcomes is the number of sampled outcomes (tree leaves) in Counts.
+	Outcomes int `json:"outcomes"`
+	// Counts is the batch histogram, decimal basis index -> count.
+	Counts map[string]int `json:"counts"`
+}
+
+// ShardResponse is the POST /v1/shard success body.
+type ShardResponse struct {
+	// Backend and Structure echo the engine and tree the batches ran on.
+	Backend   string `json:"backend"`
+	Structure string `json:"structure"`
+	// Batches holds one entry per leased batch, in index order.
+	Batches []ShardBatch `json:"batches"`
+}
+
+// WorkerInfo is the GET /v1/worker body — the capacity advertisement the
+// coordinator's planner-driven placement consumes.
+type WorkerInfo struct {
+	// Worker reports whether this server accepts shard leases.
+	Worker bool `json:"worker"`
+	// MaxConcurrent is the worker's execution-slot count.
+	MaxConcurrent int `json:"max_concurrent"`
+	// MemoryBudgetBytes is the worker's admission budget (0 = unlimited).
+	// The coordinator divides it by a job's planner peak estimate to bound
+	// in-flight shards per worker, and skips workers a job can never fit on.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
+	// Draining reports a worker that is shutting down; the coordinator
+	// treats it as unavailable.
+	Draining bool `json:"draining"`
+}

@@ -2,8 +2,15 @@
 // entry point that accepts OpenQASM (or benchmark-suite) simulation jobs,
 // admission-controls them with the planner's cost/memory estimates, batches
 // shots through a bounded scheduler, caches simulation plans keyed by
-// (circuit hash, noise, options), and streams per-batch histograms as
-// NDJSON. cmd/tqsimd is a thin main around New.
+// (circuit hash, noise, options) in a bounded LRU, and streams per-batch
+// histograms as NDJSON. cmd/tqsimd is a thin main around New.
+//
+// The same Server type implements both distributed roles (see protocol.go
+// for the wire contract): a worker (Config.WorkerMode) additionally serves
+// POST /v1/shard leases, and a coordinator (Config.Workers) shards
+// multi-batch jobs across its worker pool, health-checks the workers, and
+// re-dispatches a failed worker's unacked leases — falling back to local
+// execution when no worker can take a job.
 //
 // Determinism contract: a job that fits in one batch returns a histogram
 // byte-identical to tqsim.RunTQSim (mode "tqsim") or tqsim.RunBackend
@@ -11,13 +18,17 @@
 // batches runs batch i at the derived seed BatchSeed(seed, i) (batch 0
 // keeps the job seed) and returns the merged histogram — equal to merging
 // B single-process runs at those seeds, regardless of how many jobs the
-// server is executing concurrently.
+// server is executing concurrently, and — because batch i's histogram is a
+// pure function of the job request and i — regardless of how many workers
+// the batches were sharded over or how failed leases were re-dispatched.
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -29,6 +40,7 @@ import (
 
 	"tqsim"
 	"tqsim/internal/hpcmodel"
+	"tqsim/internal/metrics"
 	"tqsim/internal/planner"
 	"tqsim/internal/rng"
 )
@@ -51,6 +63,17 @@ type Config struct {
 	// DefaultBatchShots splits jobs into batches of this many shots when
 	// the request doesn't choose (0 = one batch per job).
 	DefaultBatchShots int
+	// PlanCacheEntries caps the plan cache (default 256). The cache is LRU:
+	// under sustained traffic from many distinct circuits old plans are
+	// evicted instead of growing without bound.
+	PlanCacheEntries int
+	// WorkerMode enables the shard-lease endpoints (POST /v1/shard,
+	// honored GET /v1/worker): the tqsimd -worker role.
+	WorkerMode bool
+	// Workers lists worker base URLs (e.g. "http://10.0.0.2:8651"); when
+	// non-empty the server acts as a coordinator and shards multi-batch
+	// jobs across them.
+	Workers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxShots <= 0 {
 		c.MaxShots = 1 << 22
 	}
+	if c.PlanCacheEntries <= 0 {
+		c.PlanCacheEntries = 256
+	}
 	return c
 }
 
@@ -70,12 +96,24 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	JobsCompleted     uint64 `json:"jobs_completed"`
 	JobsFailed        uint64 `json:"jobs_failed"`
+	JobsCanceled      uint64 `json:"jobs_canceled"`
 	RejectedQueueFull uint64 `json:"rejected_queue_full"`
 	RejectedMemory    uint64 `json:"rejected_memory"`
+	RejectedDraining  uint64 `json:"rejected_draining"`
 	BatchesRun        uint64 `json:"batches_run"`
 	PlanCacheHits     uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses   uint64 `json:"plan_cache_misses"`
+	PlanCacheEvicted  uint64 `json:"plan_cache_evicted"`
+	PlanCacheEntries  int    `json:"plan_cache_entries"`
 	MemoryInUseBytes  int64  `json:"memory_in_use_bytes"`
+	Draining          bool   `json:"draining"`
+	// Coordinator-only counters: shard leases handed to workers, leases
+	// re-dispatched after a failure, and workers declared dead.
+	ShardsDispatched uint64 `json:"shards_dispatched,omitempty"`
+	ShardsRequeued   uint64 `json:"shards_requeued,omitempty"`
+	WorkerFailures   uint64 `json:"worker_failures,omitempty"`
+	WorkersAlive     int    `json:"workers_alive,omitempty"`
+	WorkersTotal     int    `json:"workers_total,omitempty"`
 }
 
 // Server is the tqsimd HTTP handler. Construct with New.
@@ -83,14 +121,16 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	slots   chan struct{} // execution permits (MaxConcurrent)
-	pending atomic.Int64  // running + queued jobs
+	slots    chan struct{} // execution permits (MaxConcurrent)
+	pending  atomic.Int64  // running + queued jobs
+	draining atomic.Bool
 
 	memMu     sync.Mutex
 	memInUse  int64
 	planMu    sync.Mutex
-	planCache map[string]*cachedPlan
-	stats     [7]atomic.Uint64 // indexed by the stat* constants
+	planCache *lruCache
+	pool      *pool // non-nil when coordinating a worker pool
+	stats     [statCount]atomic.Uint64
 }
 
 type cachedPlan struct {
@@ -101,31 +141,83 @@ type cachedPlan struct {
 const (
 	statCompleted = iota
 	statFailed
+	statCanceled
 	statQueueFull
 	statMemory
+	statDraining
 	statBatches
 	statPlanHits
 	statPlanMisses
+	statPlanEvicted
+	statShardsDispatched
+	statShardsRequeued
+	statWorkerFailures
+	statCount
 )
+
+// statusClientClosedRequest classifies a job stopped because the client
+// went away (nginx's 499 convention). It is never written to a live
+// client — the connection is already gone — but it routes the bookkeeping:
+// cancelled jobs count as canceled, not failed.
+const statusClientClosedRequest = 499
 
 // New returns a ready-to-serve handler.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:       cfg.withDefaults(),
-		mux:       http.NewServeMux(),
-		planCache: make(map[string]*cachedPlan),
+		cfg: cfg.withDefaults(),
+		mux: http.NewServeMux(),
 	}
+	s.planCache = newLRU(s.cfg.PlanCacheEntries)
 	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
+	if len(s.cfg.Workers) > 0 {
+		s.pool = newPool(s.cfg.Workers)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /v1/worker", s.handleWorkerInfo)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain moves the server into draining mode: new submissions (jobs and
+// shard leases) are rejected 503 with a Retry-After header while in-flight
+// work runs to completion. cmd/tqsimd calls it on SIGTERM immediately
+// before http.Server.Shutdown, which waits for the in-flight handlers.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainWait blocks until no jobs are running or queued, or ctx expires.
+// cmd/tqsimd calls it between BeginDrain and http.Server.Shutdown: while
+// it waits the listener stays open, so late submissions receive the
+// documented 503 + Retry-After instead of a connection refusal — the
+// difference between a load balancer retrying elsewhere and surfacing an
+// error to the client.
+func (s *Server) DrainWait(ctx context.Context) error {
+	for {
+		if s.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// rejectDraining answers a submission arriving during drain.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	s.stats[statDraining].Add(1)
+	writeError(w, http.StatusServiceUnavailable, "server is draining; retry")
+}
 
 // JobRequest is the POST /v1/jobs (and /v1/plan) body. Exactly one of QASM
 // or Circuit selects the program.
@@ -213,9 +305,14 @@ type JobResponse struct {
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Decision  *DecisionJSON  `json:"decision,omitempty"`
 	PlanHit   bool           `json:"plan_cache_hit"`
+	// Distributed reports whether batches were sharded across the worker
+	// pool (the histogram is byte-identical either way).
+	Distributed bool `json:"distributed,omitempty"`
 }
 
-// batchLine is one NDJSON record of a streaming response.
+// batchLine is one NDJSON record of a streaming response. In distributed
+// mode batch lines arrive in shard-completion order, which is not
+// deterministic — each line's content and the final merged histogram are.
 type batchLine struct {
 	Type      string         `json:"type"` // "plan" | "batch" | "done" | "error"
 	Batch     int            `json:"batch,omitempty"`
@@ -255,6 +352,10 @@ type job struct {
 	estPeak int64
 	planHit bool
 	stream  bool
+	// wire is the request to forward in shard leases, with every value that
+	// shapes batch arithmetic pinned to the coordinator's resolution (the
+	// worker must never re-apply its own defaults and diverge).
+	wire *JobRequest
 }
 
 // numBatches returns how many batches the job runs.
@@ -356,13 +457,23 @@ func (s *Server) prepare(req *JobRequest) (*job, *httpError) {
 			Backend:           backend,
 			ClusterNodes:      req.ClusterNodes,
 			Parallelism:       req.Parallelism,
-			Epsilon:           req.Epsilon,
 		},
 	}
+	j.opt.Epsilon = req.Epsilon
 	j.batchSize = req.BatchShots
 	if j.batchSize == 0 {
 		j.batchSize = s.cfg.DefaultBatchShots
 	}
+	wire := *req
+	wire.Stream = false
+	wire.Noise = noiseName
+	wire.Mode = mode
+	wire.Backend = backend
+	wire.BatchShots = j.batchSize
+	if wire.BatchShots == 0 {
+		wire.BatchShots = -1 // pin "one batch" against remote defaults
+	}
+	j.wire = &wire
 
 	// Plan the (at most two) distinct batch sizes: the full batch and the
 	// ragged last one.
@@ -399,6 +510,21 @@ func (s *Server) prepare(req *JobRequest) (*job, *httpError) {
 			ClusterNodes: req.ClusterNodes,
 		})
 	}
+
+	// Pin the two planner inputs that default from host/server state —
+	// worker count (GOMAXPROCS) and memory budget (server config) — into
+	// the shard-lease request. Planner decisions are deterministic in
+	// (plan, noise, budget, worker count), so with these pinned a worker
+	// re-planning the wire request resolves "auto" to the same engine the
+	// coordinator did; left unpinned, a heterogeneous worker could pick a
+	// different engine (e.g. tableau vs dense, whose per-seed sampling
+	// differs) and break the byte-identical-merge guarantee.
+	if wire.Parallelism == 0 {
+		wire.Parallelism = j.decision.Parallelism
+	}
+	if wire.MemoryBudgetBytes == 0 {
+		wire.MemoryBudgetBytes = s.cfg.MemoryBudgetBytes
+	}
 	return j, nil
 }
 
@@ -407,7 +533,7 @@ func (s *Server) prepare(req *JobRequest) (*job, *httpError) {
 func (s *Server) planBatch(hash string, c *tqsim.Circuit, m *tqsim.NoiseModel, shots int, mode string, opt tqsim.Options) (*cachedPlan, bool, *httpError) {
 	key := fmt.Sprintf("%s|%d", hash, shots)
 	s.planMu.Lock()
-	cp, ok := s.planCache[key]
+	cp, ok := s.planCache.get(key)
 	s.planMu.Unlock()
 	if ok {
 		s.stats[statPlanHits].Add(1)
@@ -435,8 +561,11 @@ func (s *Server) planBatch(hash string, c *tqsim.Circuit, m *tqsim.NoiseModel, s
 	}
 	cp = &cachedPlan{plan: plan, decision: decision}
 	s.planMu.Lock()
-	s.planCache[key] = cp
+	evicted := s.planCache.add(key, cp)
 	s.planMu.Unlock()
+	if evicted > 0 {
+		s.stats[statPlanEvicted].Add(uint64(evicted))
+	}
 	return cp, false, nil
 }
 
@@ -519,6 +648,10 @@ func (s *Server) releaseMemory(est int64) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.rejectDraining(w)
+		return
+	}
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -537,22 +670,31 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	// Memory is reserved only once the job holds an execution slot:
-	// queued jobs consume no state memory, so they must not pin the budget
-	// against the jobs actually running.
-	if herr := s.reserveMemory(j.estPeak); herr != nil {
-		writeError(w, herr.status, herr.msg)
-		return
+	ctx := r.Context()
+
+	// Multi-batch jobs shard across the worker pool when one is configured;
+	// single-batch jobs always run locally (there is nothing to shard).
+	distributed := s.pool != nil && j.numBatches() > 1
+	if !distributed {
+		// Memory is reserved only once the job holds an execution slot:
+		// queued jobs consume no state memory, so they must not pin the
+		// budget against the jobs actually running. Distributed jobs
+		// reserve on the workers that execute their shards (and locally
+		// only for a local fallback).
+		if herr := s.reserveMemory(j.estPeak); herr != nil {
+			writeError(w, herr.status, herr.msg)
+			return
+		}
+		defer s.releaseMemory(j.estPeak)
 	}
-	defer s.releaseMemory(j.estPeak)
 
 	if j.stream {
-		s.runStreaming(w, j)
+		s.runStreaming(ctx, w, j, distributed)
 		return
 	}
-	resp, herr := s.runJob(j, nil)
+	resp, herr := s.runJob(ctx, j, distributed, nil)
 	if herr != nil {
-		s.stats[statFailed].Add(1)
+		s.countJobError(ctx, herr)
 		writeError(w, herr.status, herr.msg)
 		return
 	}
@@ -560,16 +702,76 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runJob executes every batch sequentially (the scheduler bounds jobs, not
-// batches) and merges histograms. onBatch, when non-nil, observes each
-// batch result as it completes — the streaming hook.
-func (s *Server) runJob(j *job, onBatch func(i int, res *tqsim.TreeResult, seed uint64) error) (*JobResponse, *httpError) {
+// countJobError books a finished-unsuccessfully job under the right
+// counter: client-cancelled jobs are canceled, everything else failed.
+// The context check catches failures that are really disconnects in
+// disguise — e.g. a streaming write to a connection the client already
+// closed surfaces as a stream error before the next per-batch ctx check.
+func (s *Server) countJobError(ctx context.Context, herr *httpError) {
+	if herr.status == statusClientClosedRequest || ctx.Err() != nil {
+		s.stats[statCanceled].Add(1)
+	} else {
+		s.stats[statFailed].Add(1)
+	}
+}
+
+// batchResult is one executed batch, engine-agnostic: local batches come
+// from tqsim.RunPlanContext, remote ones from a worker's ShardBatch.
+type batchResult struct {
+	index    int
+	seed     uint64
+	outcomes int
+	counts   map[uint64]int
+}
+
+// runJob executes the job's batches — sharded across the worker pool when
+// distributed, sequentially in-process otherwise — and merges histograms.
+// onBatch, when non-nil, observes each batch result as it completes (the
+// streaming hook); in distributed mode completion order is not
+// deterministic, batch contents and the merge are.
+func (s *Server) runJob(ctx context.Context, j *job, distributed bool, onBatch func(*batchResult) error) (*JobResponse, *httpError) {
 	start := time.Now()
+	var (
+		merged             map[uint64]int
+		outcomes           int
+		backend, structure string
+		herr               *httpError
+	)
+	if distributed {
+		merged, outcomes, backend, structure, herr = s.runDistributed(ctx, j, onBatch)
+	} else {
+		merged, outcomes, backend, structure, herr = s.runBatches(ctx, j, 0, j.numBatches(), onBatch)
+	}
+	if herr != nil {
+		return nil, herr
+	}
+	return &JobResponse{
+		Circuit:     j.circuit.Name,
+		Width:       j.circuit.NumQubits,
+		Backend:     backend,
+		Structure:   structure,
+		Outcomes:    outcomes,
+		Batches:     j.numBatches(),
+		Counts:      countsJSON(merged),
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Decision:    decisionJSON(j.decision),
+		PlanHit:     j.planHit,
+		Distributed: distributed,
+	}, nil
+}
+
+// runBatches executes batches [from, to) in-process, threading ctx into the
+// executor so a client disconnect (or a coordinator re-leasing this shard)
+// stops in-flight trajectory work instead of computing results nobody will
+// read. Returns the merged histogram over the executed range.
+func (s *Server) runBatches(ctx context.Context, j *job, from, to int, onBatch func(*batchResult) error) (map[uint64]int, int, string, string, *httpError) {
 	merged := make(map[uint64]int)
 	outcomes := 0
-	backend := ""
-	structure := ""
-	for i, n := 0, j.numBatches(); i < n; i++ {
+	backend, structure := "", ""
+	for i := from; i < to; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, "", "", errf(statusClientClosedRequest, "cancelled before batch %d: %v", i, err)
+		}
 		cp := j.planFor(i)
 		opt := j.opt
 		if opt.Backend == tqsim.AutoBackend {
@@ -584,40 +786,30 @@ func (s *Server) runJob(j *job, onBatch func(i int, res *tqsim.TreeResult, seed 
 			}
 		}
 		opt.Seed = BatchSeed(j.opt.Seed, i)
-		res, err := tqsim.RunPlan(cp.plan, j.noise, opt)
+		res, err := tqsim.RunPlanContext(ctx, cp.plan, j.noise, opt)
 		if err != nil {
-			return nil, errf(http.StatusUnprocessableEntity, "batch %d: %v", i, err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, 0, "", "", errf(statusClientClosedRequest, "batch %d cancelled: %v", i, err)
+			}
+			return nil, 0, "", "", errf(http.StatusUnprocessableEntity, "batch %d: %v", i, err)
 		}
 		s.stats[statBatches].Add(1)
-		for k, v := range res.Counts {
-			merged[k] += v
-		}
+		metrics.MergeCounts(merged, res.Counts)
 		outcomes += res.Outcomes
 		backend = res.BackendName
 		structure = res.Structure
 		if onBatch != nil {
-			if err := onBatch(i, res, opt.Seed); err != nil {
-				return nil, errf(http.StatusInternalServerError, "stream: %v", err)
+			if err := onBatch(&batchResult{index: i, seed: opt.Seed, outcomes: res.Outcomes, counts: res.Counts}); err != nil {
+				return nil, 0, "", "", errf(http.StatusInternalServerError, "stream: %v", err)
 			}
 		}
 	}
-	return &JobResponse{
-		Circuit:   j.circuit.Name,
-		Width:     j.circuit.NumQubits,
-		Backend:   backend,
-		Structure: structure,
-		Outcomes:  outcomes,
-		Batches:   j.numBatches(),
-		Counts:    countsJSON(merged),
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-		Decision:  decisionJSON(j.decision),
-		PlanHit:   j.planHit,
-	}, nil
+	return merged, outcomes, backend, structure, nil
 }
 
 // runStreaming writes the NDJSON stream: a plan header, one line per
 // batch, and a final done line with the merged histogram.
-func (s *Server) runStreaming(w http.ResponseWriter, j *job) {
+func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job, distributed bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -638,17 +830,17 @@ func (s *Server) runStreaming(w http.ResponseWriter, j *job) {
 		Backend:   j.decision.Backend,
 		Decision:  decisionJSON(j.decision),
 	})
-	resp, herr := s.runJob(j, func(i int, res *tqsim.TreeResult, seed uint64) error {
+	resp, herr := s.runJob(ctx, j, distributed, func(br *batchResult) error {
 		return emit(&batchLine{
 			Type:   "batch",
-			Batch:  i,
-			Shots:  res.Outcomes,
-			Seed:   seed,
-			Counts: countsJSON(res.Counts),
+			Batch:  br.index,
+			Shots:  br.outcomes,
+			Seed:   br.seed,
+			Counts: countsJSON(br.counts),
 		})
 	})
 	if herr != nil {
-		s.stats[statFailed].Add(1)
+		s.countJobError(ctx, herr)
 		_ = emit(&batchLine{Type: "error", Error: herr.msg})
 		return
 	}
@@ -684,7 +876,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	if s.Draining() {
+		// Health checks fail during drain so load balancers stop routing
+		// new traffic while in-flight jobs finish.
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "worker": s.cfg.WorkerMode})
 }
 
 func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
@@ -698,16 +896,32 @@ func (s *Server) Snapshot() Stats {
 	s.memMu.Lock()
 	inUse := s.memInUse
 	s.memMu.Unlock()
-	return Stats{
+	s.planMu.Lock()
+	planEntries := s.planCache.len()
+	s.planMu.Unlock()
+	st := Stats{
 		JobsCompleted:     s.stats[statCompleted].Load(),
 		JobsFailed:        s.stats[statFailed].Load(),
+		JobsCanceled:      s.stats[statCanceled].Load(),
 		RejectedQueueFull: s.stats[statQueueFull].Load(),
 		RejectedMemory:    s.stats[statMemory].Load(),
+		RejectedDraining:  s.stats[statDraining].Load(),
 		BatchesRun:        s.stats[statBatches].Load(),
 		PlanCacheHits:     s.stats[statPlanHits].Load(),
 		PlanCacheMisses:   s.stats[statPlanMisses].Load(),
+		PlanCacheEvicted:  s.stats[statPlanEvicted].Load(),
+		PlanCacheEntries:  planEntries,
 		MemoryInUseBytes:  inUse,
+		Draining:          s.Draining(),
+		ShardsDispatched:  s.stats[statShardsDispatched].Load(),
+		ShardsRequeued:    s.stats[statShardsRequeued].Load(),
+		WorkerFailures:    s.stats[statWorkerFailures].Load(),
 	}
+	if s.pool != nil {
+		st.WorkersAlive = s.pool.aliveCount()
+		st.WorkersTotal = len(s.pool.workers)
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -731,6 +945,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders an error body. Every 503 carries a Retry-After
+// header: all of them (queue, memory, drain, worker-busy) mean "the
+// request is fine, the capacity isn't", and well-behaved clients key
+// their backoff on the header's presence.
 func writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": msg})
 }

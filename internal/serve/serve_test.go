@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"tqsim"
 )
@@ -415,5 +417,151 @@ func TestBatchArithmetic(t *testing.T) {
 	}
 	if BatchSeed(7, 1) == 7 || BatchSeed(7, 1) == BatchSeed(7, 2) {
 		t.Fatal("derived batch seeds must differ")
+	}
+}
+
+// TestPlanCacheLRUBounded: the plan cache must stay within its entry cap
+// under many distinct circuits, evicting (and counting) the excess.
+func TestPlanCacheLRUBounded(t *testing.T) {
+	srv := New(Config{PlanCacheEntries: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// 12 distinct cache keys (shots is part of the key via the batch size).
+	for shots := 100; shots < 112; shots++ {
+		resp, body := postJSON(t, ts.URL+"/v1/plan", &JobRequest{Circuit: "qft_n8", Shots: shots})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan %d: %d: %s", shots, resp.StatusCode, body)
+		}
+	}
+	st := srv.Snapshot()
+	if st.PlanCacheEntries > 4 {
+		t.Fatalf("cache grew past its cap: %+v", st)
+	}
+	if st.PlanCacheEvicted < 8 {
+		t.Fatalf("expected >= 8 evictions, got %+v", st)
+	}
+	if st.PlanCacheMisses != 12 {
+		t.Fatalf("expected 12 misses, got %+v", st)
+	}
+
+	// The most recent entry is still cached; the oldest was evicted.
+	resp, _ := postJSON(t, ts.URL+"/v1/plan", &JobRequest{Circuit: "qft_n8", Shots: 111})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("recache probe failed")
+	}
+	st2 := srv.Snapshot()
+	if st2.PlanCacheHits != st.PlanCacheHits+1 {
+		t.Fatalf("most recent entry was evicted: %+v", st2)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/plan", &JobRequest{Circuit: "qft_n8", Shots: 100})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("evicted-entry probe failed")
+	}
+	if srv.Snapshot().PlanCacheMisses != st2.PlanCacheMisses+1 {
+		t.Fatalf("oldest entry should have been evicted: %+v", srv.Snapshot())
+	}
+}
+
+// TestGracefulDrain: a draining server 503s new jobs and shard leases with
+// a Retry-After header, fails its health check so load balancers stop
+// routing, and reports draining in stats.
+func TestGracefulDrain(t *testing.T) {
+	srv := New(Config{WorkerMode: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	srv.BeginDrain()
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", &JobRequest{Circuit: "qft_n8", Shots: 100, Seed: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted a job: %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 during drain lacks Retry-After")
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/shard", &ShardRequest{
+		Job: JobRequest{Circuit: "qft_n8", Shots: 100, BatchShots: 50}, From: 0, To: 1,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining worker accepted a lease: %d", resp.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining health check returned %d, want 503", hr.StatusCode)
+	}
+	st := srv.Snapshot()
+	if !st.Draining || st.RejectedDraining != 2 {
+		t.Fatalf("drain not reported: %+v", st)
+	}
+
+	// Every 503 carries Retry-After, not just drain: the memory-pressure
+	// rejection path uses the same writer.
+	rec := httptest.NewRecorder()
+	writeError(rec, http.StatusServiceUnavailable, "no memory right now")
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusBadRequest, "bad")
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatal("non-503 must not advertise Retry-After")
+	}
+}
+
+// TestCancelledStreamingJobStopsWork: disconnecting a streaming client
+// must stop the in-flight batch work (counted as canceled, not failed) —
+// the executor observes the request context instead of burning CPU on
+// results nobody will read.
+func TestCancelledStreamingJobStopsWork(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// 200 batches of a 14-qubit circuit: long enough that cancellation
+	// lands mid-job on any machine.
+	reqBody, err := json.Marshal(&JobRequest{
+		Circuit: "qft_n14", Noise: "DC", Shots: 4000, Seed: 2, BatchShots: 20, Stream: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read the plan header and the first batch line, then hang up.
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 2 && sc.Scan(); i++ {
+	}
+	cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Snapshot()
+		if st.JobsCanceled == 1 {
+			if st.JobsFailed != 0 {
+				t.Fatalf("cancelled job misfiled as failure: %+v", st)
+			}
+			if st.BatchesRun >= 200 {
+				t.Fatalf("job ran to completion despite cancellation: %+v", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation never observed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

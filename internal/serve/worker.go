@@ -1,0 +1,94 @@
+package serve
+
+// The worker side of the distributed shard protocol: a Server constructed
+// with Config.WorkerMode leases batch ranges from a coordinator via
+// POST /v1/shard and advertises its capacity via GET /v1/worker. A shard
+// lease runs through exactly the same validation, planning, admission and
+// execution machinery as a directly submitted job — a worker is a full
+// tqsimd that additionally accepts leases, so it can also be probed,
+// queried for stats, and even used directly while serving a pool.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleShard executes one leased batch range and returns the per-batch
+// histograms. Capacity problems answer 503 (busy) or 413 (the job can
+// never fit this worker) — the coordinator re-leases elsewhere; both are
+// planner-arithmetic rejections, mirroring direct job admission.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.WorkerMode {
+		writeError(w, http.StatusNotFound, "not a worker: start tqsimd with -worker to accept shard leases")
+		return
+	}
+	if s.Draining() {
+		s.rejectDraining(w)
+		return
+	}
+	var sr ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard body: "+err.Error())
+		return
+	}
+	sr.Job.Stream = false
+	j, herr := s.prepare(&sr.Job)
+	if herr != nil {
+		s.stats[statFailed].Add(1)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	if n := j.numBatches(); sr.From < 0 || sr.To > n || sr.From >= sr.To {
+		s.stats[statFailed].Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("lease [%d,%d) outside the job's %d batches", sr.From, sr.To, n))
+		return
+	}
+	if !s.acquire() {
+		// 503, not the job endpoint's 429: the caller is a coordinator and
+		// should re-lease the range to another worker, not bounce a client.
+		s.stats[statQueueFull].Add(1)
+		writeError(w, http.StatusServiceUnavailable, "worker at capacity; re-lease elsewhere")
+		return
+	}
+	defer s.release()
+	if herr := s.reserveMemory(j.estPeak); herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	defer s.releaseMemory(j.estPeak)
+
+	// r.Context() threads coordinator cancellation into the executor: when
+	// the coordinator abandons the lease (client disconnect, job abort),
+	// the in-flight trajectory work here stops too.
+	resp := &ShardResponse{}
+	_, _, backend, structure, herr := s.runBatches(r.Context(), j, sr.From, sr.To, func(br *batchResult) error {
+		resp.Batches = append(resp.Batches, ShardBatch{
+			Batch:    br.index,
+			Seed:     br.seed,
+			Outcomes: br.outcomes,
+			Counts:   countsJSON(br.counts),
+		})
+		return nil
+	})
+	if herr != nil {
+		s.countJobError(r.Context(), herr)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	resp.Backend, resp.Structure = backend, structure
+	s.stats[statCompleted].Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWorkerInfo serves the capacity advertisement; coordinators poll it
+// as the health check and placement input.
+func (s *Server) handleWorkerInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, WorkerInfo{
+		Worker:            s.cfg.WorkerMode,
+		MaxConcurrent:     s.cfg.MaxConcurrent,
+		MemoryBudgetBytes: s.cfg.MemoryBudgetBytes,
+		Draining:          s.Draining(),
+	})
+}

@@ -22,6 +22,7 @@
 package tqsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -356,6 +357,22 @@ func RunTQSim(c *Circuit, m *NoiseModel, shots int, opt Options) (*TreeResult, e
 // falls back to the hybrid adapter on the dense executor; everything else
 // is a gate-apply backend on the dense executor.
 func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	return RunPlanContext(context.Background(), p, m, opt)
+}
+
+// RunPlanContext is RunPlan with cooperative cancellation: when ctx is
+// cancelled the run stops and returns ctx.Err() instead of a result.
+// Cancellation is checked once per tree node on the dense engines (a node
+// is a full subcircuit instance, so in-flight trajectory work stops within
+// one O(2^n) segment); the polynomial-time routes (stabilizer tableau
+// tree, densmat) check only between runs, since their whole execution
+// costs less than one dense node. Completed runs are unaffected by ctx:
+// for a fixed chosen backend the histogram remains a pure function of
+// (circuit, noise, shots, seed).
+func RunPlanContext(ctx context.Context, p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.backendName() == AutoBackend {
 		resolved, _, err := opt.resolveAuto(p, m)
 		if err != nil {
@@ -382,6 +399,7 @@ func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
 		Noise:       m,
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,
+		Context:     ctx,
 	}
 	return ex.Run(p)
 }
