@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race test-distributed fuzz-smoke bench-kernels bench ci docs-lint docs-check
+.PHONY: build vet test race test-distributed test-sweep fuzz-smoke bench-kernels bench-sweep bench ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ race:
 test-distributed:
 	$(GO) test -race ./internal/serve -run 'TestDistributed|TestShard|TestGracefulDrain|TestCancelled|TestPlanCacheLRU'
 
+# Sweep-engine suite under the race detector: the determinism property
+# tests (RunSweep per-point histograms byte-identical to standalone runs at
+# derived seeds, reuse on/off, serial/parallel), the /v1/sweeps endpoint
+# and streaming suites, and the distributed sweep tests (1-3 workers,
+# failover, stalled-lease timeout).
+test-sweep:
+	$(GO) test -race . -run 'TestSweep'
+	$(GO) test -race ./internal/sweep
+	$(GO) test -race ./internal/serve -run 'TestSweep|TestDistributedSweep|TestLeaseTimeout|TestDrainWaitSignals|TestStreamingHeaderEmit'
+
 # Short fuzz smoke: the QASM parser/round-trip fuzzer plus its committed
 # regression corpus. Go runs one fuzz target per invocation.
 fuzz-smoke:
@@ -47,8 +57,14 @@ fuzz-smoke:
 bench-kernels:
 	$(GO) test -run xxx -bench 'BenchmarkKernels_' -benchtime 1s .
 
+# Cross-point reuse benchmark: the same noise-grid sweep with prefix reuse
+# on vs off; the reported gateops/sweep ratio is the work reduction (the
+# run errors if reuse stops reducing work).
+bench-sweep:
+	$(GO) test -run xxx -bench BenchmarkSweepReuse -benchtime 1x -v .
+
 # Full figure/table benchmark sweep (slow).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build vet docs-lint test race test-distributed fuzz-smoke docs-check
+ci: build vet docs-lint test race test-distributed test-sweep fuzz-smoke bench-sweep docs-check

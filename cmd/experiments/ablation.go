@@ -5,18 +5,24 @@ import (
 
 	"tqsim"
 	"tqsim/internal/metrics"
-	"tqsim/internal/noise"
-	"tqsim/internal/partition"
 )
 
 // runAblation contrasts the three partitioners of Section 3.2 across a
 // medium circuit set: equal outcome budgets, measured work ratio and
 // fidelity difference versus the baseline. DCP should dominate the
-// accuracy/speedup frontier (the Figure 17 claim, suite-wide).
+// accuracy/speedup frontier (the Figure 17 claim, suite-wide). The
+// partitioner axis runs on the sweep engine — one sweep per circuit over
+// Partitions [DCP, UCP, XCP] — so the three plans route through the same
+// planner path and the noise-independent partitioners share work where the
+// engine allows it.
 func runAblation(cfg config) {
 	maxQ, shots := suiteConfig(cfg)
 	opt := expOptions(cfg)
-	m := noise.NewSycamore()
+	partitions := []tqsim.SweepPartition{
+		{}, // DCP
+		{Strategy: "ucp", Levels: 3},
+		{Strategy: "xcp", Levels: 3},
+	}
 	fmt.Printf("%-14s %-6s %-16s %9s %9s\n",
 		"Circuit", "Plan", "Structure", "WorkRatio", "FidDiff")
 	agg := map[string][]float64{}
@@ -27,7 +33,7 @@ func runAblation(cfg config) {
 			continue // too short for a 3-way comparison
 		}
 		ideal := tqsim.IdealDistribution(c)
-		base, err := tqsim.RunBaselineBackend(c, m, shots, opt)
+		base, err := tqsim.RunBaselineBackend(c, tqsim.SycamoreNoise(), shots, opt)
 		if err != nil {
 			fmt.Printf("%-14s error: %v\n", c.Name, err)
 			continue
@@ -35,36 +41,40 @@ func runAblation(cfg config) {
 		baseF := tqsim.NormalizedFidelity(ideal, tqsim.CountsDist(base.Counts, c.NumQubits))
 		basePerShot := float64(base.GateApplications) / float64(base.Shots)
 
-		plans := []struct {
-			name string
-			plan *tqsim.Plan
-		}{
-			{"DCP", tqsim.PlanDCP(c, m, shots, opt)},
-			{"UCP", partition.Uniform(c, shots, 3)},
-			{"XCP", partition.Exponential(c, shots, 3)},
+		spec := tqsim.SweepSpec{
+			Circuits:   []*tqsim.Circuit{c},
+			Noise:      []tqsim.SweepNoisePoint{{Name: "DC"}},
+			Shots:      []int{shots},
+			Partitions: partitions,
+			Seed:       opt.Seed,
+			CopyCost:   opt.CopyCost,
+			Epsilon:    opt.Epsilon,
+			Backend:    opt.Backend,
 		}
-		for _, pl := range plans {
-			res, err := tqsim.RunPlan(pl.plan, m, opt)
-			if err != nil {
-				fmt.Printf("%-14s %-6s error: %v\n", c.Name, pl.name, err)
-				continue
-			}
-			thinned := tqsim.SubsampleCounts(res.Counts, shots, opt.Seed^0xab1a)
+		res, err := tqsim.RunSweep(&spec)
+		if err != nil {
+			fmt.Printf("%-14s sweep error: %v\n", c.Name, err)
+			continue
+		}
+		for _, pr := range res.Points {
+			// Equal-size samples before comparing fidelities: thin the
+			// tree's over-provisioned outcomes down to the baseline's count.
+			thinned := tqsim.SubsampleCounts(pr.Counts, shots, opt.Seed^0xab1a)
 			f := tqsim.NormalizedFidelity(ideal, tqsim.CountsDist(thinned, c.NumQubits))
 			d := baseF - f
 			if d < 0 {
 				d = -d
 			}
-			work := (float64(res.GateApplications) / float64(res.Outcomes)) / basePerShot
+			work := (float64(pr.GateApplications) / float64(pr.Outcomes)) / basePerShot
 			fmt.Printf("%-14s %-6s %-16s %9.3f %9.4f\n",
-				c.Name, pl.name, pl.plan.Structure(), work, d)
-			agg[pl.name] = append(agg[pl.name], work)
-			fidAgg[pl.name] = append(fidAgg[pl.name], d)
+				c.Name, pr.Partition, pr.Structure, work, d)
+			agg[pr.Partition] = append(agg[pr.Partition], work)
+			fidAgg[pr.Partition] = append(fidAgg[pr.Partition], d)
 		}
 	}
 	fmt.Println("means:")
-	for _, name := range []string{"DCP", "UCP", "XCP"} {
-		fmt.Printf("  %-4s work %.3f fid-diff %.4f\n",
+	for _, name := range []string{"DCP", "UCP:3", "XCP:3"} {
+		fmt.Printf("  %-6s work %.3f fid-diff %.4f\n",
 			name, metrics.Mean(agg[name]), metrics.Mean(fidAgg[name]))
 	}
 	fmt.Println("shape check: UCP's uniform arities pay the worst fidelity (its leaves")

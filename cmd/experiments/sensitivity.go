@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"math"
 
 	"tqsim"
+	"tqsim/internal/core"
 	"tqsim/internal/metrics"
 	"tqsim/internal/stabilizer"
 	"tqsim/internal/workloads"
@@ -12,7 +14,11 @@ import (
 // runSensitivity reproduces the paper's §4.3 shot-count sensitivity study:
 // reduced budgets (1,000 and 3,200 shots) magnify the statistical noise;
 // TQSim's fidelity must keep tracking the baseline's while the speedup
-// band persists.
+// band persists. The (shots × repeats) grid per circuit runs on the sweep
+// engine — one tqsim sweep and one baseline sweep over identical derived
+// seeds — instead of the previous hand-rolled loop, so the replicas share
+// one plan/decision per cell and the Pauli points share ideal-prefix
+// snapshots.
 func runSensitivity(cfg config) {
 	shotsList := []int{1000, 3200}
 	if cfg.full {
@@ -20,6 +26,7 @@ func runSensitivity(cfg config) {
 	}
 	names := []string{"bv_n10", "qpe_n9_0", "qft_n10", "qsc_n10"}
 	opt := expOptions(cfg)
+	const reps = 3
 	fmt.Printf("%-12s %7s %-16s %8s %9s %9s\n",
 		"Circuit", "Shots", "Structure", "Speedup", "WorkRatio", "FidDiff")
 	for _, name := range names {
@@ -27,24 +34,52 @@ func runSensitivity(cfg config) {
 		if c == nil {
 			continue
 		}
-		for _, shots := range shotsList {
+		spec := tqsim.SweepSpec{
+			Circuits: []*tqsim.Circuit{c},
+			Noise:    []tqsim.SweepNoisePoint{{Name: "DC"}},
+			Shots:    shotsList,
+			Repeats:  reps,
+			Seed:     cfg.seed,
+			CopyCost: opt.CopyCost,
+			Epsilon:  opt.Epsilon,
+			Backend:  opt.Backend,
+			Fidelity: true, // baseline points sample exactly `shots`; no bias
+		}
+		ideal := tqsim.IdealDistribution(c)
+		tq, err := tqsim.RunSweep(&spec)
+		if err != nil {
+			fmt.Printf("%-12s error: %v\n", name, err)
+			continue
+		}
+		baseSpec := spec
+		baseSpec.Mode = "baseline"
+		base, err := tqsim.RunSweep(&baseSpec)
+		if err != nil {
+			fmt.Printf("%-12s error: %v\n", name, err)
+			continue
+		}
+		// Aggregate the replicas of each shots cell (points are expanded
+		// shots-major, repeats innermost).
+		for si, shots := range shotsList {
 			var spd, wr, fd []float64
 			var structure string
-			for rep := 0; rep < 3; rep++ {
-				o := opt
-				o.Seed = cfg.seed + uint64(rep)*4421
-				cmp, err := tqsim.Compare(c, tqsim.SycamoreNoise(), shots, o)
-				if err != nil {
-					fmt.Printf("%-12s %7d error: %v\n", name, shots, err)
-					break
+			for rep := 0; rep < reps; rep++ {
+				tp := tq.Points[si*reps+rep]
+				bp := base.Points[si*reps+rep]
+				structure = tp.Structure
+				spd = append(spd, core.Speedup(bp.Elapsed, tp.Elapsed))
+				basePerShot := float64(bp.GateApplications) / float64(bp.Outcomes)
+				tqPerOutcome := float64(tp.GateApplications) / float64(tp.Outcomes)
+				if basePerShot > 0 {
+					wr = append(wr, tqPerOutcome/basePerShot)
 				}
-				structure = cmp.Structure
-				spd = append(spd, cmp.Speedup)
-				wr = append(wr, cmp.WorkRatio)
-				fd = append(fd, cmp.FidelityDiff)
-			}
-			if len(spd) == 0 {
-				continue
+				// Equal-size samples before comparing fidelities: the tree
+				// over-provisions outcomes past the requested shots, and
+				// fidelity estimates carry a sample-size bias (the same
+				// thinning tqsim.Compare applies).
+				thinned := tqsim.SubsampleCounts(tp.Counts, shots, tp.Seed^0x5eed)
+				tqF := tqsim.NormalizedFidelity(ideal, tqsim.CountsDist(thinned, c.NumQubits))
+				fd = append(fd, math.Abs(bp.Fidelity-tqF))
 			}
 			fmt.Printf("%-12s %7d %-16s %7.2fx %9.3f %9.4f\n",
 				name, shots, structure,

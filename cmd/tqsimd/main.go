@@ -26,8 +26,11 @@
 // Endpoints:
 //
 //	POST /v1/jobs      run a job; {"stream":true} switches to NDJSON batches
+//	POST /v1/sweeps    run a parameter/noise sweep grid; streams one NDJSON
+//	                   line per point (plan & ideal-prefix reuse across
+//	                   points; {"stream":false} for one JSON body)
 //	POST /v1/plan      planner decision only (explainable dispatch, no run)
-//	POST /v1/shard     execute a leased batch range (workers only)
+//	POST /v1/shard     execute a leased batch or sweep-point range (workers)
 //	GET  /v1/worker    capacity advertisement (health + placement input)
 //	GET  /v1/backends  registered engines plus "auto"
 //	GET  /v1/stats     scheduler/cache/admission/shard counters
@@ -42,7 +45,11 @@
 // batches run at deterministically derived seeds (serve.BatchSeed) into a
 // histogram that is byte-identical whether the batches ran in one process
 // or were sharded across any number of workers — including after a
-// mid-job worker failure and re-dispatch.
+// mid-job worker failure and re-dispatch. Sweep points obey the same rule
+// at their own derived seeds, so a distributed sweep reassembles
+// byte-identically to a local one. Every shard lease is bounded by
+// -lease-timeout: a worker that accepts a lease and hangs is declared dead
+// and its range re-dispatched instead of stalling the job.
 package main
 
 import (
@@ -70,6 +77,8 @@ func main() {
 		batchShots   = flag.Int("batch-shots", 0, "default shots per batch when jobs don't choose (0 = one batch)")
 		planEntries  = flag.Int("plan-cache-entries", 0, "plan cache LRU cap (0 = default 256)")
 		worker       = flag.Bool("worker", false, "accept shard leases from a coordinator (POST /v1/shard)")
+		sweepPoints  = flag.Int("max-sweep-points", 0, "per-sweep expanded grid cap (0 = default 4096)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "per-lease round-trip bound before a worker is declared dead (0 = default 10m, negative = unlimited)")
 		workers      = flag.String("workers", "", "comma-separated worker base URLs; shard multi-batch jobs across them")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before closing connections")
 	)
@@ -90,8 +99,10 @@ func main() {
 		MaxShots:          *maxShots,
 		DefaultBatchShots: *batchShots,
 		PlanCacheEntries:  *planEntries,
+		MaxSweepPoints:    *sweepPoints,
 		WorkerMode:        *worker,
 		Workers:           pool,
+		LeaseTimeout:      *leaseTimeout,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -3,6 +3,12 @@
 // workload class (each optimizer step of a VQA needs one such ensemble
 // estimate, so the per-point speedup multiplies across the whole run).
 //
+// The theta landscape is a circuit-axis sweep on the sweep engine: one
+// RunSweep call per simulator evaluates every ansatz instance at derived
+// seeds, sharing planner decisions per cell and ideal-prefix snapshots
+// within each point's tree. Estimates are byte-identical to the standalone
+// EstimateExpectation* calls at the same derived seeds.
+//
 //	go run ./examples/vqe_energy
 package main
 
@@ -17,7 +23,7 @@ import (
 // ansatz builds a hardware-efficient variational circuit: layers of RY
 // rotations and a CX entangling ladder.
 func ansatz(n, layers int, theta float64) *tqsim.Circuit {
-	c := tqsim.NewCircuit(fmt.Sprintf("hea_%d_l%d", n, layers), n)
+	c := tqsim.NewCircuit(fmt.Sprintf("hea_t%.2f", theta), n)
 	for l := 0; l < layers; l++ {
 		for q := 0; q < n; q++ {
 			c.RY(theta*float64(l+1)+0.3*float64(q), q)
@@ -38,37 +44,54 @@ func main() {
 		layers = 4
 		shots  = 1500
 	)
+	thetas := []float64{0.2, 0.6, 1.0, 1.4}
 	ham := tqsim.TransverseFieldIsing(n, 1.0, 0.6)
-	noise := tqsim.SycamoreNoise()
-	opt := tqsim.Options{Seed: 5, CopyCost: 5, Epsilon: 0.05, Parallelism: 4}
+
+	// The circuit axis: one ansatz instance per optimizer-style theta.
+	var circuits []*tqsim.Circuit
+	for _, theta := range thetas {
+		circuits = append(circuits, ansatz(n, layers, theta))
+	}
+	spec := tqsim.SweepSpec{
+		Circuits:   circuits,
+		Noise:      []tqsim.SweepNoisePoint{{Name: "DC"}},
+		Shots:      []int{shots},
+		Seed:       5,
+		CopyCost:   5,
+		Epsilon:    0.05,
+		Observable: ham,
+	}
+
+	tq, err := tqsim.RunSweep(&spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSpec := spec
+	baseSpec.Mode = "baseline"
+	base, err := tqsim.RunSweep(&baseSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("H = %s\n", ham)
 	fmt.Printf("%-8s %10s %14s %16s %10s\n",
 		"theta", "ideal", "baseline", "tqsim", "speedup")
-
-	// Sweep the variational parameter as an optimizer would.
-	for _, theta := range []float64{0.2, 0.6, 1.0, 1.4} {
-		c := ansatz(n, layers, theta)
-		ideal := tqsim.ExactExpectation(c, ham)
-
-		base, err := tqsim.EstimateExpectationBaseline(c, noise, ham, shots, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tq, run, err := tqsim.EstimateExpectationTQSim(c, noise, ham, shots, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, theta := range thetas {
+		ideal := tqsim.ExactExpectation(circuits[i], ham)
+		bp, tp := base.Points[i], tq.Points[i]
 		// Work-based speedup: kernel ops per estimate.
-		baseOps := float64(shots) * float64(c.Len())
-		speedup := baseOps / float64(run.GateApplications)
+		baseOps := float64(shots) * float64(circuits[i].Len())
+		speedup := baseOps / float64(tp.GateApplications)
 		fmt.Printf("%-8.2f %10.4f %9.4f±%.3f %11.4f±%.3f %9.2fx\n",
-			theta, ideal, base.Mean, base.StdErr, tq.Mean, tq.StdErr, speedup)
-		if math.Abs(base.Mean-tq.Mean) > 5*(base.StdErr+tq.StdErr)+0.05 {
+			theta, ideal, bp.Estimate.Mean, bp.Estimate.StdErr,
+			tp.Estimate.Mean, tp.Estimate.StdErr, speedup)
+		if math.Abs(bp.Estimate.Mean-tp.Estimate.Mean) > 5*(bp.Estimate.StdErr+tp.Estimate.StdErr)+0.05 {
 			fmt.Println("  WARNING: estimates disagree beyond the error bars")
 		}
 	}
-	fmt.Println("\nboth estimators agree within Equation 2's standard error; noise pulls")
+	fmt.Printf("\nsweep: %d points, %d plans, %d ideal-prefix hits\n",
+		len(tq.Points), tq.PlansBuilt, tq.PrefixReuseHits)
+	fmt.Println("both estimators agree within Equation 2's standard error; noise pulls")
 	fmt.Println("the energy toward zero (mixed-state limit), which is exactly what VQA")
 	fmt.Println("designers use noisy simulation to quantify")
 }

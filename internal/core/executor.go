@@ -34,6 +34,12 @@ type Result struct {
 	PeakStateBytes int64
 	// Nodes is the number of subcircuit-instance nodes executed.
 	Nodes int64
+	// PrefixReuseHits counts nodes served from shared ideal-prefix
+	// snapshots: their segment drew no firing noise channel from a parent
+	// still on the ideal trajectory, so the gate work was skipped entirely
+	// and the cached boundary state stood in (see PrefixSnapshots). Always
+	// zero when Executor.Prefix is nil.
+	PrefixReuseHits int64
 	// Elapsed is the wall-clock duration.
 	Elapsed time.Duration
 	// Structure echoes the plan's arity tuple, e.g. "(16,2,2)".
@@ -61,6 +67,15 @@ type Executor struct {
 	// and no result — partial histograms are never exposed, because a
 	// partially executed tree is not a sample from any defined distribution.
 	Context context.Context
+	// Prefix, when non-nil and matching the plan, enables ideal-prefix
+	// reuse: a node whose parent is still on the ideal trajectory dry-runs
+	// its segment's noise draws (noise.Model.SegmentFires, RNG-identical to
+	// the real path) and, when no channel fires, skips the gate work and
+	// adopts the shared boundary snapshot. Histograms are byte-identical
+	// with or without it — only the work accounting changes. The hook is
+	// consulted only for the plain dense backend under Pauli-only noise;
+	// shadow, buffering and sharded backends ignore it.
+	Prefix *PrefixSnapshots
 }
 
 // cancelled reports whether the executor's context (if any) is done.
@@ -185,8 +200,20 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 	workers := e.treeWorkers(plan)
 	res.PeakStateBytes = DensePeakBytes(workers, levels, n)
 
+	// Ideal-prefix reuse applies only where its correctness argument holds:
+	// plain dense kernels (shadow backends keep their own cheap
+	// representation; buffering and sharded backends apply gates through
+	// other code paths than the snapshots were built with) under a noise
+	// model whose firing decisions are state-independent (Pauli-only).
+	_, plain := be.(PlainBackend)
+	usePrefix := plain && e.Prefix.Matches(plan) && e.Noise.PauliOnly()
+	if usePrefix {
+		// The shared snapshots are held once, not per worker.
+		res.PeakStateBytes += e.Prefix.Bytes()
+	}
+
 	type shard struct {
-		ops, copies, nodes int64
+		ops, copies, nodes, prefixHits int64
 	}
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
@@ -211,8 +238,32 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 			if shadow, ok := be.(StateShadow); ok {
 				shadow.BindZero(root)
 			}
-			var walk func(level int, parent *statevec.State, seqBase uint64)
-			walk = func(level int, parent *statevec.State, seqBase uint64) {
+			// runNode executes one tree node and returns the node's state
+			// plus whether it is still on the ideal trajectory. When the
+			// parent is ideal and the segment's noise dry-run fires nothing,
+			// the node's state is the shared boundary snapshot — no copy, no
+			// gate work; the probe RNG (advanced exactly as a no-fire
+			// trajectory would) replaces the node stream. Otherwise the node
+			// runs normally from the parent state with the untouched stream.
+			runNode := func(level int, parent *statevec.State, parentIdeal bool, r *rng.RNG, gates []gate.Gate) (*statevec.State, bool) {
+				if usePrefix && parentIdeal {
+					probe := *r
+					if fired, ok := e.Noise.SegmentFires(gates, &probe); ok && !fired {
+						*r = probe
+						sh.nodes++
+						sh.prefixHits++
+						return e.Prefix.states[level], true
+					}
+				}
+				st := levelState[level]
+				copyState(be, st, parent)
+				sh.copies++
+				sh.nodes++
+				sh.ops += e.runSegment(st, be, gates, r)
+				return st, false
+			}
+			var walk func(level int, parent *statevec.State, parentIdeal bool, seqBase uint64)
+			walk = func(level int, parent *statevec.State, parentIdeal bool, seqBase uint64) {
 				arity := plan.Arities[level]
 				gates := subs[level].Gates
 				// Child i's subtree (including its own node) spans a fixed
@@ -223,16 +274,12 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 						return
 					}
 					seq := seqBase + uint64(child)*blockLen
-					st := levelState[level]
-					copyState(be, st, parent)
-					sh.copies++
-					sh.nodes++
 					r := rootRNG.SplitAt(seq)
-					sh.ops += e.runSegment(st, be, gates, r)
+					st, ideal := runNode(level, parent, parentIdeal, r, gates)
 					if level == levels-1 {
 						onLeaf(st, be, r)
 					} else {
-						walk(level+1, st, seq+1)
+						walk(level+1, st, ideal, seq+1)
 					}
 				}
 			}
@@ -244,16 +291,12 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 					return
 				}
 				seq := 1 + uint64(child)*subtreeNodes
-				st := levelState[0]
-				copyState(be, st, root)
-				sh.copies++
-				sh.nodes++
 				r := rootRNG.SplitAt(seq)
-				sh.ops += e.runSegment(st, be, gates0, r)
+				st, ideal := runNode(0, root, true, r, gates0)
 				if levels == 1 {
 					onLeaf(st, be, r)
 				} else {
-					walk(1, st, seq+1)
+					walk(1, st, ideal, seq+1)
 				}
 			}
 		}(w)
@@ -266,6 +309,7 @@ func (e *Executor) runTree(plan *partition.Plan, res *Result, leafFor func(worke
 		res.GateApplications += sh.ops
 		res.StateCopies += sh.copies
 		res.Nodes += sh.nodes
+		res.PrefixReuseHits += sh.prefixHits
 	}
 	return nil
 }

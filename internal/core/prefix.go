@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/partition"
+	"tqsim/internal/statevec"
+)
+
+// PrefixSnapshots caches the noise-free (ideal) state at every subcircuit
+// boundary of a plan. It is the cross-point reuse substrate of the sweep
+// engine: under a Pauli-only noise model a trajectory's state is bitwise
+// equal to the ideal evolution until the first channel actually fires, so a
+// tree node whose parent is still on the ideal trajectory — and whose
+// segment draws no firing channel — needs no gate work at all: its state IS
+// the cached boundary snapshot. The snapshots depend only on (circuit,
+// bounds), so one set serves every noise point, shot count and repeat of a
+// sweep whose plans share the subcircuit boundaries, extending the paper's
+// intra-tree redundancy elimination across sweep points.
+//
+// Snapshots are computed once with the plain dense kernels in the same
+// per-gate order the executor applies them, so a snapshot is bitwise equal
+// to the state a no-fire trajectory would have computed — the property that
+// makes reuse histogram-preserving. They are read-only after construction
+// and safe to share across worker goroutines and concurrent runs.
+type PrefixSnapshots struct {
+	n      int
+	bounds []int
+	// states[L] is the ideal state after subcircuits 0..L (len = levels).
+	states []*statevec.State
+}
+
+// NewPrefixSnapshots computes the boundary snapshots for a plan. The cost is
+// one ideal sweep over the circuit (the same work as a single noise-free
+// trajectory). Widths beyond the dense limit error out — callers gate reuse
+// to dense plans anyway.
+func NewPrefixSnapshots(plan *partition.Plan) (*PrefixSnapshots, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	n := plan.Circuit.NumQubits
+	if n > statevec.MaxQubits {
+		return nil, fmt.Errorf("core: %d qubits exceeds the %d-qubit dense snapshot limit", n, statevec.MaxQubits)
+	}
+	ps := &PrefixSnapshots{n: n, bounds: append([]int(nil), plan.Bounds...)}
+	st := statevec.NewZero(n)
+	for _, sc := range plan.Subcircuits() {
+		for _, g := range sc.Gates {
+			if g.Kind != gate.KindI {
+				st.Apply(g)
+			}
+		}
+		ps.states = append(ps.states, st.Clone())
+	}
+	return ps, nil
+}
+
+// Matches reports whether the snapshots were built for this plan's circuit
+// width and subcircuit boundaries — the executor's guard against a stale
+// cache entry being applied to a structurally different plan.
+func (ps *PrefixSnapshots) Matches(plan *partition.Plan) bool {
+	return ps != nil && ps.n == plan.Circuit.NumQubits &&
+		len(ps.states) == plan.Levels() && slices.Equal(ps.bounds, plan.Bounds)
+}
+
+// SnapshotBytes returns the footprint of a prefix-snapshot set for a tree
+// of the given level count and width: one dense state per level. The sweep
+// engine's admission estimates and PrefixSnapshots.Bytes both use it, so a
+// sweep admitted on the estimate observes the same number at run time.
+func SnapshotBytes(levels, numQubits int) int64 {
+	return int64(levels) * (int64(16) << uint(numQubits))
+}
+
+// Bytes returns the snapshot memory footprint (levels dense states), the
+// term the sweep engine adds to its admission estimates when reuse is on.
+func (ps *PrefixSnapshots) Bytes() int64 {
+	if ps == nil {
+		return 0
+	}
+	return SnapshotBytes(len(ps.states), ps.n)
+}
+
+// PrefixKey is the cache identity of a plan's snapshots: two plans over the
+// same circuit share snapshots exactly when their boundary lists are equal.
+// The sweep engine keys its snapshot cache by (circuit, PrefixKey).
+func PrefixKey(plan *partition.Plan) string {
+	return fmt.Sprint(plan.Circuit.NumQubits, plan.Bounds)
+}

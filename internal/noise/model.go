@@ -165,6 +165,65 @@ func (m *Model) ApplyPauliAfterGate(g gate.Gate, r *rng.RNG, apply func(q, pauli
 	return ops, true
 }
 
+// SegmentFires dry-runs the model's stochastic channel decisions over a gate
+// segment without touching any state: it consumes the RNG exactly as the
+// real trajectory path would up to (and excluding) the first channel that
+// fires, and reports whether one fired. Valid only for Pauli-only models —
+// their firing decisions are state-independent fixed-probability draws (one
+// Float64 per channel per gate), so the decision can be made before any
+// amplitudes exist. Non-Pauli models return ok=false without consuming any
+// randomness: damping channels derive jump probabilities from the state's
+// |1> marginals, so there is nothing to pre-decide.
+//
+// Callers use it for ideal-prefix reuse (internal/core): probe a *copy* of
+// the node RNG; when fired=false, adopt the copy (the draw stream advanced
+// identically to a no-fire trajectory) and skip the segment's gate work;
+// when fired=true, discard the copy and run the segment normally from the
+// original RNG.
+func (m *Model) SegmentFires(gs []gate.Gate, r *rng.RNG) (fired, ok bool) {
+	if m == nil {
+		return false, true
+	}
+	if !m.PauliOnly() {
+		return false, false
+	}
+	one := func() bool {
+		for _, c := range m.OneQubit {
+			if r.Float64() < c.(Depolarizing1Q).P {
+				return true
+			}
+		}
+		return false
+	}
+	two := func() bool {
+		for _, c := range m.TwoQubit {
+			if r.Float64() < c.(Depolarizing2Q).P {
+				return true
+			}
+		}
+		return false
+	}
+	for _, g := range gs {
+		switch g.Arity() {
+		case 1:
+			if one() {
+				return true, true
+			}
+		case 2:
+			if two() {
+				return true, true
+			}
+		default:
+			// Same conservative three-qubit split as ApplyAfterGate: two-qubit
+			// channels on the first two operands, one-qubit on the third.
+			if two() || one() {
+				return true, true
+			}
+		}
+	}
+	return false, true
+}
+
 // PauliOnly reports whether every channel of the model is depolarizing
 // (Pauli), possibly plus a classical readout flip. Pauli channels map
 // stabilizer states to stabilizer states, so exactly these models admit

@@ -293,3 +293,77 @@ func TestTrajectoryOpsAccounting(t *testing.T) {
 		t.Fatal("nil model op count")
 	}
 }
+
+// TestSegmentFiresRNGIdentity pins the invariant ideal-prefix reuse rests
+// on: when no channel fires over a segment, SegmentFires consumes the RNG
+// stream exactly as the real trajectory channels would, so adopting the
+// probe leaves a later trajectory on the identical stream. When something
+// fires, SegmentFires must report it (the caller discards the probe and
+// replays the segment for real, so consumption may then differ).
+func TestSegmentFiresRNGIdentity(t *testing.T) {
+	m := NewDepolarizing(0.05, 0.15) // rates high enough to exercise firing
+	gs := []gate.Gate{
+		gate.New(gate.KindH, 0),
+		gate.New(gate.KindCX, 0, 1),
+		gate.New(gate.KindT, 2),
+		gate.New(gate.KindCX, 1, 2),
+		gate.New(gate.KindX, 1),
+	}
+	st := statevec.NewZero(3)
+	fires, noFires := 0, 0
+	for seed := uint64(0); seed < 400; seed++ {
+		probe := rng.New(seed)
+		fired, ok := m.SegmentFires(gs, probe)
+		if !ok {
+			t.Fatal("depolarizing model must support the dry run")
+		}
+		// Real path on an independent generator at the same seed.
+		real := rng.New(seed)
+		realFired := false
+		for _, g := range gs {
+			st.CopyFrom(statevec.NewZero(3))
+			if m.ApplyAfterGate(st, g, real) > 0 {
+				realFired = true
+				break
+			}
+		}
+		if fired != realFired {
+			t.Fatalf("seed %d: dry-run fired=%v, real path fired=%v", seed, fired, realFired)
+		}
+		if fired {
+			fires++
+			continue
+		}
+		noFires++
+		// No-fire case: the probe and the real generator must be on the
+		// identical stream position.
+		if probe.Uint64() != real.Uint64() {
+			t.Fatalf("seed %d: RNG consumption diverged on a no-fire segment", seed)
+		}
+	}
+	if fires == 0 || noFires == 0 {
+		t.Fatalf("degenerate sample: %d fires, %d no-fires", fires, noFires)
+	}
+
+	// Non-Pauli models must decline without consuming randomness.
+	ad := NewAmplitudeDamping(0.1)
+	r := rng.New(7)
+	before := *r
+	if _, ok := ad.SegmentFires(gs, r); ok {
+		t.Fatal("amplitude damping cannot support a state-independent dry run")
+	}
+	if *r != before {
+		t.Fatal("declined dry run consumed randomness")
+	}
+
+	// Nil model: never fires, consumes nothing.
+	var nilM *Model
+	r2 := rng.New(9)
+	before2 := *r2
+	if fired, ok := nilM.SegmentFires(gs, r2); !ok || fired {
+		t.Fatal("nil model dry run")
+	}
+	if *r2 != before2 {
+		t.Fatal("nil model consumed randomness")
+	}
+}

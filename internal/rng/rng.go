@@ -82,6 +82,20 @@ func (r *RNG) SplitAt(index uint64) *RNG {
 	return New(splitMix64(&sm))
 }
 
+// SeedAt derives the seed of sub-stream `index` of a base seed. Index 0
+// returns the base seed unchanged, so a unit (a batch, a sweep point) at
+// index 0 reproduces the single-run stream exactly; later indices select
+// statistically independent streams, deterministically. This is the one
+// shared derivation rule for "run i of a family keyed by one seed" —
+// tqsimd's batch seeds and the sweep engine's point seeds both use it, so a
+// sweep point and the equivalent standalone run always agree.
+func SeedAt(seed uint64, index uint64) uint64 {
+	if index == 0 {
+		return seed
+	}
+	return New(seed).SplitAt(index).Uint64()
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	// 53 high bits give a uniform dyadic rational in [0,1).

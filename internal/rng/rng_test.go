@@ -223,3 +223,22 @@ func TestMul64(t *testing.T) {
 		}
 	}
 }
+
+// TestSeedAt pins the shared sub-stream derivation: index 0 is the base
+// seed itself (a family's unit 0 reproduces the standalone run), later
+// indices are the SplitAt-derived streams, deterministically.
+func TestSeedAt(t *testing.T) {
+	if got := SeedAt(42, 0); got != 42 {
+		t.Fatalf("SeedAt(42,0) = %d, want the base seed", got)
+	}
+	want := New(42).SplitAt(7).Uint64()
+	if got := SeedAt(42, 7); got != want {
+		t.Fatalf("SeedAt(42,7) = %d, want %d", got, want)
+	}
+	if SeedAt(42, 1) == SeedAt(42, 2) || SeedAt(42, 1) == 42 {
+		t.Fatal("derived seeds must be distinct from each other and the base")
+	}
+	if SeedAt(42, 3) != SeedAt(42, 3) {
+		t.Fatal("derivation must be deterministic")
+	}
+}

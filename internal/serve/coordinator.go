@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strconv"
@@ -186,19 +187,41 @@ func (w *workerClient) shard(ctx context.Context, req *ShardRequest) (*ShardResp
 	return &out, nil
 }
 
-// lease is a contiguous block of batch indices dispatched as one shard.
+// lease is a contiguous block of unit indices dispatched as one shard.
 type lease struct{ from, to int }
 
-// runDistributed shards the job's batches across the worker pool and
-// merges the per-batch histograms. Matches runBatches' return contract.
-func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batchResult) error) (map[uint64]int, int, string, string, *httpError) {
-	n := j.numBatches()
+// leasedWork abstracts a unit-range workload the coordinator can shard
+// across the pool: job batches and sweep points share the lease queue,
+// placement, failure handling and requeue logic; only the wire request and
+// the in-process fallback differ.
+type leasedWork struct {
+	// units is the total unit count (batches or sweep points).
+	units int
+	// estPeak is the per-unit admission estimate placement divides worker
+	// budgets by.
+	estPeak int64
+	// wire builds the lease request for units [from, to).
+	wire func(from, to int) *ShardRequest
+	// runLocal executes units [from, to) in-process — the degraded path
+	// when no worker can take the work — emitting one ShardBatch per unit.
+	runLocal func(ctx context.Context, from, to int, emit func(*ShardBatch) *httpError) *httpError
+}
+
+// runLeased shards the work's units across the worker pool, delivering each
+// unit's ShardBatch to onUnit exactly once (a unit that somehow arrives
+// twice is dropped rather than double-counted — cheap insurance on top of
+// the lease bookkeeping). Every lease round trip is bounded by
+// Config.LeaseTimeout: a worker that accepts a lease and then hangs is
+// marked dead on expiry and its lease requeues, instead of stalling the
+// work forever.
+func (s *Server) runLeased(ctx context.Context, work leasedWork, onUnit func(sb *ShardBatch, remote bool) *httpError) *httpError {
+	n := work.units
 	s.pool.refresh(ctx)
 
 	// Planner-driven placement: a worker may hold as many concurrent
-	// leases as whole copies of the job's peak estimate fit in its
+	// leases as whole copies of the work's peak estimate fit in its
 	// advertised memory budget (capped by its execution slots); a worker
-	// the job can never fit on gets no leases at all.
+	// the work can never fit on gets no leases at all.
 	slots := make(map[*workerClient]int)
 	totalSlots := 0
 	for _, w := range s.pool.workers {
@@ -206,76 +229,42 @@ func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batch
 		if !alive {
 			continue
 		}
-		if k := planner.WorkerSlots(j.estPeak, info.MemoryBudgetBytes, info.MaxConcurrent); k > 0 {
+		if k := planner.WorkerSlots(work.estPeak, info.MemoryBudgetBytes, info.MaxConcurrent); k > 0 {
 			slots[w] = k
 			totalSlots += k
 		}
 	}
 
-	merged := make(map[uint64]int)
-	outcomes := 0
-	backend, structure := "", ""
 	got := make([]bool, n)
-
-	// record merges one acked batch, exactly once: a batch index that
-	// somehow arrives twice (it cannot, under the lease bookkeeping below,
-	// but the guarantee is cheap) is dropped rather than double-counted.
-	record := func(sb *ShardBatch) *httpError {
+	record := func(sb *ShardBatch, remote bool) *httpError {
 		if sb.Batch < 0 || sb.Batch >= n {
-			return errf(http.StatusBadGateway, "worker returned batch %d outside the job's %d batches", sb.Batch, n)
+			return errf(http.StatusBadGateway, "worker returned unit %d outside the work's %d units", sb.Batch, n)
 		}
 		if got[sb.Batch] {
 			return nil
 		}
 		got[sb.Batch] = true
-		counts := make(map[uint64]int, len(sb.Counts))
-		for k, v := range sb.Counts {
-			key, err := strconv.ParseUint(k, 10, 64)
-			if err != nil {
-				return errf(http.StatusBadGateway, "worker returned non-numeric outcome key %q", k)
-			}
-			counts[key] = v
-		}
-		metrics.MergeCounts(merged, counts)
-		outcomes += sb.Outcomes
-		s.stats[statBatches].Add(1)
-		if onBatch != nil {
-			if err := onBatch(&batchResult{index: sb.Batch, seed: sb.Seed, outcomes: sb.Outcomes, counts: counts}); err != nil {
-				return errf(http.StatusInternalServerError, "stream: %v", err)
-			}
-		}
-		return nil
+		return onUnit(sb, remote)
 	}
+	recordLocal := func(sb *ShardBatch) *httpError { return record(sb, false) }
 
-	// runLocal finishes leases in-process — the degraded path when no
-	// worker can take the job (pool down, or the job fits no worker's
-	// budget). Local execution re-enters the coordinator's own admission
-	// budget, so a degraded pool degrades to single-process service
-	// without overcommitting the coordinator.
+	// runLocal finishes leases in-process. Local execution re-enters the
+	// coordinator's own admission budget, so a degraded pool degrades to
+	// single-process service without overcommitting the coordinator.
 	runLocal := func(ls []lease) *httpError {
-		if herr := s.reserveMemory(j.estPeak); herr != nil {
+		if herr := s.reserveMemory(work.estPeak); herr != nil {
 			return herr
 		}
-		defer s.releaseMemory(j.estPeak)
+		defer s.releaseMemory(work.estPeak)
 		for _, l := range ls {
-			_, _, be, st, herr := s.runBatches(ctx, j, l.from, l.to, func(br *batchResult) error {
-				got[br.index] = true
-				metrics.MergeCounts(merged, br.counts)
-				outcomes += br.outcomes
-				if onBatch != nil {
-					return onBatch(br)
-				}
-				return nil
-			})
-			if herr != nil {
+			if herr := work.runLocal(ctx, l.from, l.to, recordLocal); herr != nil {
 				return herr
 			}
-			backend, structure = be, st
 		}
 		return nil
 	}
 
-	// Cut the batch range into leases.
+	// Cut the unit range into leases.
 	chunk := 1
 	if totalSlots > 0 {
 		chunk = (n + leasesPerSlot*totalSlots - 1) / (leasesPerSlot * totalSlots)
@@ -334,7 +323,18 @@ func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batch
 			inflightN++
 			s.stats[statShardsDispatched].Add(1)
 			go func(w *workerClient, l lease) {
-				resp, serr := w.shard(sctx, &ShardRequest{Job: *j.wire, From: l.from, To: l.to})
+				// Bound the lease: a hung worker (accepted the lease, never
+				// answers, connection stays open) turns into a transport
+				// error at the deadline and takes the dead-worker path
+				// below. The job ctx still cancels leases early; the
+				// timeout only adds an upper bound.
+				lctx := sctx
+				if s.cfg.LeaseTimeout > 0 {
+					var cancel context.CancelFunc
+					lctx, cancel = context.WithTimeout(sctx, s.cfg.LeaseTimeout)
+					defer cancel()
+				}
+				resp, serr := w.shard(lctx, work.wire(l.from, l.to))
 				done <- doneMsg{w: w, l: l, resp: resp, err: serr}
 			}(pick, l)
 		}
@@ -343,7 +343,7 @@ func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batch
 				break
 			}
 			if herr := runLocal(queue); herr != nil {
-				return nil, 0, "", "", herr
+				return herr
 			}
 			break
 		}
@@ -354,26 +354,26 @@ func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batch
 		if d.err != nil {
 			if ctx.Err() != nil {
 				reap()
-				return nil, 0, "", "", errf(statusClientClosedRequest, "job cancelled: %v", ctx.Err())
+				return errf(statusClientClosedRequest, "job cancelled: %v", ctx.Err())
 			}
 			s.stats[statShardsRequeued].Add(1)
 			queue = append(queue, d.l)
 			switch {
 			case d.err.status == http.StatusServiceUnavailable || d.err.status == http.StatusRequestEntityTooLarge:
-				// The worker is healthy but cannot take this job (at
-				// capacity, or the job exceeds its budget): stop leasing
-				// this job to it, leave it in the pool.
+				// The worker is healthy but cannot take this work (at
+				// capacity, or it exceeds its budget): stop leasing this
+				// work to it, leave it in the pool.
 				delete(slots, d.w)
 			case d.err.status >= 400 && d.err.status < 500:
-				// The worker rejected the job itself; re-dispatching the
+				// The worker rejected the work itself; re-dispatching the
 				// identical request cannot succeed anywhere.
 				reap()
-				return nil, 0, "", "", errf(http.StatusBadGateway,
+				return errf(http.StatusBadGateway,
 					"worker %s rejected lease [%d,%d): %s", d.w.base, d.l.from, d.l.to, d.err.msg)
 			default:
-				// Transport error or 5xx: the worker is dead. Its unacked
-				// lease is already back in the queue; pool.refresh re-probes
-				// it on later jobs.
+				// Transport error (including a lease timeout) or 5xx: the
+				// worker is dead. Its unacked lease is already back in the
+				// queue; pool.refresh re-probes it on later jobs.
 				s.stats[statWorkerFailures].Add(1)
 				d.w.markDead()
 				delete(slots, d.w)
@@ -381,18 +381,93 @@ func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batch
 			continue
 		}
 		for i := range d.resp.Batches {
-			if herr := record(&d.resp.Batches[i]); herr != nil {
+			if herr := record(&d.resp.Batches[i], true); herr != nil {
 				reap()
-				return nil, 0, "", "", herr
+				return herr
 			}
 		}
-		backend, structure = d.resp.Backend, d.resp.Structure
 	}
 
 	for i, ok := range got {
 		if !ok {
-			return nil, 0, "", "", errf(http.StatusInternalServerError, "batch %d was never executed", i)
+			return errf(http.StatusInternalServerError, "unit %d was never executed", i)
 		}
 	}
+	return nil
+}
+
+// runDistributed shards the job's batches across the worker pool and
+// merges the per-batch histograms. Matches runBatches' return contract.
+func (s *Server) runDistributed(ctx context.Context, j *job, onBatch func(*batchResult) error) (map[uint64]int, int, string, string, *httpError) {
+	merged := make(map[uint64]int)
+	outcomes := 0
+	backend, structure := "", ""
+	herr := s.runLeased(ctx, leasedWork{
+		units:   j.numBatches(),
+		estPeak: j.estPeak,
+		wire: func(from, to int) *ShardRequest {
+			return &ShardRequest{Job: *j.wire, From: from, To: to}
+		},
+		runLocal: func(ctx context.Context, from, to int, emit func(*ShardBatch) *httpError) *httpError {
+			var eherr *httpError
+			_, _, _, _, herr := s.runBatches(ctx, j, from, to, func(br *batchResult) error {
+				if h := emit(&ShardBatch{
+					Batch:     br.index,
+					Seed:      br.seed,
+					Outcomes:  br.outcomes,
+					Counts:    countsJSON(br.counts),
+					Backend:   br.backend,
+					Structure: br.structure,
+				}); h != nil {
+					eherr = h
+					return errors.New(h.msg)
+				}
+				return nil
+			})
+			if eherr != nil {
+				// Emit failures keep their own status (e.g. a client that
+				// vanished mid-stream) instead of runBatches' generic wrap.
+				return eherr
+			}
+			return herr
+		},
+	}, func(sb *ShardBatch, remote bool) *httpError {
+		counts, herr := parseCounts(sb.Counts)
+		if herr != nil {
+			return herr
+		}
+		metrics.MergeCounts(merged, counts)
+		outcomes += sb.Outcomes
+		if sb.Backend != "" {
+			backend, structure = sb.Backend, sb.Structure
+		}
+		if remote {
+			// Locally executed fallback batches were already counted inside
+			// runBatches; only worker-acked batches are new to the counter.
+			s.stats[statBatches].Add(1)
+		}
+		if onBatch != nil {
+			if err := onBatch(&batchResult{index: sb.Batch, seed: sb.Seed, outcomes: sb.Outcomes, counts: counts}); err != nil {
+				return errf(http.StatusInternalServerError, "stream: %v", err)
+			}
+		}
+		return nil
+	})
+	if herr != nil {
+		return nil, 0, "", "", herr
+	}
 	return merged, outcomes, backend, structure, nil
+}
+
+// parseCounts decodes a wire histogram's decimal keys.
+func parseCounts(in map[string]int) (map[uint64]int, *httpError) {
+	out := make(map[uint64]int, len(in))
+	for k, v := range in {
+		key, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			return nil, errf(http.StatusBadGateway, "worker returned non-numeric outcome key %q", k)
+		}
+		out[key] = v
+	}
+	return out, nil
 }

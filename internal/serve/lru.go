@@ -2,55 +2,59 @@ package serve
 
 import "container/list"
 
-// lruCache is a bounded most-recently-used plan cache. The previous
-// unbounded map grew one entry per distinct (circuit, noise, options,
-// batch size) forever — under sustained traffic from many distinct
-// circuits that is a slow memory leak that eventually takes the daemon
-// down. Entries are tiny next to running state vectors, but plans pin
-// their circuits (gate slices), so the cap matters at service lifetimes.
+// lruCache is a bounded most-recently-used cache. The previous unbounded
+// plan map grew one entry per distinct (circuit, noise, options, batch
+// size) forever — under sustained traffic from many distinct circuits that
+// is a slow memory leak that eventually takes the daemon down. Entries are
+// tiny next to running state vectors, but plans pin their circuits (gate
+// slices), so the cap matters at service lifetimes. The type is generic:
+// the plan cache stores *cachedPlan, the worker's sweep-lease cache stores
+// prepared sweeps.
 //
-// Not goroutine-safe: callers hold Server.planMu.
-type lruCache struct {
+// Not goroutine-safe: callers hold their own mutex (Server.planMu /
+// Server.sweepMu).
+type lruCache[V any] struct {
 	cap int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	val *cachedPlan
+	val V
 }
 
-func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
 }
 
 // get returns the cached value and marks it most recently used.
-func (c *lruCache) get(key string) (*cachedPlan, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
 	el, ok := c.m[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
 // add inserts (or refreshes) an entry and reports how many entries were
 // evicted to stay within the cap.
-func (c *lruCache) add(key string, val *cachedPlan) (evicted int) {
+func (c *lruCache[V]) add(key string, val V) (evicted int) {
 	if el, ok := c.m[key]; ok {
-		el.Value.(*lruEntry).val = val
+		el.Value.(*lruEntry[V]).val = val
 		c.ll.MoveToFront(el)
 		return 0
 	}
-	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.cap > 0 && c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.m, back.Value.(*lruEntry).key)
+		delete(c.m, back.Value.(*lruEntry[V]).key)
 		evicted++
 	}
 	return evicted
 }
 
-func (c *lruCache) len() int { return c.ll.Len() }
+func (c *lruCache[V]) len() int { return c.ll.Len() }

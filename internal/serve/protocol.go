@@ -17,28 +17,48 @@ package serve
 // per-batch histograms, and the coordinator records each batch index at
 // most once.
 
-// ShardRequest is the POST /v1/shard body: a complete job description plus
-// the half-open batch-index range this worker is leasing.
+// ShardRequest is the POST /v1/shard body: a complete work description plus
+// the half-open unit-index range this worker is leasing. The unit is a
+// batch index for jobs and a sweep-point index for sweeps; exactly one of
+// Job or Sweep describes the work.
 type ShardRequest struct {
-	// Job is the full job request. Stream is ignored; Shots, Seed and
-	// BatchShots must match the coordinator's so both sides derive the same
-	// batch count, sizes and seeds.
+	// Job is the full job request (batch leases). Stream is ignored; Shots,
+	// Seed and BatchShots must match the coordinator's so both sides derive
+	// the same batch count, sizes and seeds.
 	Job JobRequest `json:"job"`
-	// From and To bound the leased batch indices: From <= i < To.
+	// Sweep, when non-nil, makes this a sweep-point lease: the worker
+	// expands the identical grid (expansion is deterministic in the spec)
+	// and runs points [From, To).
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+	// From and To bound the leased unit indices: From <= i < To.
 	From int `json:"from"`
 	To   int `json:"to"`
 }
 
-// ShardBatch is one executed batch inside a ShardResponse.
+// ShardBatch is one executed unit (job batch or sweep point) inside a
+// ShardResponse.
 type ShardBatch struct {
-	// Batch is the job-wide batch index.
+	// Batch is the job-wide unit index (batch index or sweep-point index).
 	Batch int `json:"batch"`
-	// Seed echoes BatchSeed(job seed, Batch) — the stream the batch ran at.
+	// Seed echoes the unit's derived seed (BatchSeed for batches, the
+	// sweep point seed for points).
 	Seed uint64 `json:"seed"`
 	// Outcomes is the number of sampled outcomes (tree leaves) in Counts.
 	Outcomes int `json:"outcomes"`
-	// Counts is the batch histogram, decimal basis index -> count.
+	// Counts is the unit histogram, decimal basis index -> count.
 	Counts map[string]int `json:"counts"`
+	// Backend and Structure echo the engine and tree the unit ran on.
+	Backend   string `json:"backend,omitempty"`
+	Structure string `json:"structure,omitempty"`
+	// Ops and PrefixHits carry the unit's work accounting (sweep points
+	// report them so coordinator-side totals match local execution).
+	Ops        int64 `json:"ops,omitempty"`
+	PrefixHits int64 `json:"prefix_hits,omitempty"`
+	// Fidelity is the point's normalized fidelity, for sweep leases whose
+	// spec requested it (nil otherwise).
+	Fidelity *float64 `json:"fidelity,omitempty"`
+	// ElapsedMS is the unit's wall-clock duration (sweep points only).
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
 // ShardResponse is the POST /v1/shard success body.

@@ -3,14 +3,19 @@
 // admission-controls them with the planner's cost/memory estimates, batches
 // shots through a bounded scheduler, caches simulation plans keyed by
 // (circuit hash, noise, options) in a bounded LRU, and streams per-batch
-// histograms as NDJSON. cmd/tqsimd is a thin main around New.
+// histograms as NDJSON. POST /v1/sweeps serves whole parameter/noise grids
+// through the internal/sweep engine (plan and ideal-prefix reuse across
+// points), streaming one NDJSON line per point. cmd/tqsimd is a thin main
+// around New.
 //
 // The same Server type implements both distributed roles (see protocol.go
 // for the wire contract): a worker (Config.WorkerMode) additionally serves
 // POST /v1/shard leases, and a coordinator (Config.Workers) shards
-// multi-batch jobs across its worker pool, health-checks the workers, and
-// re-dispatches a failed worker's unacked leases — falling back to local
-// execution when no worker can take a job.
+// multi-batch jobs — and multi-point sweeps — across its worker pool,
+// health-checks the workers, bounds every lease round trip by
+// Config.LeaseTimeout, and re-dispatches a failed or hung worker's unacked
+// leases — falling back to local execution when no worker can take the
+// work.
 //
 // Determinism contract: a job that fits in one batch returns a histogram
 // byte-identical to tqsim.RunTQSim (mode "tqsim") or tqsim.RunBackend
@@ -67,6 +72,9 @@ type Config struct {
 	// under sustained traffic from many distinct circuits old plans are
 	// evicted instead of growing without bound.
 	PlanCacheEntries int
+	// MaxSweepPoints caps a sweep's expanded grid size (default 4096);
+	// larger sweeps are rejected 413 before any planning work.
+	MaxSweepPoints int
 	// WorkerMode enables the shard-lease endpoints (POST /v1/shard,
 	// honored GET /v1/worker): the tqsimd -worker role.
 	WorkerMode bool
@@ -74,6 +82,13 @@ type Config struct {
 	// non-empty the server acts as a coordinator and shards multi-batch
 	// jobs across them.
 	Workers []string
+	// LeaseTimeout bounds one shard lease's round trip (default 10m,
+	// negative = unlimited). A worker that accepts a lease and then hangs —
+	// alive TCP, no response — used to stall the whole job forever; on
+	// timeout the worker is marked dead and the lease requeues to the rest
+	// of the pool. Size it above the longest legitimate lease (a lease is a
+	// handful of batches), not above zero.
+	LeaseTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheEntries <= 0 {
 		c.PlanCacheEntries = 256
 	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 10 * time.Minute
+	}
 	return c
 }
 
@@ -101,6 +122,8 @@ type Stats struct {
 	RejectedMemory    uint64 `json:"rejected_memory"`
 	RejectedDraining  uint64 `json:"rejected_draining"`
 	BatchesRun        uint64 `json:"batches_run"`
+	SweepsCompleted   uint64 `json:"sweeps_completed"`
+	SweepPointsRun    uint64 `json:"sweep_points_run"`
 	PlanCacheHits     uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses   uint64 `json:"plan_cache_misses"`
 	PlanCacheEvicted  uint64 `json:"plan_cache_evicted"`
@@ -122,15 +145,27 @@ type Server struct {
 	mux *http.ServeMux
 
 	slots    chan struct{} // execution permits (MaxConcurrent)
-	pending  atomic.Int64  // running + queued jobs
 	draining atomic.Bool
+
+	// pendMu guards the pending-job count and the idle signal. DrainWait
+	// blocks on idleCh (closed by release when the count reaches zero)
+	// instead of polling — drain completes the instant the last job does.
+	pendMu  sync.Mutex
+	pending int
+	idleCh  chan struct{}
 
 	memMu     sync.Mutex
 	memInUse  int64
 	planMu    sync.Mutex
-	planCache *lruCache
-	pool      *pool // non-nil when coordinating a worker pool
-	stats     [statCount]atomic.Uint64
+	planCache *lruCache[*cachedPlan]
+	// sweepMu guards sweepPreps, the worker's cache of prepared sweeps:
+	// a coordinator cuts one sweep into several leases per worker, and
+	// re-preparing per lease would rebuild the grid's plans and ideal
+	// prefix snapshots the previous lease already paid for.
+	sweepMu    sync.Mutex
+	sweepPreps *lruCache[*sweepJob]
+	pool       *pool // non-nil when coordinating a worker pool
+	stats      [statCount]atomic.Uint64
 }
 
 type cachedPlan struct {
@@ -152,6 +187,8 @@ const (
 	statShardsDispatched
 	statShardsRequeued
 	statWorkerFailures
+	statSweepsCompleted
+	statSweepPoints
 	statCount
 )
 
@@ -167,7 +204,12 @@ func New(cfg Config) *Server {
 		cfg: cfg.withDefaults(),
 		mux: http.NewServeMux(),
 	}
-	s.planCache = newLRU(s.cfg.PlanCacheEntries)
+	s.planCache = newLRU[*cachedPlan](s.cfg.PlanCacheEntries)
+	// A handful of entries suffices: the cache exists so the several
+	// leases of one in-flight sweep share one Prepared (and its lazily
+	// built snapshots), not to retain history. Snapshots pinned by idle
+	// entries are bounded by this cap times the per-sweep snapshot set.
+	s.sweepPreps = newLRU[*sweepJob](4)
 	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
 	if len(s.cfg.Workers) > 0 {
 		s.pool = newPool(s.cfg.Workers)
@@ -178,6 +220,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/worker", s.handleWorkerInfo)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	return s
 }
@@ -200,15 +243,30 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // documented 503 + Retry-After instead of a connection refusal — the
 // difference between a load balancer retrying elsewhere and surfacing an
 // error to the client.
+//
+// The wait is a completion signal, not a poll: release closes the idle
+// channel when the pending count reaches zero, so drain returns the moment
+// the last job finishes and burns no timer churn while waiting. The ctx
+// cancel path is unchanged.
 func (s *Server) DrainWait(ctx context.Context) error {
 	for {
-		if s.pending.Load() == 0 {
+		s.pendMu.Lock()
+		if s.pending == 0 {
+			s.pendMu.Unlock()
 			return nil
 		}
+		if s.idleCh == nil {
+			s.idleCh = make(chan struct{})
+		}
+		idle := s.idleCh
+		s.pendMu.Unlock()
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-idle:
+			// Re-check: a submission may have slipped in between the close
+			// and this wakeup (possible when DrainWait is used without
+			// BeginDrain, e.g. in tests).
 		}
 	}
 }
@@ -590,26 +648,32 @@ func circuitHash(c *tqsim.Circuit, noiseName, mode string, opt *tqsim.Options) s
 // tqsim.RunTQSim at the same seed; later batches use statistically
 // independent split streams, deterministically.
 func BatchSeed(seed uint64, i int) uint64 {
-	if i == 0 {
-		return seed
-	}
-	return rng.New(seed).SplitAt(uint64(i)).Uint64()
+	return rng.SeedAt(seed, uint64(i))
 }
 
 // acquire takes an execution slot, bounded by MaxConcurrent running plus
 // QueueDepth waiting. Reports false when the queue is full.
 func (s *Server) acquire() bool {
-	if s.pending.Add(1) > int64(s.cfg.MaxConcurrent+s.cfg.QueueDepth) {
-		s.pending.Add(-1)
+	s.pendMu.Lock()
+	if s.pending >= s.cfg.MaxConcurrent+s.cfg.QueueDepth {
+		s.pendMu.Unlock()
 		return false
 	}
+	s.pending++
+	s.pendMu.Unlock()
 	s.slots <- struct{}{}
 	return true
 }
 
 func (s *Server) release() {
 	<-s.slots
-	s.pending.Add(-1)
+	s.pendMu.Lock()
+	s.pending--
+	if s.pending == 0 && s.idleCh != nil {
+		close(s.idleCh)
+		s.idleCh = nil
+	}
+	s.pendMu.Unlock()
 }
 
 // reserveMemory admits a job against the shared budget using the planner's
@@ -718,10 +782,11 @@ func (s *Server) countJobError(ctx context.Context, herr *httpError) {
 // batchResult is one executed batch, engine-agnostic: local batches come
 // from tqsim.RunPlanContext, remote ones from a worker's ShardBatch.
 type batchResult struct {
-	index    int
-	seed     uint64
-	outcomes int
-	counts   map[uint64]int
+	index              int
+	seed               uint64
+	outcomes           int
+	counts             map[uint64]int
+	backend, structure string
 }
 
 // runJob executes the job's batches — sharded across the worker pool when
@@ -799,7 +864,10 @@ func (s *Server) runBatches(ctx context.Context, j *job, from, to int, onBatch f
 		backend = res.BackendName
 		structure = res.Structure
 		if onBatch != nil {
-			if err := onBatch(&batchResult{index: i, seed: opt.Seed, outcomes: res.Outcomes, counts: res.Counts}); err != nil {
+			if err := onBatch(&batchResult{
+				index: i, seed: opt.Seed, outcomes: res.Outcomes, counts: res.Counts,
+				backend: res.BackendName, structure: res.Structure,
+			}); err != nil {
 				return nil, 0, "", "", errf(http.StatusInternalServerError, "stream: %v", err)
 			}
 		}
@@ -823,13 +891,21 @@ func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job
 		}
 		return nil
 	}
-	_ = emit(&batchLine{
+	// A failed plan-header emit means the client is already gone: abort
+	// before admitting any batch work. The job books as canceled (the
+	// client disconnected, the request wasn't bad) and nothing runs —
+	// previously the emit error was discarded and the whole job executed
+	// into a dead connection.
+	if err := emit(&batchLine{
 		Type:      "plan",
 		Batches:   j.numBatches(),
 		Structure: j.planFor(0).plan.Structure(),
 		Backend:   j.decision.Backend,
 		Decision:  decisionJSON(j.decision),
-	})
+	}); err != nil {
+		s.stats[statCanceled].Add(1)
+		return
+	}
 	resp, herr := s.runJob(ctx, j, distributed, func(br *batchResult) error {
 		return emit(&batchLine{
 			Type:   "batch",
@@ -907,6 +983,8 @@ func (s *Server) Snapshot() Stats {
 		RejectedMemory:    s.stats[statMemory].Load(),
 		RejectedDraining:  s.stats[statDraining].Load(),
 		BatchesRun:        s.stats[statBatches].Load(),
+		SweepsCompleted:   s.stats[statSweepsCompleted].Load(),
+		SweepPointsRun:    s.stats[statSweepPoints].Load(),
 		PlanCacheHits:     s.stats[statPlanHits].Load(),
 		PlanCacheMisses:   s.stats[statPlanMisses].Load(),
 		PlanCacheEvicted:  s.stats[statPlanEvicted].Load(),

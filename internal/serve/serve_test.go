@@ -317,7 +317,9 @@ func TestAdmissionControl(t *testing.T) {
 	qsrv := New(Config{MaxConcurrent: 1, QueueDepth: 1})
 	qts := httptest.NewServer(qsrv)
 	defer qts.Close()
-	qsrv.pending.Store(int64(qsrv.cfg.MaxConcurrent + qsrv.cfg.QueueDepth))
+	qsrv.pendMu.Lock()
+	qsrv.pending = qsrv.cfg.MaxConcurrent + qsrv.cfg.QueueDepth
+	qsrv.pendMu.Unlock()
 	resp, body = postJSON(t, qts.URL+"/v1/jobs", &JobRequest{Circuit: "qft_n8", Shots: 100, Seed: 1})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)

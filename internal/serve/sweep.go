@@ -1,0 +1,378 @@
+package serve
+
+// The sweep service layer: POST /v1/sweeps accepts a grid spec (circuit ×
+// noise × shots × partitioner × repeats), admission-controls it with the
+// planner estimates the sweep engine computed during Prepare, and executes
+// it with the engine's cross-point reuse — streaming one NDJSON line per
+// point by default. A coordinator shards point ranges across its worker
+// pool through the same lease machinery as job batches (runLeased); point
+// i's histogram is a pure function of (spec, i) at the derived seed
+// rng.SeedAt(seed, i), so the reassembled sweep is byte-identical to a
+// single-process run whatever the worker count, lease placement or failure
+// timing.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"tqsim"
+	"tqsim/internal/sweep"
+)
+
+// SweepRequest is the POST /v1/sweeps body: the sweep spec (see
+// internal/sweep.Spec for the axis fields) plus service options.
+type SweepRequest struct {
+	sweep.Spec
+	// Stream selects NDJSON per-point streaming (the default); set false
+	// for one JSON body after the sweep completes.
+	Stream *bool `json:"stream,omitempty"`
+}
+
+// SweepPointJSON is one executed point on the wire.
+type SweepPointJSON struct {
+	Index      int            `json:"index"`
+	Circuit    string         `json:"circuit"`
+	Noise      string         `json:"noise"`
+	Shots      int            `json:"shots"`
+	Partition  string         `json:"partition,omitempty"`
+	Rep        int            `json:"rep"`
+	Seed       uint64         `json:"seed"`
+	Backend    string         `json:"backend,omitempty"`
+	Structure  string         `json:"structure,omitempty"`
+	Outcomes   int            `json:"outcomes"`
+	Counts     map[string]int `json:"counts"`
+	Ops        int64          `json:"ops,omitempty"`
+	PrefixHits int64          `json:"prefix_hits,omitempty"`
+	Fidelity   *float64       `json:"fidelity,omitempty"`
+	ElapsedMS  float64        `json:"elapsed_ms,omitempty"`
+}
+
+// SweepResponse is the non-streaming POST /v1/sweeps body.
+type SweepResponse struct {
+	Points      int              `json:"points"`
+	Results     []SweepPointJSON `json:"results"`
+	Ops         int64            `json:"ops"`
+	PrefixHits  int64            `json:"prefix_hits"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	Distributed bool             `json:"distributed,omitempty"`
+}
+
+// sweepLine is one NDJSON record of a streaming sweep. Point lines arrive
+// in completion order (nondeterministic at Concurrency > 1 or when
+// distributed); each line's content and the set of lines are deterministic.
+// The embedded pointer keeps header/done/error lines free of zero-valued
+// point fields (a nil embedded pointer contributes nothing to the JSON).
+type sweepLine struct {
+	Type string `json:"type"` // "sweep" | "point" | "done" | "error"
+	*SweepPointJSON
+	Points          int     `json:"points,omitempty"`
+	TotalOps        int64   `json:"total_ops,omitempty"`
+	TotalPrefixHits int64   `json:"total_prefix_hits,omitempty"`
+	TotalElapsedMS  float64 `json:"total_elapsed_ms,omitempty"`
+	Distributed     bool    `json:"distributed,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// sweepJob is a validated, fully planned sweep ready to execute.
+type sweepJob struct {
+	prep    *tqsim.PreparedSweep
+	wire    *SweepRequest // spec with host-derived planner inputs pinned
+	estPeak int64
+	stream  bool
+}
+
+// prepareSweep validates and plans a sweep request. The two planner inputs
+// that default from host/server state — memory budget and worker count —
+// are pinned into the spec first, so a worker re-preparing the wire spec
+// resolves every point's "auto" decision to the same engine the
+// coordinator did (the same pinning the job path does).
+func (s *Server) prepareSweep(req *SweepRequest) (*sweepJob, *httpError) {
+	if req.Spec.MemoryBudgetBytes == 0 {
+		req.Spec.MemoryBudgetBytes = s.cfg.MemoryBudgetBytes
+	}
+	if req.Spec.Parallelism == 0 {
+		req.Spec.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	for _, n := range req.Spec.Shots {
+		if n > s.cfg.MaxShots {
+			return nil, errf(http.StatusRequestEntityTooLarge,
+				"shots %d exceeds the server limit %d", n, s.cfg.MaxShots)
+		}
+	}
+	prep, err := tqsim.PrepareSweep(&req.Spec)
+	if err != nil {
+		var pe *sweep.PlanError
+		if errors.As(err, &pe) {
+			s.stats[statMemory].Add(1)
+			return nil, errf(http.StatusRequestEntityTooLarge, "planner: %v", err)
+		}
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	n := prep.NumPoints()
+	if n > s.cfg.MaxSweepPoints {
+		return nil, errf(http.StatusRequestEntityTooLarge,
+			"sweep expands to %d points, above the server limit %d", n, s.cfg.MaxSweepPoints)
+	}
+
+	// Admission: one point's peak times the in-process point concurrency
+	// (points beyond it never run simultaneously here; distributed points
+	// reserve on the workers that run them).
+	conc := prep.Spec().Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > n {
+		conc = n
+	}
+	sj := &sweepJob{
+		prep:    prep,
+		estPeak: prep.MaxEstPeakBytes() * int64(conc),
+		stream:  req.Stream == nil || *req.Stream,
+	}
+	wire := SweepRequest{Spec: *prep.Spec()}
+	stream := false
+	wire.Stream = &stream
+	sj.wire = &wire
+	return sj, nil
+}
+
+// preparedSweepForLease returns the prepared sweep for a shard lease,
+// served from the worker's small LRU when an earlier lease of the same
+// sweep already prepared it. A coordinator cuts one sweep into several
+// leases per worker; without the cache every lease would re-expand the
+// grid, re-run every planner decision, and rebuild the lazily built
+// ideal-prefix snapshots the previous lease already paid for. Safe to
+// share: a Prepared is immutable after Prepare apart from sync.Once-guarded
+// lazy state, so concurrent leases may run ranges of one instance.
+func (s *Server) preparedSweepForLease(req *SweepRequest) (*sweepJob, *httpError) {
+	// Key by the pinned wire spec: the coordinator sends every lease of a
+	// sweep with the identical (already-pinned) spec, so re-pinning here is
+	// a no-op and the canonical JSON is stable across leases.
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "sweep lease: %v", err)
+	}
+	key := string(raw)
+	s.sweepMu.Lock()
+	sj, ok := s.sweepPreps.get(key)
+	s.sweepMu.Unlock()
+	if ok {
+		return sj, nil
+	}
+	sj, herr := s.prepareSweep(req)
+	if herr != nil {
+		return nil, herr
+	}
+	s.sweepMu.Lock()
+	s.sweepPreps.add(key, sj)
+	s.sweepMu.Unlock()
+	return sj, nil
+}
+
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.rejectDraining(w)
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	sj, herr := s.prepareSweep(&req)
+	if herr != nil {
+		s.stats[statFailed].Add(1)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	if !s.acquire() {
+		s.stats[statQueueFull].Add(1)
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	defer s.release()
+	ctx := r.Context()
+
+	// Multi-point sweeps shard across the worker pool when one is
+	// configured; memory is reserved locally only when executing locally.
+	distributed := s.pool != nil && sj.prep.NumPoints() > 1
+	if !distributed {
+		if herr := s.reserveMemory(sj.estPeak); herr != nil {
+			writeError(w, herr.status, herr.msg)
+			return
+		}
+		defer s.releaseMemory(sj.estPeak)
+	}
+
+	if sj.stream {
+		s.runSweepStreaming(ctx, w, sj, distributed)
+		return
+	}
+	resp, herr := s.runSweep(ctx, sj, distributed, nil)
+	if herr != nil {
+		s.countJobError(ctx, herr)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	s.stats[statSweepsCompleted].Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSweep executes the sweep — locally or sharded — collecting the wire
+// form of every point. onPoint, when non-nil, observes each point as it
+// completes (the streaming hook).
+func (s *Server) runSweep(ctx context.Context, sj *sweepJob, distributed bool, onPoint func(*SweepPointJSON) error) (*SweepResponse, *httpError) {
+	start := time.Now()
+	resp := &SweepResponse{Points: sj.prep.NumPoints(), Distributed: distributed}
+	record := func(pj *SweepPointJSON) *httpError {
+		resp.Results = append(resp.Results, *pj)
+		resp.Ops += pj.Ops
+		resp.PrefixHits += pj.PrefixHits
+		s.stats[statSweepPoints].Add(1)
+		if onPoint != nil {
+			if err := onPoint(pj); err != nil {
+				return errf(http.StatusInternalServerError, "stream: %v", err)
+			}
+		}
+		return nil
+	}
+
+	onUnit := func(sb *ShardBatch, _ bool) *httpError {
+		return record(s.sweepPointFromWire(sj, sb))
+	}
+	var herr *httpError
+	if distributed {
+		herr = s.runLeased(ctx, leasedWork{
+			units: sj.prep.NumPoints(),
+			// The concurrency-scaled estimate: placement divides worker
+			// budgets by it (conservative — each lease may run up to
+			// Concurrency points at once), and the local fallback reserves
+			// it before runSweepRange runs that many points concurrently.
+			estPeak: sj.estPeak,
+			wire: func(from, to int) *ShardRequest {
+				return &ShardRequest{Sweep: sj.wire, From: from, To: to}
+			},
+			runLocal: func(ctx context.Context, from, to int, emit func(*ShardBatch) *httpError) *httpError {
+				return s.runSweepRange(ctx, sj, from, to, emit)
+			},
+		}, onUnit)
+	} else {
+		herr = s.runSweepRange(ctx, sj, 0, sj.prep.NumPoints(), func(sb *ShardBatch) *httpError {
+			return onUnit(sb, false)
+		})
+	}
+	if herr != nil {
+		return nil, herr
+	}
+	sort.Slice(resp.Results, func(i, j int) bool { return resp.Results[i].Index < resp.Results[j].Index })
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// runSweepRange executes points [from, to) in-process through the prepared
+// sweep, emitting each point in wire form. Emit failures keep their own
+// status (a vanished streaming client books as canceled, not failed).
+func (s *Server) runSweepRange(ctx context.Context, sj *sweepJob, from, to int, emit func(*ShardBatch) *httpError) *httpError {
+	var eherr *httpError
+	_, err := tqsim.RunPreparedSweep(ctx, sj.prep, from, to, func(pr *tqsim.SweepPointResult) error {
+		sb := &ShardBatch{
+			Batch:      pr.Index,
+			Seed:       pr.Seed,
+			Outcomes:   pr.Outcomes,
+			Counts:     countsJSON(pr.Counts),
+			Backend:    pr.Backend,
+			Structure:  pr.Structure,
+			Ops:        pr.GateApplications,
+			PrefixHits: pr.PrefixReuseHits,
+			ElapsedMS:  float64(pr.Elapsed.Microseconds()) / 1000,
+		}
+		if pr.HasFidelity {
+			f := pr.Fidelity
+			sb.Fidelity = &f
+		}
+		if h := emit(sb); h != nil {
+			eherr = h
+			return errors.New(h.msg)
+		}
+		return nil
+	})
+	if eherr != nil {
+		return eherr
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return errf(statusClientClosedRequest, "sweep cancelled: %v", err)
+		}
+		return errf(http.StatusUnprocessableEntity, "sweep: %v", err)
+	}
+	return nil
+}
+
+// sweepPointFromWire rebuilds a point's wire form from a ShardBatch plus
+// the coordinator's own expansion (points are deterministic in the spec, so
+// the metadata never crosses the wire).
+func (s *Server) sweepPointFromWire(sj *sweepJob, sb *ShardBatch) *SweepPointJSON {
+	pt := sj.prep.Point(sb.Batch)
+	return &SweepPointJSON{
+		Index:      sb.Batch,
+		Circuit:    sj.prep.Circuit(sb.Batch).Name,
+		Noise:      pt.Noise.Label(),
+		Shots:      pt.Shots,
+		Partition:  pt.Partition.Label(),
+		Rep:        pt.Rep,
+		Seed:       sb.Seed,
+		Backend:    sb.Backend,
+		Structure:  sb.Structure,
+		Outcomes:   sb.Outcomes,
+		Counts:     sb.Counts,
+		Ops:        sb.Ops,
+		PrefixHits: sb.PrefixHits,
+		Fidelity:   sb.Fidelity,
+		ElapsedMS:  sb.ElapsedMS,
+	}
+}
+
+// runSweepStreaming writes the NDJSON stream: a sweep header, one line per
+// point in completion order, and a final done line with totals.
+func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, sj *sweepJob, distributed bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line *sweepLine) error {
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	// Header emit failure = client already gone: abort before any point
+	// runs (the same contract as the job stream's plan header).
+	if err := emit(&sweepLine{Type: "sweep", Points: sj.prep.NumPoints(), Distributed: distributed}); err != nil {
+		s.stats[statCanceled].Add(1)
+		return
+	}
+	resp, herr := s.runSweep(ctx, sj, distributed, func(pj *SweepPointJSON) error {
+		return emit(&sweepLine{Type: "point", SweepPointJSON: pj})
+	})
+	if herr != nil {
+		s.countJobError(ctx, herr)
+		_ = emit(&sweepLine{Type: "error", Error: herr.msg})
+		return
+	}
+	s.stats[statSweepsCompleted].Add(1)
+	_ = emit(&sweepLine{
+		Type:            "done",
+		Points:          resp.Points,
+		TotalOps:        resp.Ops,
+		TotalPrefixHits: resp.PrefixHits,
+		TotalElapsedMS:  resp.ElapsedMS,
+	})
+}

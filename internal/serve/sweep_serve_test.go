@@ -1,0 +1,427 @@
+package serve
+
+// Service-layer sweep suite plus the serve-reliability regressions of this
+// PR: /v1/sweeps single-process and streaming identity, distributed
+// point-sharding identity and failover, the stalling-worker lease timeout,
+// the DrainWait completion signal, and the streaming plan-header abort.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tqsim"
+)
+
+func sweepReq() *SweepRequest {
+	stream := false
+	return &SweepRequest{
+		Spec: tqsim.SweepSpec{
+			Circuit: "qft_n8",
+			Noise: []tqsim.SweepNoisePoint{
+				{P1: 0.0005, P2: 0.002},
+				{Name: "DC"},
+			},
+			Shots:    []int{200, 300},
+			Repeats:  2,
+			Seed:     9,
+			CopyCost: 5,
+			Backend:  "statevec",
+		},
+		Stream: &stream,
+	}
+}
+
+// postSweep posts a sweep and decodes the non-streaming response.
+func postSweep(t *testing.T, url string, req *SweepRequest) *SweepResponse {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep failed: %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return &sr
+}
+
+// TestSweepEndpointIdentity: the endpoint's per-point histograms are
+// byte-identical to standalone tqsim.RunTQSim runs at the derived seeds.
+func TestSweepEndpointIdentity(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	sr := postSweep(t, ts.URL, sweepReq())
+	if sr.Points != 8 || len(sr.Results) != 8 {
+		t.Fatalf("got %d/%d points, want 8", sr.Points, len(sr.Results))
+	}
+	if sr.PrefixHits == 0 {
+		t.Error("endpoint sweep reported no prefix reuse")
+	}
+
+	c := tqsim.BenchmarkByName("qft_n8")
+	for _, pj := range sr.Results {
+		var m *tqsim.NoiseModel
+		if pj.Noise == "DC" {
+			m = tqsim.SycamoreNoise()
+		} else {
+			m = tqsim.DepolarizingNoise(0.0005, 0.002)
+		}
+		ref, err := tqsim.RunTQSim(c, m, pj.Shots, tqsim.Options{
+			Seed: pj.Seed, CopyCost: 5, Backend: "statevec",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameJSONCounts(t, "point "+strconv.Itoa(pj.Index), countsJSON(ref.Counts), pj.Counts)
+	}
+}
+
+// TestSweepEndpointStreaming checks the NDJSON shape: a sweep header, one
+// point line per grid cell, a done line with matching totals.
+func TestSweepEndpointStreaming(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	req := sweepReq()
+	req.Stream = nil // default is streaming
+	req.Fidelity = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var header, done *sweepLine
+	points := 0
+	var opsSum int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "sweep":
+			l := line
+			header = &l
+		case "point":
+			points++
+			if line.SweepPointJSON == nil {
+				t.Fatalf("point line carries no point payload: %q", sc.Text())
+			}
+			opsSum += line.Ops
+			if line.Fidelity == nil {
+				t.Errorf("point %d: fidelity requested but missing", line.Index)
+			}
+		case "done":
+			l := line
+			done = &l
+		case "error":
+			t.Fatalf("stream error: %s", line.Error)
+		}
+	}
+	if header == nil || header.Points != 8 {
+		t.Fatalf("bad sweep header: %+v", header)
+	}
+	if points != 8 {
+		t.Fatalf("streamed %d point lines, want 8", points)
+	}
+	if done == nil || done.TotalOps != opsSum {
+		t.Fatalf("done totals disagree with point lines: %+v vs ops %d", done, opsSum)
+	}
+	if done.SweepPointJSON != nil || header.SweepPointJSON != nil {
+		t.Error("header/done lines must not carry zero-valued point fields")
+	}
+}
+
+// TestDistributedSweepIdentity shards a sweep across 1–3 workers and checks
+// every worker count reassembles the identical per-point histograms.
+func TestDistributedSweepIdentity(t *testing.T) {
+	ref := func() map[int]map[string]int {
+		ts := httptest.NewServer(New(Config{}))
+		defer ts.Close()
+		out := map[int]map[string]int{}
+		for _, pj := range postSweep(t, ts.URL, sweepReq()).Results {
+			out[pj.Index] = pj.Counts
+		}
+		return out
+	}()
+
+	for _, workers := range []int{1, 2, 3} {
+		var urls []string
+		var servers []*httptest.Server
+		for i := 0; i < workers; i++ {
+			ws := httptest.NewServer(New(Config{WorkerMode: true}))
+			servers = append(servers, ws)
+			urls = append(urls, ws.URL)
+		}
+		coord := New(Config{Workers: urls})
+		cts := httptest.NewServer(coord)
+
+		sr := postSweep(t, cts.URL, sweepReq())
+		if !sr.Distributed {
+			t.Errorf("%d workers: sweep did not distribute", workers)
+		}
+		if len(sr.Results) != len(ref) {
+			t.Fatalf("%d workers: %d points, want %d", workers, len(sr.Results), len(ref))
+		}
+		for _, pj := range sr.Results {
+			sameJSONCounts(t, "workers="+strconv.Itoa(workers)+" point "+strconv.Itoa(pj.Index),
+				ref[pj.Index], pj.Counts)
+		}
+		st := coord.Snapshot()
+		if st.ShardsDispatched == 0 {
+			t.Errorf("%d workers: no shards dispatched", workers)
+		}
+		cts.Close()
+		for _, ws := range servers {
+			ws.Close()
+		}
+	}
+}
+
+// TestDistributedSweepWorkerFailover kills a worker after its first sweep
+// lease; the re-dispatched points must still reassemble identically.
+func TestDistributedSweepWorkerFailover(t *testing.T) {
+	ref := func() map[int]map[string]int {
+		ts := httptest.NewServer(New(Config{}))
+		defer ts.Close()
+		out := map[int]map[string]int{}
+		for _, pj := range postSweep(t, ts.URL, sweepReq()).Results {
+			out[pj.Index] = pj.Counts
+		}
+		return out
+	}()
+
+	killable := &killableWorker{inner: New(Config{WorkerMode: true})}
+	kts := httptest.NewServer(killable)
+	defer kts.Close()
+	healthy := httptest.NewServer(New(Config{WorkerMode: true}))
+	defer healthy.Close()
+
+	coord := New(Config{Workers: []string{kts.URL, healthy.URL}})
+	cts := httptest.NewServer(coord)
+	defer cts.Close()
+
+	sr := postSweep(t, cts.URL, sweepReq())
+	for _, pj := range sr.Results {
+		sameJSONCounts(t, "failover point "+strconv.Itoa(pj.Index), ref[pj.Index], pj.Counts)
+	}
+	if !killable.killed.Load() {
+		t.Skip("kill never triggered (all leases landed on the healthy worker)")
+	}
+	if coord.Snapshot().WorkerFailures == 0 {
+		t.Error("worker failure not counted")
+	}
+}
+
+// stallingWorker accepts shard leases and then hangs until the request
+// context dies — the failure mode the lease timeout exists for: the TCP
+// connection stays open, no bytes ever come back.
+type stallingWorker struct {
+	inner   http.Handler
+	stalled chan struct{}
+}
+
+func (sw *stallingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/shard" {
+		// Drain the body first: net/http only detects a client disconnect
+		// (and cancels r.Context()) once the request body is consumed, so
+		// an unread body would leave this handler stuck past the test.
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case sw.stalled <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done()
+		return
+	}
+	sw.inner.ServeHTTP(w, r)
+}
+
+// TestLeaseTimeoutRequeuesStalledWorker is the regression for the
+// unbounded shard-lease client: a worker that accepts a lease and hangs
+// must be declared dead at the lease timeout and its range re-dispatched,
+// instead of stalling the job forever.
+func TestLeaseTimeoutRequeuesStalledWorker(t *testing.T) {
+	stall := &stallingWorker{inner: New(Config{WorkerMode: true}), stalled: make(chan struct{}, 1)}
+	sts := httptest.NewServer(stall)
+	defer sts.Close()
+	healthy := httptest.NewServer(New(Config{WorkerMode: true}))
+	defer healthy.Close()
+
+	coord := New(Config{
+		Workers:      []string{sts.URL, healthy.URL},
+		LeaseTimeout: 150 * time.Millisecond,
+	})
+	cts := httptest.NewServer(coord)
+	defer cts.Close()
+
+	req := &JobRequest{Circuit: "qft_n8", Noise: "DC", Shots: 800, Seed: 4, BatchShots: 100}
+	want := singleProcessReference(t, req)
+
+	doneCh := make(chan *JobResponse, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, body := postJSON(t, cts.URL+"/v1/jobs", req)
+		if resp.StatusCode != http.StatusOK {
+			errCh <- errors.New("job failed: " + string(body))
+			return
+		}
+		var jr JobResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			errCh <- err
+			return
+		}
+		doneCh <- &jr
+	}()
+
+	// The job must complete despite the stalled worker — well before a
+	// CI-visible hang, and strictly because the lease timeout fired.
+	select {
+	case jr := <-doneCh:
+		sameJSONCounts(t, "stalled-worker job", want.Counts, jr.Counts)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("job hung behind the stalled worker — lease timeout did not fire")
+	}
+	select {
+	case <-stall.stalled:
+	default:
+		t.Skip("stalling worker never received a lease")
+	}
+	st := coord.Snapshot()
+	if st.WorkerFailures == 0 {
+		t.Error("stalled worker was not declared dead")
+	}
+	if st.ShardsRequeued == 0 {
+		t.Error("stalled lease was not requeued")
+	}
+}
+
+// TestDrainWaitSignals is the busy-poll regression: DrainWait must return
+// promptly (signal, not a 50ms poll loop) when the last job finishes, keep
+// the ctx cancel path, and return immediately on an idle server.
+func TestDrainWaitSignals(t *testing.T) {
+	srv := New(Config{})
+
+	// Idle server: immediate return.
+	if err := srv.DrainWait(context.Background()); err != nil {
+		t.Fatalf("idle DrainWait: %v", err)
+	}
+
+	// Busy server: DrainWait returns once release fires.
+	if !srv.acquire() {
+		t.Fatal("acquire failed")
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.DrainWait(ctx)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("DrainWait returned %v while a job was pending", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	start := time.Now()
+	srv.release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("DrainWait: %v", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("DrainWait took %v after the last release", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainWait never observed the drained state")
+	}
+
+	// ctx cancel path with a job still pending.
+	if !srv.acquire() {
+		t.Fatal("acquire failed")
+	}
+	defer srv.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.DrainWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled DrainWait returned %v", err)
+	}
+}
+
+// failingWriter is a ResponseWriter whose body writes fail — the server's
+// view of a client that disconnected before the first streamed byte.
+type failingWriter struct {
+	header http.Header
+	status int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.header == nil {
+		f.header = http.Header{}
+	}
+	return f.header
+}
+func (f *failingWriter) WriteHeader(status int)    { f.status = status }
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+// TestStreamingHeaderEmitAborts is the regression for the discarded
+// plan-header emit error: a streaming job whose client vanished before the
+// header must abort without running a single batch, booked as canceled.
+func TestStreamingHeaderEmitAborts(t *testing.T) {
+	srv := New(Config{})
+	body, err := json.Marshal(&JobRequest{
+		Circuit: "qft_n10", Noise: "DC", Shots: 2000, Seed: 1,
+		BatchShots: 100, Stream: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(string(body)))
+	srv.ServeHTTP(&failingWriter{}, r)
+
+	st := srv.Snapshot()
+	if st.JobsCanceled != 1 {
+		t.Errorf("canceled %d jobs, want 1: %+v", st.JobsCanceled, st)
+	}
+	if st.JobsCompleted != 0 {
+		t.Errorf("completed %d jobs, want 0", st.JobsCompleted)
+	}
+	if st.BatchesRun != 0 {
+		t.Errorf("ran %d batches into a dead connection, want 0", st.BatchesRun)
+	}
+
+	// The sweep stream header follows the same contract.
+	sbody, err := json.Marshal(sweepReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = httptest.NewRequest(http.MethodPost, "/v1/sweeps", strings.NewReader(
+		strings.Replace(string(sbody), `"stream":false`, `"stream":true`, 1)))
+	srv.ServeHTTP(&failingWriter{}, r)
+	st = srv.Snapshot()
+	if st.JobsCanceled != 2 {
+		t.Errorf("sweep header abort not booked as canceled: %+v", st)
+	}
+	if st.SweepPointsRun != 0 {
+		t.Errorf("ran %d sweep points into a dead connection", st.SweepPointsRun)
+	}
+}

@@ -32,6 +32,10 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad shard body: "+err.Error())
 		return
 	}
+	if sr.Sweep != nil {
+		s.handleSweepShard(w, r, &sr)
+		return
+	}
 	sr.Job.Stream = false
 	j, herr := s.prepare(&sr.Job)
 	if herr != nil {
@@ -65,10 +69,12 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	resp := &ShardResponse{}
 	_, _, backend, structure, herr := s.runBatches(r.Context(), j, sr.From, sr.To, func(br *batchResult) error {
 		resp.Batches = append(resp.Batches, ShardBatch{
-			Batch:    br.index,
-			Seed:     br.seed,
-			Outcomes: br.outcomes,
-			Counts:   countsJSON(br.counts),
+			Batch:     br.index,
+			Seed:      br.seed,
+			Outcomes:  br.outcomes,
+			Counts:    countsJSON(br.counts),
+			Backend:   br.backend,
+			Structure: br.structure,
 		})
 		return nil
 	})
@@ -78,6 +84,52 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Backend, resp.Structure = backend, structure
+	s.stats[statCompleted].Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSweepShard executes one leased range of sweep points. The worker
+// re-prepares the wire spec — expansion and planning are deterministic in
+// the (pinned) spec, so coordinator and worker always agree on the grid,
+// the per-point seeds, and each point's resolved engine; the per-point
+// histograms it returns are byte-identical to the coordinator running the
+// same points itself.
+func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request, sr *ShardRequest) {
+	sj, herr := s.preparedSweepForLease(sr.Sweep)
+	if herr != nil {
+		s.stats[statFailed].Add(1)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	if n := sj.prep.NumPoints(); sr.From < 0 || sr.To > n || sr.From >= sr.To {
+		s.stats[statFailed].Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("lease [%d,%d) outside the sweep's %d points", sr.From, sr.To, n))
+		return
+	}
+	if !s.acquire() {
+		s.stats[statQueueFull].Add(1)
+		writeError(w, http.StatusServiceUnavailable, "worker at capacity; re-lease elsewhere")
+		return
+	}
+	defer s.release()
+	if herr := s.reserveMemory(sj.estPeak); herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	defer s.releaseMemory(sj.estPeak)
+
+	resp := &ShardResponse{}
+	if herr := s.runSweepRange(r.Context(), sj, sr.From, sr.To, func(sb *ShardBatch) *httpError {
+		resp.Batches = append(resp.Batches, *sb)
+		resp.Backend, resp.Structure = sb.Backend, sb.Structure
+		s.stats[statSweepPoints].Add(1)
+		return nil
+	}); herr != nil {
+		s.countJobError(r.Context(), herr)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
 	s.stats[statCompleted].Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,67 @@
+package tqsim_test
+
+import (
+	"testing"
+
+	"tqsim"
+)
+
+// BenchmarkSweepReuse measures the cross-point prefix-reuse win on a
+// Clifford-prefix workload: the identical noise-grid sweep with reuse on
+// versus off, reporting the amps-of-work ratio (gate applications with
+// reuse over without — lower is better; 1.0 means the shortcut never
+// fired). Histograms are byte-identical either way (TestSweepIdentity*),
+// so the whole difference is eliminated redundant work.
+func BenchmarkSweepReuse(b *testing.B) {
+	spec := func(noReuse bool) *tqsim.SweepSpec {
+		return &tqsim.SweepSpec{
+			// QFT has a substantial ideal-reusable prefix under light
+			// depolarizing noise; rates low enough that many tree segments
+			// draw no firing channel.
+			Circuit: "qft_n10",
+			Noise: []tqsim.SweepNoisePoint{
+				{P1: 0.0002, P2: 0.001},
+				{P1: 0.0005, P2: 0.002},
+				{P1: 0.001, P2: 0.005},
+			},
+			Shots:    []int{1000},
+			Repeats:  2,
+			Seed:     17,
+			CopyCost: 5,
+			Backend:  "statevec",
+			NoReuse:  noReuse,
+		}
+	}
+
+	var opsOn, opsOff, hits int64
+	b.Run("reuse-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := tqsim.RunSweep(spec(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opsOn, hits = res.GateApplications, res.PrefixReuseHits
+		}
+		b.ReportMetric(float64(opsOn), "gateops/sweep")
+		b.ReportMetric(float64(hits), "prefix-hits/sweep")
+	})
+	b.Run("reuse-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := tqsim.RunSweep(spec(true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opsOff = res.GateApplications
+		}
+		b.ReportMetric(float64(opsOff), "gateops/sweep")
+	})
+	if opsOn > 0 && opsOff > 0 {
+		ratio := float64(opsOn) / float64(opsOff)
+		b.ReportMetric(ratio, "work-ratio")
+		b.Logf("sweep work ratio (reuse on/off): %.3f — %d vs %d gate applications, %d prefix hits",
+			ratio, opsOn, opsOff, hits)
+		if ratio >= 1 {
+			b.Errorf("prefix reuse produced no work reduction (ratio %.3f)", ratio)
+		}
+	}
+}

@@ -370,6 +370,14 @@ func RunPlan(p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
 // for a fixed chosen backend the histogram remains a pure function of
 // (circuit, noise, shots, seed).
 func RunPlanContext(ctx context.Context, p *Plan, m *NoiseModel, opt Options) (*TreeResult, error) {
+	return runPlanPrefixed(ctx, p, m, opt, nil)
+}
+
+// runPlanPrefixed is RunPlanContext with an optional shared ideal-prefix
+// snapshot set threaded into the dense executor — the sweep engine's reuse
+// hook. A nil prefix reproduces RunPlanContext exactly; a matching prefix
+// changes the work accounting, never the histogram.
+func runPlanPrefixed(ctx context.Context, p *Plan, m *NoiseModel, opt Options, prefix *core.PrefixSnapshots) (*TreeResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -400,6 +408,7 @@ func RunPlanContext(ctx context.Context, p *Plan, m *NoiseModel, opt Options) (*
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,
 		Context:     ctx,
+		Prefix:      prefix,
 	}
 	return ex.Run(p)
 }
