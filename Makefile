@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race test-distributed test-sweep fuzz-smoke bench-kernels bench-sweep bench ci docs-lint docs-check
+.PHONY: build vet test race test-distributed test-sweep test-chaos fuzz-smoke bench-kernels bench-sweep bench ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,16 @@ test-sweep:
 	$(GO) test -race ./internal/sweep
 	$(GO) test -race ./internal/serve -run 'TestSweep|TestDistributedSweep|TestLeaseTimeout|TestDrainWaitSignals|TestStreamingHeaderEmit'
 
+# Chaos suite under the race detector: the seeded fault-plan grid (dropped
+# connections, 5xx bursts, Retry-After 503s, kill-mid-lease, corrupted
+# payloads, join/leave churn) whose invariant is byte-identical merged
+# histograms versus the fault-free run, plus the elastic-membership,
+# breaker, revival, Retry-After and drain-in-flight regressions, and the
+# faultinject determinism suite.
+test-chaos:
+	$(GO) test -race ./internal/faultinject
+	$(GO) test -race ./internal/serve -run 'TestChaos|TestLiveness|TestBreaker|TestWorkerJoin|TestWorkerRevival|TestRetryAfter|TestCoordinatorDrain|TestWorkerDrain'
+
 # Short fuzz smoke: the QASM parser/round-trip fuzzer plus its committed
 # regression corpus. Go runs one fuzz target per invocation.
 fuzz-smoke:
@@ -67,4 +77,4 @@ bench-sweep:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build vet docs-lint test race test-distributed test-sweep fuzz-smoke bench-sweep docs-check
+ci: build vet docs-lint test race test-distributed test-sweep test-chaos fuzz-smoke bench-sweep docs-check

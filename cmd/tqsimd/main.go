@@ -7,8 +7,13 @@
 //
 // Roles: a plain tqsimd serves jobs single-process. With -worker it also
 // accepts shard leases (POST /v1/shard) from a coordinator; with -workers
-// it coordinates a pool, sharding each multi-batch job's batches across
-// the workers and merging the returned histograms deterministically.
+// (a static list) or -accept-workers (elastic membership) it coordinates a
+// fleet, sharding each multi-batch job's batches across the workers and
+// merging the returned histograms deterministically. A worker started with
+// -join announces itself to the coordinator (POST /v1/workers) and
+// heartbeats on -heartbeat-interval, so workers join, leave and recover
+// mid-job without any restart: the coordinator's liveness state machine
+// (alive → suspect → dead → revived) feeds every in-flight dispatch loop.
 //
 // Quickstart (single process):
 //
@@ -16,12 +21,18 @@
 //	curl -s localhost:8651/v1/jobs -d '{"circuit":"bv_n10","noise":"DC","shots":2000,"seed":1}'
 //	curl -s localhost:8651/v1/plan -d '{"circuit":"qft_n12","noise":"DC","shots":2000}'
 //
-// Distributed (one coordinator, two workers):
+// Distributed, static pool (one coordinator, two workers):
 //
 //	tqsimd -worker -addr :8751 &
 //	tqsimd -worker -addr :8752 &
 //	tqsimd -addr :8651 -workers http://localhost:8751,http://localhost:8752 &
 //	curl -s localhost:8651/v1/jobs -d '{"circuit":"qft_n12","noise":"DC","shots":4000,"seed":1,"batch_shots":500}'
+//
+// Distributed, elastic fleet (workers join and leave at will):
+//
+//	tqsimd -addr :8651 -accept-workers &
+//	tqsimd -worker -addr :8751 -join http://localhost:8651 &
+//	tqsimd -worker -addr :8752 -join http://localhost:8651 &   # join any time, even mid-job
 //
 // Endpoints:
 //
@@ -31,9 +42,12 @@
 //	                   points; {"stream":false} for one JSON body)
 //	POST /v1/plan      planner decision only (explainable dispatch, no run)
 //	POST /v1/shard     execute a leased batch or sweep-point range (workers)
+//	POST /v1/workers   worker self-registration + heartbeat (coordinators)
 //	GET  /v1/worker    capacity advertisement (health + placement input)
 //	GET  /v1/backends  registered engines plus "auto"
-//	GET  /v1/stats     scheduler/cache/admission/shard counters
+//	GET  /v1/stats     scheduler/cache/admission/shard counters, plus the
+//	                   per-worker registry: liveness state, breaker state,
+//	                   heartbeat age, retries, requeues, utilization
 //	GET  /healthz      liveness (503 while draining)
 //
 // Shutdown: SIGTERM (or SIGINT) starts a drain — new submissions get 503
@@ -50,6 +64,15 @@
 // byte-identically to a local one. Every shard lease is bounded by
 // -lease-timeout: a worker that accepts a lease and hangs is declared dead
 // and its range re-dispatched instead of stalling the job.
+//
+// Fault tolerance: failed lease and probe calls retry with exponential
+// backoff and jitter (-lease-retries); a worker answering 503 with
+// Retry-After is retried after a capped wait before being excluded from
+// the job; every shard response carries a sha256 checksum so corrupted
+// payloads are requeued, never merged; and a per-worker circuit breaker
+// (-breaker-threshold consecutive failures → open, half-open trial after
+// -breaker-cooldown) keeps a flapping worker out of dispatch. See
+// docs/architecture.md "Fault tolerance".
 package main
 
 import (
@@ -78,8 +101,17 @@ func main() {
 		planEntries  = flag.Int("plan-cache-entries", 0, "plan cache LRU cap (0 = default 256)")
 		worker       = flag.Bool("worker", false, "accept shard leases from a coordinator (POST /v1/shard)")
 		sweepPoints  = flag.Int("max-sweep-points", 0, "per-sweep expanded grid cap (0 = default 4096)")
-		leaseTimeout = flag.Duration("lease-timeout", 0, "per-lease round-trip bound before a worker is declared dead (0 = default 10m, negative = unlimited)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "per-lease round-trip bound (incl. retries) before a worker is declared dead (0 = default 10m, negative = unlimited)")
 		workers      = flag.String("workers", "", "comma-separated worker base URLs; shard multi-batch jobs across them")
+		acceptJoins  = flag.Bool("accept-workers", false, "coordinate an elastic fleet: accept worker self-registration on POST /v1/workers")
+		join         = flag.String("join", "", "coordinator base URL to register with and heartbeat to (worker role)")
+		advertise    = flag.String("advertise", "", "base URL the coordinator should dial this worker at (default derived from -addr)")
+		heartbeat    = flag.Duration("heartbeat-interval", 0, "heartbeat cadence to the -join coordinator (0 = default 1.5s)")
+		leaseRetries = flag.Int("lease-retries", 0, "retry attempts per failed lease/probe call, exponential backoff + jitter (0 = default 2, negative = none)")
+		breakerN     = flag.Int("breaker-threshold", 0, "consecutive lease failures that open a worker's circuit breaker (0 = default 5, negative = disabled)")
+		breakerCool  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before the half-open trial lease (0 = default 5s)")
+		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat age after which a joined worker gets no new leases (0 = default 5s)")
+		deadAfter    = flag.Duration("dead-after", 0, "heartbeat age after which a joined worker is declared dead (0 = default 15s)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before closing connections")
 	)
 	flag.Parse()
@@ -102,7 +134,13 @@ func main() {
 		MaxSweepPoints:    *sweepPoints,
 		WorkerMode:        *worker,
 		Workers:           pool,
+		AcceptWorkers:     *acceptJoins,
 		LeaseTimeout:      *leaseTimeout,
+		LeaseRetries:      *leaseRetries,
+		BreakerThreshold:  *breakerN,
+		BreakerCooldown:   *breakerCool,
+		SuspectAfter:      *suspectAfter,
+		DeadAfter:         *deadAfter,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -112,6 +150,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			// Derive a dialable base URL from the listen address; a bare
+			// ":port" can only mean loopback from the coordinator's side.
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			self = "http://" + host
+		}
+		go srv.JoinFleet(ctx, *join, self, *heartbeat, func(err error) {
+			log.Printf("tqsimd heartbeat to %s failed: %v", *join, err)
+		})
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -134,8 +187,12 @@ func main() {
 
 	role := "single-process"
 	switch {
+	case *worker && *join != "":
+		role = "worker, joined to " + *join
 	case *worker:
 		role = "worker"
+	case *acceptJoins:
+		role = fmt.Sprintf("elastic coordinator (%d static workers)", len(pool))
 	case len(pool) > 0:
 		role = fmt.Sprintf("coordinator over %d workers", len(pool))
 	}

@@ -1,0 +1,365 @@
+// Package faultinject provides seeded, deterministic fault plans for
+// exercising the serve layer's failure paths: delayed responses, dropped
+// connections, 5xx bursts, workers killed mid-lease (work executed,
+// response lost), and silently corrupted shard payloads.
+//
+// A Plan is a seed plus an ordered list of Rules. Each rule owns an
+// independent RNG stream derived from the plan seed, and its fire/skip
+// decision for the k-th matching request is the k-th draw from that stream
+// — so the fault schedule is a pure function of (plan, per-rule match
+// ordinal), reproducible across runs regardless of wall-clock timing. The
+// chaos suite leans on this: for any seeded plan, the serve layer must
+// reassemble results byte-identical to the fault-free run.
+//
+// Faults inject at two seams, matching the two places real failures occur:
+//
+//   - Injector.RoundTripper wraps an http.RoundTripper (the coordinator's
+//     client transport, via serve.Config.Transport): delays, requests
+//     dropped before reaching the worker, synthesized 5xx answers,
+//     responses discarded after the worker did the work, and corrupted
+//     response bodies.
+//   - Injector.Middleware wraps an http.Handler (a worker): delays, aborted
+//     connections, 5xx answers (optionally with Retry-After), handlers run
+//     to completion with the response then thrown away (kill-mid-lease),
+//     and corrupted response bodies.
+//
+// The package is a test harness, not a test file, so integration suites in
+// other packages (and future chaos tooling) can share it.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tqsim/internal/rng"
+)
+
+// Kind names a fault class.
+type Kind string
+
+// The fault classes a Rule can inject.
+const (
+	// Delay sleeps Rule.Delay before forwarding the request.
+	Delay Kind = "delay"
+	// Drop fails the call without reaching the handler: the client sees a
+	// transport error, the server never saw the request.
+	Drop Kind = "drop"
+	// Err5xx answers Rule.Status (default 500) without doing the work.
+	Err5xx Kind = "5xx"
+	// KillMidLease runs the real handler — the work happens — then throws
+	// the response away and aborts: the acknowledgment is lost, so the
+	// caller must requeue without double-counting.
+	KillMidLease Kind = "kill-mid-lease"
+	// Corrupt runs the real handler and flips one digit in the JSON
+	// response body, keeping it syntactically valid: only a checksum can
+	// tell.
+	Corrupt Kind = "corrupt"
+)
+
+// Rule is one fault source inside a Plan.
+type Rule struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// Path restricts the rule to one URL path (e.g. "/v1/shard");
+	// empty matches every request.
+	Path string
+	// Probability is the chance a matching request fires the rule,
+	// decided by the rule's seeded stream (1 = always).
+	Probability float64
+	// After skips the first After matching requests before the rule may
+	// fire — "dies after its first lease" is After: 1.
+	After int
+	// Count caps how many times the rule fires (0 = unlimited).
+	Count int
+	// Delay is the injected latency for Kind Delay.
+	Delay time.Duration
+	// Status is the answer for Kind Err5xx (default 500).
+	Status int
+	// RetryAfter, for Err5xx answers, adds a Retry-After header with this
+	// many whole seconds.
+	RetryAfter time.Duration
+}
+
+// Plan is a complete, reproducible fault schedule.
+type Plan struct {
+	// Seed derives every rule's decision stream.
+	Seed uint64
+	// Rules fire independently; the first rule that fires on a request
+	// wins (at most one fault per request).
+	Rules []Rule
+}
+
+// Injector evaluates a Plan against live traffic. Construct with New; one
+// Injector holds the mutable match/fire counters, so wrap every seam of
+// one simulated component with the same Injector.
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	streams []*rng.RNG
+	seen    []int
+	fired   []int
+}
+
+// New returns an Injector for the plan. Each rule's stream is derived as
+// rng.SeedAt(plan.Seed, rule index), so rules decide independently and the
+// whole schedule replays from the seed.
+func New(plan Plan) *Injector {
+	in := &Injector{
+		plan:    plan,
+		streams: make([]*rng.RNG, len(plan.Rules)),
+		seen:    make([]int, len(plan.Rules)),
+		fired:   make([]int, len(plan.Rules)),
+	}
+	for i := range plan.Rules {
+		in.streams[i] = rng.New(rng.SeedAt(plan.Seed, uint64(i)))
+	}
+	return in
+}
+
+// Fired returns how many times each rule has fired, in rule order.
+func (in *Injector) Fired() []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]int(nil), in.fired...)
+}
+
+// FiredTotal returns the total fault count across all rules.
+func (in *Injector) FiredTotal() int {
+	n := 0
+	for _, k := range in.Fired() {
+		n += k
+	}
+	return n
+}
+
+// decide returns the first rule firing for this request path, or nil.
+// Every matching rule's stream advances exactly once per matching request
+// whether or not it fires, keeping the schedule an index-pure function.
+func (in *Injector) decide(path string) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var hit *Rule
+	for i := range in.plan.Rules {
+		r := &in.plan.Rules[i]
+		if r.Path != "" && r.Path != path {
+			continue
+		}
+		ordinal := in.seen[i]
+		in.seen[i]++
+		roll := in.streams[i].Float64()
+		if hit != nil {
+			continue // stream advanced; an earlier rule already claimed the request
+		}
+		if ordinal < r.After || (r.Count > 0 && in.fired[i] >= r.Count) {
+			continue
+		}
+		if roll < r.Probability {
+			in.fired[i]++
+			hit = r
+		}
+	}
+	return hit
+}
+
+// errDropped is the transport error surfaced for Drop and KillMidLease
+// faults on the client seam.
+type errDropped struct{ kind Kind }
+
+func (e *errDropped) Error() string { return fmt.Sprintf("faultinject: connection %s", e.kind) }
+
+type roundTripper struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+// RoundTripper wraps a client transport with the plan. Pass the result as
+// serve.Config.Transport to put the plan between a coordinator and its
+// workers. next nil means http.DefaultTransport.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &roundTripper{in: in, next: next}
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := rt.in.decide(req.URL.Path)
+	if r == nil {
+		return rt.next.RoundTrip(req)
+	}
+	switch r.Kind {
+	case Delay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(r.Delay):
+		}
+		return rt.next.RoundTrip(req)
+	case Drop:
+		// The request never reaches the server: close the body (the
+		// contract when RoundTrip errors) and fail.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &errDropped{kind: Drop}
+	case Err5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		resp := &http.Response{
+			StatusCode: statusOr500(r.Status),
+			Status:     http.StatusText(statusOr500(r.Status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(bytes.NewReader([]byte("injected fault"))),
+			Request: req,
+		}
+		setRetryAfter(resp.Header, r)
+		return resp, nil
+	case KillMidLease:
+		// The server does the work; the response is lost on the way back.
+		resp, err := rt.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &errDropped{kind: KillMidLease}
+	case Corrupt:
+		resp, err := rt.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = CorruptJSON(body)
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return rt.next.RoundTrip(req)
+}
+
+// Middleware wraps a server handler with the plan — the worker-side seam.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r := in.decide(req.URL.Path)
+		if r == nil {
+			next.ServeHTTP(w, req)
+			return
+		}
+		switch r.Kind {
+		case Delay:
+			select {
+			case <-req.Context().Done():
+				return
+			case <-time.After(r.Delay):
+			}
+			next.ServeHTTP(w, req)
+		case Drop:
+			// Abort the connection without a response; net/http recovers
+			// ErrAbortHandler quietly and the client sees a transport error.
+			panic(http.ErrAbortHandler)
+		case Err5xx:
+			setRetryAfter(w.Header(), r)
+			http.Error(w, "injected fault", statusOr500(r.Status))
+		case KillMidLease:
+			rec := &bufferedResponse{header: make(http.Header)}
+			next.ServeHTTP(rec, req)    // the work happens...
+			panic(http.ErrAbortHandler) // ...the acknowledgment is lost
+		case Corrupt:
+			rec := &bufferedResponse{header: make(http.Header)}
+			next.ServeHTTP(rec, req)
+			body := CorruptJSON(rec.body.Bytes())
+			for k, v := range rec.header {
+				if k == "Content-Length" {
+					continue
+				}
+				w.Header()[k] = v
+			}
+			w.WriteHeader(rec.statusOr200())
+			w.Write(body)
+		default:
+			next.ServeHTTP(w, req)
+		}
+	})
+}
+
+func statusOr500(status int) int {
+	if status == 0 {
+		return http.StatusInternalServerError
+	}
+	return status
+}
+
+func setRetryAfter(h http.Header, r *Rule) {
+	if r.RetryAfter > 0 {
+		secs := int(r.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h.Set("Retry-After", strconv.Itoa(secs))
+	}
+}
+
+// bufferedResponse captures a handler's output so a fault can discard or
+// mutate it before anything reaches the wire.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if b.status == 0 {
+		b.status = status
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.WriteHeader(http.StatusOK)
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) statusOr200() int {
+	if b.status == 0 {
+		return http.StatusOK
+	}
+	return b.status
+}
+
+// CorruptJSON flips one decimal digit of a JSON document, preferring the
+// payload section after a "batches" key (the shard protocol's data), and
+// keeps the document syntactically valid — the corruption only a checksum
+// catches. Documents with no digits are returned unchanged.
+func CorruptJSON(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	start := 0
+	if i := bytes.Index(out, []byte(`"batches"`)); i >= 0 {
+		start = i
+	}
+	for i := start; i < len(out); i++ {
+		if out[i] >= '0' && out[i] <= '9' {
+			if out[i] == '9' {
+				out[i] = '8'
+			} else {
+				out[i]++
+			}
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// replay records which of n simulated requests a plan fires on.
+func replay(p Plan, path string, n int) []string {
+	in := New(p)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		if r := in.decide(path); r != nil {
+			out[i] = string(r.Kind)
+		}
+	}
+	return out
+}
+
+func TestPlanScheduleIsDeterministicInSeed(t *testing.T) {
+	p := Plan{Seed: 42, Rules: []Rule{
+		{Kind: Err5xx, Path: "/v1/shard", Probability: 0.4},
+		{Kind: Corrupt, Path: "/v1/shard", Probability: 0.3, After: 2},
+	}}
+	a := replay(p, "/v1/shard", 64)
+	b := replay(p, "/v1/shard", 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan, different schedules:\n%v\n%v", a, b)
+	}
+	fired := 0
+	for _, k := range a {
+		if k != "" {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("probability 0.4 fired %d/64 times", fired)
+	}
+
+	p2 := p
+	p2.Seed = 43
+	if reflect.DeepEqual(a, replay(p2, "/v1/shard", 64)) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestAfterAndCountBoundFiring(t *testing.T) {
+	p := Plan{Seed: 1, Rules: []Rule{
+		{Kind: Drop, Probability: 1, After: 3, Count: 2},
+	}}
+	got := replay(p, "/x", 10)
+	want := []string{"", "", "", "drop", "drop", "", "", "", "", ""}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("After/Count schedule wrong: %v", got)
+	}
+	if total := New(p).FiredTotal(); total != 0 {
+		t.Fatalf("fresh injector reports %d fired", total)
+	}
+}
+
+func TestPathFilterAndFirstRuleWins(t *testing.T) {
+	p := Plan{Seed: 9, Rules: []Rule{
+		{Kind: Err5xx, Path: "/a", Probability: 1},
+		{Kind: Drop, Path: "", Probability: 1},
+	}}
+	in := New(p)
+	if r := in.decide("/a"); r == nil || r.Kind != Err5xx {
+		t.Fatalf("first matching rule did not win: %+v", r)
+	}
+	if r := in.decide("/b"); r == nil || r.Kind != Drop {
+		t.Fatalf("path filter leaked: %+v", r)
+	}
+	if fired := in.Fired(); fired[0] != 1 || fired[1] != 1 {
+		t.Fatalf("fired counters wrong: %v", fired)
+	}
+}
+
+// echoHandler answers a small JSON document resembling a shard response.
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"backend":"statevec","batches":[{"batch":3,"counts":{"5":17}}]}`)
+	})
+}
+
+func TestMiddlewareErr5xxAndRetryAfter(t *testing.T) {
+	in := New(Plan{Seed: 1, Rules: []Rule{
+		{Kind: Err5xx, Probability: 1, Status: 503, RetryAfter: 7 * time.Second, Count: 1},
+	}})
+	ts := httptest.NewServer(in.Middleware(echoHandler()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("injected 503 wrong: %d %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Count: 1 exhausted — the next request passes through untouched.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"batch":3`) {
+		t.Fatalf("pass-through wrong: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestMiddlewareDropAbortsConnection(t *testing.T) {
+	in := New(Plan{Seed: 1, Rules: []Rule{{Kind: Drop, Probability: 1}}})
+	ts := httptest.NewServer(in.Middleware(echoHandler()))
+	defer ts.Close()
+	if _, err := http.Get(ts.URL); err == nil {
+		t.Fatal("dropped connection produced a response")
+	}
+}
+
+func TestMiddlewareKillMidLeaseRunsHandlerThenAborts(t *testing.T) {
+	var ran atomic.Int32
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ran.Add(1)
+		io.WriteString(w, "done")
+	})
+	in := New(Plan{Seed: 1, Rules: []Rule{{Kind: KillMidLease, Probability: 1, Count: 1}}})
+	ts := httptest.NewServer(in.Middleware(inner))
+	defer ts.Close()
+	if _, err := http.Get(ts.URL); err == nil {
+		t.Fatal("kill-mid-lease produced a response")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("handler ran %d times; the work must happen before the response is lost", got)
+	}
+}
+
+func TestCorruptKeepsJSONValidButChangesContent(t *testing.T) {
+	in := New(Plan{Seed: 1, Rules: []Rule{{Kind: Corrupt, Probability: 1}}})
+	ts := httptest.NewServer(in.Middleware(echoHandler()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var v map[string]any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("corrupted body no longer parses: %v\n%s", err, body)
+	}
+	if strings.Contains(string(body), `"batch":3`) {
+		t.Fatalf("corruption did not change the payload: %s", body)
+	}
+}
+
+func TestRoundTripperDropAndErr5xx(t *testing.T) {
+	ts := httptest.NewServer(echoHandler())
+	defer ts.Close()
+
+	in := New(Plan{Seed: 5, Rules: []Rule{
+		{Kind: Drop, Probability: 1, Count: 1},
+		{Kind: Err5xx, Probability: 1, Status: 503, RetryAfter: time.Second, Count: 1},
+	}})
+	hc := &http.Client{Transport: in.RoundTripper(nil)}
+
+	if _, err := hc.Get(ts.URL); err == nil {
+		t.Fatal("dropped request produced a response")
+	}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("synthesized 503 wrong: %d %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp, err = hc.Get(ts.URL) // rules exhausted: passes through
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pass-through status %d", resp.StatusCode)
+	}
+}
+
+func TestCorruptJSONTargetsBatchesSection(t *testing.T) {
+	doc := []byte(`{"v2":"x","batches":[{"batch":10}]}`)
+	got := CorruptJSON(doc)
+	if string(got) == string(doc) {
+		t.Fatal("no corruption applied")
+	}
+	// The digit inside "v2" (before the batches key) must be untouched.
+	if !strings.Contains(string(got), `"v2"`) {
+		t.Fatalf("corruption hit bytes before the batches payload: %s", got)
+	}
+	if !json.Valid(got) {
+		t.Fatalf("corrupted doc invalid: %s", got)
+	}
+	// Digit-free documents pass through unchanged.
+	if out := CorruptJSON([]byte(`{"a":"b"}`)); string(out) != `{"a":"b"}` {
+		t.Fatalf("digit-free doc mutated: %s", out)
+	}
+}

@@ -1,0 +1,297 @@
+package serve
+
+// The chaos property suite: seeded fault plans (internal/faultinject) are
+// injected between the coordinator and its workers — on the worker side via
+// handler middleware, on the coordinator side via Config.Transport — and the
+// headline invariant is checked for every plan: as long as the coordinator
+// survives, the merged job and sweep histograms are BYTE-IDENTICAL to the
+// fault-free run. Faults may slow the job down, requeue leases, trip
+// breakers, kill and revive workers; they may never change a single count.
+//
+// Run via `make test-chaos` (under -race); the plans are deterministic in
+// their seeds, so a failure reproduces with the seed in the test name.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"tqsim/internal/faultinject"
+)
+
+// chaosConfig is the coordinator configuration the chaos grid runs under:
+// fast retries and probes so faulty runs stay quick, a breaker tight enough
+// to actually trip, and a pinned jitter seed so the retry schedule replays.
+func chaosConfig(workers []string, seed uint64, transport http.RoundTripper) Config {
+	return Config{
+		Workers:          workers,
+		Transport:        transport,
+		LeaseRetries:     2,
+		RetryBackoff:     time.Millisecond,
+		RetryAfterCap:    10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Millisecond,
+		ProbeBackoff:     5 * time.Millisecond,
+		JitterSeed:       seed,
+	}
+}
+
+// chaosPlans is the fault grid. Every rule targets /v1/shard so probes and
+// stats stay clean; Probability 1 + Count caps make each plan's fault count
+// certain, so the suite can assert the faults actually fired.
+var chaosPlans = []struct {
+	name string
+	plan faultinject.Plan
+}{
+	{"drop-burst", faultinject.Plan{Seed: 101, Rules: []faultinject.Rule{
+		{Kind: faultinject.Drop, Path: "/v1/shard", Probability: 1, Count: 3},
+	}}},
+	{"5xx-burst", faultinject.Plan{Seed: 102, Rules: []faultinject.Rule{
+		{Kind: faultinject.Err5xx, Path: "/v1/shard", Probability: 1, Count: 4},
+	}}},
+	{"503-retry-after", faultinject.Plan{Seed: 103, Rules: []faultinject.Rule{
+		{Kind: faultinject.Err5xx, Path: "/v1/shard", Probability: 1, Count: 2,
+			Status: http.StatusServiceUnavailable, RetryAfter: time.Second},
+	}}},
+	{"kill-mid-lease", faultinject.Plan{Seed: 104, Rules: []faultinject.Rule{
+		{Kind: faultinject.KillMidLease, Path: "/v1/shard", Probability: 1, Count: 2},
+	}}},
+	{"corrupt-payload", faultinject.Plan{Seed: 105, Rules: []faultinject.Rule{
+		{Kind: faultinject.Corrupt, Path: "/v1/shard", Probability: 1, Count: 2},
+	}}},
+	{"delay-then-drop", faultinject.Plan{Seed: 106, Rules: []faultinject.Rule{
+		{Kind: faultinject.Delay, Path: "/v1/shard", Probability: 0.5, Delay: 5 * time.Millisecond},
+		{Kind: faultinject.Drop, Path: "/v1/shard", Probability: 1, After: 2, Count: 2},
+	}}},
+	{"mixed-storm", faultinject.Plan{Seed: 107, Rules: []faultinject.Rule{
+		{Kind: faultinject.Drop, Path: "/v1/shard", Probability: 0.5, Count: 2},
+		{Kind: faultinject.Err5xx, Path: "/v1/shard", Probability: 1, Count: 2},
+		{Kind: faultinject.KillMidLease, Path: "/v1/shard", Probability: 1, After: 1, Count: 2},
+		{Kind: faultinject.Corrupt, Path: "/v1/shard", Probability: 1, After: 3, Count: 2},
+		{Kind: faultinject.Delay, Path: "/v1/shard", Probability: 0.3, Delay: 3 * time.Millisecond},
+	}}},
+}
+
+// runChaosJob runs the standard distributed job through a faulty pool and
+// returns the response and the coordinator's stats.
+func runChaosJob(t *testing.T, cfgOf func(urls []string) Config, wrap func(http.Handler) http.Handler) (*JobResponse, *Stats) {
+	t.Helper()
+	var urls []string
+	for i := 0; i < 3; i++ {
+		var h http.Handler = New(Config{WorkerMode: true, MaxConcurrent: 2})
+		if wrap != nil {
+			h = wrap(h)
+		}
+		ws := httptest.NewServer(h)
+		t.Cleanup(ws.Close)
+		urls = append(urls, ws.URL)
+	}
+	coord := New(cfgOf(urls))
+	ts := httptest.NewServer(coord)
+	t.Cleanup(ts.Close)
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", distributedJob(64))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos job failed: %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	st := coord.Snapshot()
+	return &jr, &st
+}
+
+// TestChaosJobHistogramsByteIdentical is the headline invariant over the
+// server-seam grid: worker-side faults of every kind, merged histogram
+// byte-identical to the fault-free run.
+func TestChaosJobHistogramsByteIdentical(t *testing.T) {
+	ref := singleProcessReference(t, distributedJob(64))
+	for _, tc := range chaosPlans {
+		t.Run(tc.name+"-seed"+strconv.FormatUint(tc.plan.Seed, 10), func(t *testing.T) {
+			in := faultinject.New(tc.plan)
+			jr, st := runChaosJob(t,
+				func(urls []string) Config { return chaosConfig(urls, tc.plan.Seed, nil) },
+				in.Middleware)
+			sameJSONCounts(t, tc.name, ref.Counts, jr.Counts)
+			if jr.Outcomes != ref.Outcomes {
+				t.Fatalf("outcomes %d, want %d — a batch ran twice or was lost", jr.Outcomes, ref.Outcomes)
+			}
+			if in.FiredTotal() == 0 {
+				t.Fatal("the fault plan never fired; the run proved nothing")
+			}
+			// Faults must be visible in the stats surface, not silently eaten.
+			if st.LeaseRetries == 0 && st.ShardsRequeued == 0 && st.RetryAfterWaits == 0 {
+				t.Fatalf("faults fired %d times but no retry/requeue was recorded: %+v", in.FiredTotal(), st)
+			}
+		})
+	}
+}
+
+// TestChaosClientSeam runs a mixed plan on the coordinator's own transport
+// (Config.Transport): requests dropped before the worker, responses lost
+// after the work, and synthesized 503s — same invariant.
+func TestChaosClientSeam(t *testing.T) {
+	ref := singleProcessReference(t, distributedJob(64))
+	plan := faultinject.Plan{Seed: 201, Rules: []faultinject.Rule{
+		{Kind: faultinject.Drop, Path: "/v1/shard", Probability: 1, Count: 2},
+		{Kind: faultinject.KillMidLease, Path: "/v1/shard", Probability: 1, After: 2, Count: 2},
+		{Kind: faultinject.Err5xx, Path: "/v1/shard", Probability: 1, After: 5, Count: 1,
+			Status: http.StatusServiceUnavailable, RetryAfter: time.Second},
+	}}
+	in := faultinject.New(plan)
+	jr, st := runChaosJob(t,
+		func(urls []string) Config { return chaosConfig(urls, plan.Seed, in.RoundTripper(nil)) },
+		nil)
+	sameJSONCounts(t, "client seam", ref.Counts, jr.Counts)
+	if in.FiredTotal() < 3 {
+		t.Fatalf("client-seam plan fired %d faults, want >= 3", in.FiredTotal())
+	}
+	if st.LeaseRetries == 0 {
+		t.Fatalf("transport faults produced no retries: %+v", st)
+	}
+}
+
+// TestChaosCorruptionNeverMerges pins the checksum path: corrupted payloads
+// are counted, requeued and re-run — and the merged histogram still matches.
+func TestChaosCorruptionNeverMerges(t *testing.T) {
+	ref := singleProcessReference(t, distributedJob(64))
+	plan := faultinject.Plan{Seed: 301, Rules: []faultinject.Rule{
+		{Kind: faultinject.Corrupt, Path: "/v1/shard", Probability: 1, Count: 3},
+	}}
+	in := faultinject.New(plan)
+	jr, st := runChaosJob(t,
+		func(urls []string) Config { return chaosConfig(urls, plan.Seed, nil) },
+		in.Middleware)
+	sameJSONCounts(t, "corruption", ref.Counts, jr.Counts)
+	if st.ChecksumFailures == 0 {
+		t.Fatalf("corrupt payloads fired %d times but no checksum failure recorded: %+v",
+			in.FiredTotal(), st)
+	}
+}
+
+// TestChaosSweepHistogramsByteIdentical runs the sweep grid through faulty
+// pools: per-point histograms byte-identical to the local sweep.
+func TestChaosSweepHistogramsByteIdentical(t *testing.T) {
+	ref := func() map[int]map[string]int {
+		rs := httptest.NewServer(New(Config{}))
+		defer rs.Close()
+		out := map[int]map[string]int{}
+		for _, pj := range postSweep(t, rs.URL, sweepReq()).Results {
+			out[pj.Index] = pj.Counts
+		}
+		return out
+	}()
+
+	for _, tc := range []struct {
+		name string
+		plan faultinject.Plan
+	}{
+		{"sweep-kill-corrupt", faultinject.Plan{Seed: 401, Rules: []faultinject.Rule{
+			{Kind: faultinject.KillMidLease, Path: "/v1/shard", Probability: 1, Count: 1},
+			{Kind: faultinject.Corrupt, Path: "/v1/shard", Probability: 1, After: 1, Count: 1},
+		}}},
+		{"sweep-5xx-drop", faultinject.Plan{Seed: 402, Rules: []faultinject.Rule{
+			{Kind: faultinject.Err5xx, Path: "/v1/shard", Probability: 1, Count: 2},
+			{Kind: faultinject.Drop, Path: "/v1/shard", Probability: 0.5, After: 2, Count: 2},
+		}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := faultinject.New(tc.plan)
+			var urls []string
+			for i := 0; i < 2; i++ {
+				ws := httptest.NewServer(in.Middleware(New(Config{WorkerMode: true, MaxConcurrent: 2})))
+				t.Cleanup(ws.Close)
+				urls = append(urls, ws.URL)
+			}
+			coord := New(chaosConfig(urls, tc.plan.Seed, nil))
+			ts := httptest.NewServer(coord)
+			t.Cleanup(ts.Close)
+
+			sr := postSweep(t, ts.URL, sweepReq())
+			if len(sr.Results) != len(ref) {
+				t.Fatalf("%d points, want %d", len(sr.Results), len(ref))
+			}
+			for _, pj := range sr.Results {
+				sameJSONCounts(t, tc.name+" point "+strconv.Itoa(pj.Index), ref[pj.Index], pj.Counts)
+			}
+			if in.FiredTotal() == 0 {
+				t.Fatal("the sweep fault plan never fired")
+			}
+		})
+	}
+}
+
+// TestChaosJoinLeaveChurn is the membership half of the grid: a job starts
+// on one slow worker, two more join mid-job through /v1/workers (one of
+// them dies after its first lease), and the merge is still byte-identical.
+func TestChaosJoinLeaveChurn(t *testing.T) {
+	// 32 batches (not the suite's usual 16) so plenty of leases remain
+	// queued when the joiners arrive.
+	churnJob := func() *JobRequest {
+		return &JobRequest{Circuit: "qft_n8", Noise: "DC", Shots: 800, Seed: 88, BatchShots: 25}
+	}
+	ref := singleProcessReference(t, churnJob())
+
+	// Two slots at 40ms per lease: the job is cut into 8 leases, the slow
+	// worker holds 2 of them well past the join moment, and at least 4 sit
+	// queued when the joiners arrive — so the least-loaded dispatch is
+	// guaranteed to hand the joiner work.
+	slow := &slowWorker{inner: New(Config{WorkerMode: true, MaxConcurrent: 2}), delay: 40 * time.Millisecond}
+	slowS := httptest.NewServer(slow)
+	defer slowS.Close()
+	joiner := &countingWorker{inner: New(Config{WorkerMode: true, MaxConcurrent: 2})}
+	joinerS := httptest.NewServer(joiner)
+	defer joinerS.Close()
+	leaver := &killableWorker{inner: New(Config{WorkerMode: true, MaxConcurrent: 2})}
+	leaverS := httptest.NewServer(leaver)
+	defer leaverS.Close()
+
+	cfg := chaosConfig([]string{slowS.URL}, 501, nil)
+	cfg.AcceptWorkers = true
+	coord := New(cfg)
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	done := make(chan []byte, 1)
+	status := make(chan int, 1)
+	go func() {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", churnJob())
+		status <- resp.StatusCode
+		done <- body
+	}()
+
+	// Two workers join while the job is running; their heartbeats keep them
+	// alive (and revive the leaver if its failure marked it dead).
+	time.Sleep(25 * time.Millisecond)
+	stop := make(chan struct{})
+	defer close(stop)
+	announceLoop(t, ts.URL, joinerS.URL, 2*time.Millisecond, stop)
+	announceLoop(t, ts.URL, leaverS.URL, 2*time.Millisecond, stop)
+
+	if code := <-status; code != http.StatusOK {
+		t.Fatalf("churn job failed: %d: %s", code, <-done)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(<-done, &jr); err != nil {
+		t.Fatal(err)
+	}
+	sameJSONCounts(t, "churn merge", ref.Counts, jr.Counts)
+	if jr.Outcomes != ref.Outcomes {
+		t.Fatalf("outcomes %d, want %d", jr.Outcomes, ref.Outcomes)
+	}
+
+	st := coord.Snapshot()
+	if st.WorkersJoined != 2 {
+		t.Fatalf("workers joined = %d, want 2", st.WorkersJoined)
+	}
+	if joiner.shards.Load() == 0 {
+		t.Fatal("the mid-job joiner never served a lease")
+	}
+	if st.WorkersTotal != 3 {
+		t.Fatalf("registry holds %d workers, want 3", st.WorkersTotal)
+	}
+}

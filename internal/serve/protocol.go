@@ -17,6 +17,12 @@ package serve
 // per-batch histograms, and the coordinator records each batch index at
 // most once.
 
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
 // ShardRequest is the POST /v1/shard body: a complete work description plus
 // the half-open unit-index range this worker is leasing. The unit is a
 // batch index for jobs and a sweep-point index for sweeps; exactly one of
@@ -68,6 +74,38 @@ type ShardResponse struct {
 	Structure string `json:"structure"`
 	// Batches holds one entry per leased batch, in index order.
 	Batches []ShardBatch `json:"batches"`
+	// Checksum is ShardChecksum(Batches), computed by the worker. The
+	// coordinator recomputes it over the decoded payload: a mismatch means
+	// the response was corrupted in flight (or by a sick worker) and the
+	// lease is treated as failed and requeued instead of merged.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// ShardChecksum is the integrity hash both sides of the shard protocol
+// compute over a response's batch payload: the sha256 of its canonical
+// JSON encoding (encoding/json sorts map keys and round-trips float64
+// exactly, so worker-side and coordinator-side encodings agree byte for
+// byte).
+func ShardChecksum(batches []ShardBatch) string {
+	b, err := json.Marshal(batches)
+	if err != nil {
+		// Unmarshalable batches cannot occur for wire-decoded values; an
+		// impossible hash forces the mismatch path rather than hiding it.
+		return "unmarshalable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// WorkerAnnounce is the POST /v1/workers body: a worker's join-or-heartbeat
+// announcement. The same message serves both purposes — the coordinator
+// registers unknown URLs, refreshes known ones, and revives dead ones.
+type WorkerAnnounce struct {
+	// URL is the worker's base URL as the coordinator should dial it.
+	URL string `json:"url"`
+	// Info is the worker's current capacity advertisement (the same payload
+	// GET /v1/worker serves).
+	Info WorkerInfo `json:"info"`
 }
 
 // WorkerInfo is the GET /v1/worker body — the capacity advertisement the

@@ -82,13 +82,55 @@ type Config struct {
 	// non-empty the server acts as a coordinator and shards multi-batch
 	// jobs across them.
 	Workers []string
-	// LeaseTimeout bounds one shard lease's round trip (default 10m,
-	// negative = unlimited). A worker that accepts a lease and then hangs —
-	// alive TCP, no response — used to stall the whole job forever; on
-	// timeout the worker is marked dead and the lease requeues to the rest
-	// of the pool. Size it above the longest legitimate lease (a lease is a
-	// handful of batches), not above zero.
+	// LeaseTimeout bounds one shard lease's round trip, including its retry
+	// attempts (default 10m, negative = unlimited). A worker that accepts a
+	// lease and then hangs — alive TCP, no response — used to stall the
+	// whole job forever; on timeout the worker is marked dead and the lease
+	// requeues to the rest of the pool. Size it above the longest
+	// legitimate lease (a lease is a handful of batches), not above zero.
 	LeaseTimeout time.Duration
+	// AcceptWorkers enables elastic membership on a coordinator with no
+	// static worker list: workers self-register via POST /v1/workers
+	// (tqsimd -worker -join). A server with Config.Workers accepts
+	// registrations regardless.
+	AcceptWorkers bool
+	// SuspectAfter and DeadAfter drive the liveness state machine for
+	// workers that heartbeat: a worker whose last heartbeat (or probe, or
+	// completed lease) is older than SuspectAfter gets no new leases; older
+	// than DeadAfter it is declared dead until it announces or answers a
+	// probe again (defaults 5s / 15s). Static -workers entries that never
+	// heartbeat are exempt — they keep probe-based liveness.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// LeaseRetries bounds per-worker retry attempts after a failed lease or
+	// probe call, with exponential backoff and jitter between attempts
+	// (default 2, negative = no retries).
+	LeaseRetries int
+	// RetryBackoff is the base backoff before the first retry; attempt k
+	// waits a jittered RetryBackoff<<k (default 25ms).
+	RetryBackoff time.Duration
+	// RetryAfterCap caps how long the coordinator honors a worker's
+	// Retry-After hint on 503 before retrying (default 2s). Exhausted
+	// retries exclude the worker from the job, as before.
+	RetryAfterCap time.Duration
+	// BreakerThreshold opens a worker's circuit breaker after this many
+	// consecutive failed lease attempts; after BreakerCooldown the breaker
+	// half-opens and admits one trial lease (defaults 5 / 5s; threshold
+	// negative = breaker disabled).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeBackoff spaces health probes of a non-alive worker (default 5s):
+	// probing runs on the job submission path and after mid-job failures,
+	// and a blackholed worker must not add probe latency to every job.
+	ProbeBackoff time.Duration
+	// Transport overrides the HTTP transport for coordinator→worker calls
+	// (nil = http.DefaultTransport). The fault-injection hook:
+	// internal/faultinject wraps it to inject delays, drops and corruption
+	// deterministically.
+	Transport http.RoundTripper
+	// JitterSeed seeds the backoff-jitter stream (default 1) so retry
+	// schedules replay deterministically under a fixed fault plan.
+	JitterSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +151,36 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LeaseTimeout == 0 {
 		c.LeaseTimeout = 10 * time.Minute
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 5 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 15 * time.Second
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter
+	}
+	if c.LeaseRetries == 0 {
+		c.LeaseRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 2 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ProbeBackoff <= 0 {
+		c.ProbeBackoff = 5 * time.Second
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
 	}
 	return c
 }
@@ -137,6 +209,17 @@ type Stats struct {
 	WorkerFailures   uint64 `json:"worker_failures,omitempty"`
 	WorkersAlive     int    `json:"workers_alive,omitempty"`
 	WorkersTotal     int    `json:"workers_total,omitempty"`
+	// Resilient-dispatch counters: lease retry attempts, shard responses
+	// rejected by checksum, Retry-After waits honored, and elastic
+	// membership churn (self-registrations and dead→alive revivals).
+	LeaseRetries     uint64 `json:"lease_retries,omitempty"`
+	ChecksumFailures uint64 `json:"checksum_failures,omitempty"`
+	RetryAfterWaits  uint64 `json:"retry_after_waits,omitempty"`
+	WorkersJoined    uint64 `json:"workers_joined,omitempty"`
+	WorkersRevived   uint64 `json:"workers_revived,omitempty"`
+	// Workers is the per-worker registry view: liveness state, breaker
+	// state, heartbeat age, lease/retry/requeue counts and utilization.
+	Workers []WorkerStat `json:"workers,omitempty"`
 }
 
 // Server is the tqsimd HTTP handler. Construct with New.
@@ -164,7 +247,7 @@ type Server struct {
 	// prefix snapshots the previous lease already paid for.
 	sweepMu    sync.Mutex
 	sweepPreps *lruCache[*sweepJob]
-	pool       *pool // non-nil when coordinating a worker pool
+	pool       *registry // non-nil when coordinating a worker fleet
 	stats      [statCount]atomic.Uint64
 }
 
@@ -189,6 +272,11 @@ const (
 	statWorkerFailures
 	statSweepsCompleted
 	statSweepPoints
+	statLeaseRetries
+	statChecksumFails
+	statRetryAfterWaits
+	statWorkersJoined
+	statWorkersRevived
 	statCount
 )
 
@@ -211,8 +299,8 @@ func New(cfg Config) *Server {
 	// entries are bounded by this cap times the per-sweep snapshot set.
 	s.sweepPreps = newLRU[*sweepJob](4)
 	s.slots = make(chan struct{}, s.cfg.MaxConcurrent)
-	if len(s.cfg.Workers) > 0 {
-		s.pool = newPool(s.cfg.Workers)
+	if len(s.cfg.Workers) > 0 || s.cfg.AcceptWorkers {
+		s.pool = newRegistry(s.cfg)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -222,6 +310,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerJoin)
 	return s
 }
 
@@ -994,10 +1083,16 @@ func (s *Server) Snapshot() Stats {
 		ShardsDispatched:  s.stats[statShardsDispatched].Load(),
 		ShardsRequeued:    s.stats[statShardsRequeued].Load(),
 		WorkerFailures:    s.stats[statWorkerFailures].Load(),
+		LeaseRetries:      s.stats[statLeaseRetries].Load(),
+		ChecksumFailures:  s.stats[statChecksumFails].Load(),
+		RetryAfterWaits:   s.stats[statRetryAfterWaits].Load(),
+		WorkersJoined:     s.stats[statWorkersJoined].Load(),
+		WorkersRevived:    s.stats[statWorkersRevived].Load(),
 	}
 	if s.pool != nil {
-		st.WorkersAlive = s.pool.aliveCount()
-		st.WorkersTotal = len(s.pool.workers)
+		st.WorkersAlive = s.aliveWorkers()
+		st.WorkersTotal = len(s.pool.snapshot())
+		st.Workers = s.workerStats()
 	}
 	return st
 }

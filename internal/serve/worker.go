@@ -84,6 +84,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Backend, resp.Structure = backend, structure
+	resp.Checksum = ShardChecksum(resp.Batches)
 	s.stats[statCompleted].Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -130,17 +131,14 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request, sr *Sh
 		writeError(w, herr.status, herr.msg)
 		return
 	}
+	resp.Checksum = ShardChecksum(resp.Batches)
 	s.stats[statCompleted].Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleWorkerInfo serves the capacity advertisement; coordinators poll it
-// as the health check and placement input.
+// as the health check and placement input. The same payload rides inside
+// WorkerAnnounce heartbeats.
 func (s *Server) handleWorkerInfo(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, WorkerInfo{
-		Worker:            s.cfg.WorkerMode,
-		MaxConcurrent:     s.cfg.MaxConcurrent,
-		MemoryBudgetBytes: s.cfg.MemoryBudgetBytes,
-		Draining:          s.Draining(),
-	})
+	writeJSON(w, http.StatusOK, s.workerInfo())
 }
