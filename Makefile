@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race test-distributed test-sweep test-chaos fuzz-smoke bench-kernels bench-sweep bench ci docs-lint docs-check
+.PHONY: build vet test race test-distributed test-sweep test-chaos test-store fuzz-smoke bench-kernels bench-sweep bench ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,17 @@ test-chaos:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -race ./internal/serve -run 'TestChaos|TestLiveness|TestBreaker|TestWorkerJoin|TestWorkerRevival|TestRetryAfter|TestCoordinatorDrain|TestWorkerDrain'
 
+# Result & snapshot store suite under the race detector: the
+# content-addressed store (memory LRU, disk persistence, crash-file rescan,
+# byte caps), the structural circuit digest, the cross-job snapshot cache,
+# and the serve-layer replay-identity conformance grid (job/sweep/
+# distributed × stream shapes, restart-with-store-dir, cross-job snapshot
+# hits) plus the cache-correctness regressions (circuitHash unitary
+# collision, queued-client cancellation, plan-cache counter algebra).
+test-store:
+	$(GO) test -race ./internal/resultstore ./internal/circuit ./internal/core -run 'TestDigest|TestPrefixDigests|TestForPlan|TestEviction|Test.*LRU|TestPut|TestDisk|TestRescan|TestReopen|TestVanished|TestConcurrent'
+	$(GO) test -race ./internal/serve -run 'TestResultStore|TestSnapshotCache|TestSweepUsesSharedSnapshotCache|TestCircuitHashDistinguishesUnitaries|TestQueuedClientDisconnectCancels|TestPlanCacheStatsConsistentUnderEviction'
+
 # Short fuzz smoke: the QASM parser/round-trip fuzzer plus its committed
 # regression corpus. Go runs one fuzz target per invocation.
 fuzz-smoke:
@@ -77,4 +88,4 @@ bench-sweep:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build vet docs-lint test race test-distributed test-sweep test-chaos fuzz-smoke bench-sweep docs-check
+ci: build vet docs-lint test race test-distributed test-sweep test-chaos test-store fuzz-smoke bench-sweep docs-check

@@ -21,6 +21,16 @@
 //	curl -s localhost:8651/v1/jobs -d '{"circuit":"bv_n10","noise":"DC","shots":2000,"seed":1}'
 //	curl -s localhost:8651/v1/plan -d '{"circuit":"qft_n12","noise":"DC","shots":2000}'
 //
+// Result replay: finished jobs and sweeps land in a content-addressed store
+// (-store-entries, on by default), so repeating the first curl above returns
+// the byte-identical body without simulating — watch results_hits in
+// /v1/stats. With -store-dir the store persists across restarts:
+//
+//	tqsimd -addr :8651 -store-dir /var/lib/tqsimd/results &
+//	curl -s localhost:8651/v1/jobs -d '{"circuit":"qft_n12","noise":"DC","shots":4000,"seed":7}'
+//	# ... daemon restarts ...
+//	curl -s localhost:8651/v1/jobs -d '{"circuit":"qft_n12","noise":"DC","shots":4000,"seed":7}'  # replayed from disk
+//
 // Distributed, static pool (one coordinator, two workers):
 //
 //	tqsimd -worker -addr :8751 &
@@ -45,7 +55,9 @@
 //	POST /v1/workers   worker self-registration + heartbeat (coordinators)
 //	GET  /v1/worker    capacity advertisement (health + placement input)
 //	GET  /v1/backends  registered engines plus "auto"
-//	GET  /v1/stats     scheduler/cache/admission/shard counters, plus the
+//	GET  /v1/stats     scheduler/cache/admission/shard counters, the result
+//	                   store (results_hits/misses/entries/bytes) and snapshot
+//	                   cache (snapshot_hits/misses/bytes) counters, plus the
 //	                   per-worker registry: liveness state, breaker state,
 //	                   heartbeat age, retries, requeues, utilization
 //	GET  /healthz      liveness (503 while draining)
@@ -113,6 +125,10 @@ func main() {
 		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat age after which a joined worker gets no new leases (0 = default 5s)")
 		deadAfter    = flag.Duration("dead-after", 0, "heartbeat age after which a joined worker is declared dead (0 = default 15s)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before closing connections")
+		storeEntries = flag.Int("store-entries", 512, "content-addressed result store memory LRU cap (0 disables the store unless -store-dir is set)")
+		storeDir     = flag.String("store-dir", "", "persist stored results to this directory so replays survive restarts (empty = memory-only)")
+		storeMaxMB   = flag.Int64("store-max-mb", 1024, "size cap for -store-dir, MiB; oldest entries evicted beyond it")
+		snapCacheMB  = flag.Int64("snapshot-cache-mb", 256, "cross-job ideal-prefix snapshot cache, MiB (0 disables; negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -141,7 +157,22 @@ func main() {
 		BreakerCooldown:   *breakerCool,
 		SuspectAfter:      *suspectAfter,
 		DeadAfter:         *deadAfter,
+		StoreEntries:      *storeEntries,
+		StoreDir:          *storeDir,
+		StoreMaxBytes:     *storeMaxMB << 20,
+		SnapshotCacheBytes: func() int64 {
+			if *snapCacheMB < 0 {
+				return -1 // serve treats <= 0 as disabled; core treats <= 0 as unbounded
+			}
+			return *snapCacheMB << 20
+		}(),
 	})
+	if err := srv.StoreError(); err != nil {
+		// A broken store-dir must fail loudly at startup: the operator asked
+		// for persistent replays and silently running without them would
+		// masquerade as cache misses forever.
+		log.Fatalf("tqsimd: result store: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -1,0 +1,94 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+
+	"tqsim/internal/gate"
+)
+
+// Digest returns a collision-resistant structural identity of the circuit:
+// a sha256 over the register width and the full gate list — kind, operand
+// qubits, parameter bits, and (for explicit-matrix gates) every matrix
+// entry's bits. Unlike a QASM rendering it is total: gates with no QASM 2.0
+// form (raw unitaries, SY, SW) digest their content instead of falling back
+// to a name/shape identity, so two same-shape circuits with different
+// unitaries never collide. The name is deliberately excluded — the digest
+// identifies what the circuit computes, and callers that need the label in
+// their key (the result store echoes it in responses) mix it in themselves.
+func (c *Circuit) Digest() string {
+	h := newDigest(c)
+	for _, g := range c.Gates {
+		writeGate(h, g)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PrefixDigests returns the structural digest of each gate prefix
+// Gates[0:cut] for a strictly increasing cut list (each cut in [0, Len]).
+// All digests come from one streaming pass: digest i commits the width and
+// the first cuts[i] gates, so it equals Digest() of the corresponding
+// prefix slice. This is the cross-job snapshot-cache key: the ideal state
+// at a plan boundary depends only on the gates before it, so two circuits
+// sharing a gate prefix share the digest — and the cached state — at every
+// common boundary, whatever their suffixes or names.
+func (c *Circuit) PrefixDigests(cuts []int) []string {
+	h := newDigest(c)
+	out := make([]string, 0, len(cuts))
+	prev := 0
+	for _, cut := range cuts {
+		if cut < prev || cut > len(c.Gates) {
+			panic(fmt.Sprintf("circuit %q: bad prefix cut %d (prev %d, len %d)",
+				c.Name, cut, prev, len(c.Gates)))
+		}
+		for _, g := range c.Gates[prev:cut] {
+			writeGate(h, g)
+		}
+		// Sum appends to a copy of the running state without resetting it,
+		// so each boundary digest commits exactly the gates seen so far.
+		out = append(out, hex.EncodeToString(h.Sum(nil)))
+		prev = cut
+	}
+	return out
+}
+
+func newDigest(c *Circuit) hash.Hash {
+	h := sha256.New()
+	var buf [8]byte
+	h.Write([]byte("tqsim-circuit-v1\x00"))
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.NumQubits))
+	h.Write(buf[:])
+	return h
+}
+
+// writeGate commits one gate to the digest with length-prefixed fields, so
+// distinct gate lists can never produce the same byte stream.
+func writeGate(h hash.Hash, g gate.Gate) {
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.Kind))
+	put(uint64(len(g.Qubits)))
+	for _, q := range g.Qubits {
+		put(uint64(q))
+	}
+	put(uint64(len(g.Params)))
+	for _, p := range g.Params {
+		put(math.Float64bits(p))
+	}
+	if g.U == nil {
+		put(0)
+		return
+	}
+	put(uint64(g.U.N))
+	for _, a := range g.U.Data {
+		put(math.Float64bits(real(a)))
+		put(math.Float64bits(imag(a)))
+	}
+}

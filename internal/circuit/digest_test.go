@@ -1,0 +1,121 @@
+package circuit
+
+import (
+	"testing"
+
+	"tqsim/internal/gate"
+	"tqsim/internal/qmath"
+)
+
+// phaseGate returns a 1-qubit explicit-unitary diag(1, p) gate.
+func phaseGate(p complex128, q int) gate.Gate {
+	u := qmath.Identity(2)
+	u.Set(1, 1, p)
+	return gate.NewUnitary(u, "phase", q)
+}
+
+// TestDigestDistinguishesUnitaries is the collision regression: two
+// circuits with the same name, width and gate count, differing only in an
+// explicit unitary's matrix (no QASM 2.0 form, so any QASM-based identity
+// falls back to name/shape), must digest differently.
+func TestDigestDistinguishesUnitaries(t *testing.T) {
+	build := func(p complex128) *Circuit {
+		c := New("twin", 2)
+		c.H(0).CX(0, 1)
+		c.Append(phaseGate(p, 1))
+		return c
+	}
+	a, b := build(1i), build(-1i)
+	if a.Len() != b.Len() || a.NumQubits != b.NumQubits || a.Name != b.Name {
+		t.Fatal("test circuits must share shape")
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("circuits differing only in an explicit unitary share a digest")
+	}
+	// Equal content must stay equal.
+	if build(1i).Digest() != a.Digest() {
+		t.Fatal("digest is not deterministic")
+	}
+}
+
+// TestDigestIgnoresName: the digest identifies the computation; labels are
+// mixed in by callers that want them.
+func TestDigestIgnoresName(t *testing.T) {
+	a := New("alpha", 3).H(0).CX(0, 1).CX(1, 2)
+	b := New("beta", 3).H(0).CX(0, 1).CX(1, 2)
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest depends on the circuit name")
+	}
+}
+
+// TestDigestSensitivity: width, gate kind, operand order and parameters all
+// change the digest.
+func TestDigestSensitivity(t *testing.T) {
+	base := New("c", 3).H(0).CX(0, 1).RZ(0.5, 2)
+	variants := []*Circuit{
+		New("c", 4).H(0).CX(0, 1).RZ(0.5, 2),  // width
+		New("c", 3).H(0).CX(1, 0).RZ(0.5, 2),  // operand order
+		New("c", 3).H(0).CZ(0, 1).RZ(0.5, 2),  // kind
+		New("c", 3).H(0).CX(0, 1).RZ(0.25, 2), // parameter
+		New("c", 3).H(0).CX(0, 1),             // length
+	}
+	seen := map[string]bool{base.Digest(): true}
+	for i, v := range variants {
+		d := v.Digest()
+		if seen[d] {
+			t.Fatalf("variant %d collides with an earlier digest", i)
+		}
+		seen[d] = true
+	}
+}
+
+// TestPrefixDigests: the streamed boundary digests must equal Digest() of
+// the corresponding truncated circuits, and the full-length cut must equal
+// the whole circuit's digest.
+func TestPrefixDigests(t *testing.T) {
+	c := New("p", 3).H(0).CX(0, 1).CX(1, 2).RZ(0.3, 0).H(2)
+	cuts := []int{0, 2, 4, c.Len()}
+	got := c.PrefixDigests(cuts)
+	if len(got) != len(cuts) {
+		t.Fatalf("got %d digests for %d cuts", len(got), len(cuts))
+	}
+	for i, cut := range cuts {
+		trunc := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: c.Gates[:cut]}
+		if want := trunc.Digest(); got[i] != want {
+			t.Fatalf("cut %d: streamed digest differs from truncated-circuit digest", cut)
+		}
+	}
+	if got[len(got)-1] != c.Digest() {
+		t.Fatal("full-length prefix digest differs from Digest()")
+	}
+}
+
+// TestPrefixDigestsSharedPrefix: circuits equal up to a cut share every
+// boundary digest at or before it, and differ after it — the property the
+// cross-job snapshot cache keys on.
+func TestPrefixDigestsSharedPrefix(t *testing.T) {
+	a := New("a", 2).H(0).CX(0, 1).RZ(0.5, 0).H(1)
+	b := New("b", 2).H(0).CX(0, 1).RZ(0.7, 0).H(1) // diverges at gate 2
+	cuts := []int{2, 4}
+	da, db := a.PrefixDigests(cuts), b.PrefixDigests(cuts)
+	if da[0] != db[0] {
+		t.Fatal("shared 2-gate prefix digests differ")
+	}
+	if da[1] == db[1] {
+		t.Fatal("digests after the divergence point collide")
+	}
+}
+
+func TestPrefixDigestsBadCutsPanic(t *testing.T) {
+	c := New("x", 1).H(0)
+	for _, cuts := range [][]int{{2}, {1, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("cuts %v did not panic", cuts)
+				}
+			}()
+			c.PrefixDigests(cuts)
+		}()
+	}
+}

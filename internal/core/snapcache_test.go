@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tqsim/internal/partition"
+	"tqsim/internal/workloads"
+)
+
+// TestForPlanBitwiseEqualsNewPrefixSnapshots: the cache-assembled snapshot
+// set must hold exactly the states NewPrefixSnapshots computes — amplitude
+// for amplitude — whether boundaries were computed cold or served from
+// earlier insertions.
+func TestForPlanBitwiseEqualsNewPrefixSnapshots(t *testing.T) {
+	c := workloads.QFT(5, true)
+	plan := partition.FromStructure(c, []int{8, 4, 4})
+	want, err := NewPrefixSnapshots(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSnapshotCache(0)
+	for round := 0; round < 2; round++ { // cold assembly, then all-hit assembly
+		got, err := sc.ForPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Matches(plan) {
+			t.Fatalf("round %d: assembled set does not match the plan", round)
+		}
+		if len(got.states) != len(want.states) {
+			t.Fatalf("round %d: %d states, want %d", round, len(got.states), len(want.states))
+		}
+		for i := range want.states {
+			wa, ga := want.states[i].Amplitudes(), got.states[i].Amplitudes()
+			for k := range wa {
+				if wa[k] != ga[k] {
+					t.Fatalf("round %d: boundary %d amplitude %d differs", round, i, k)
+				}
+			}
+		}
+	}
+	if sc.Hits() == 0 || sc.Misses() == 0 {
+		t.Fatalf("hits %d misses %d: second assembly should hit, first should miss", sc.Hits(), sc.Misses())
+	}
+}
+
+// TestForPlanSharesCommonPrefixAcrossCircuits: two circuits equal up to a
+// boundary share that boundary's cached state even though their suffixes
+// (and full-circuit states) differ.
+func TestForPlanSharesCommonPrefixAcrossCircuits(t *testing.T) {
+	a := workloads.QFT(4, true)
+	b := a.Clone()
+	b.Name = "variant"
+	b.RZ(0.123, 0) // diverge after the shared gates
+
+	bounds := []int{a.Len() / 2}
+	planA := &partition.Plan{Circuit: a, Bounds: bounds, Arities: []int{4, 4}, Strategy: "manual"}
+	planB := &partition.Plan{Circuit: b, Bounds: bounds, Arities: []int{4, 4}, Strategy: "manual"}
+
+	sc := NewSnapshotCache(0)
+	if _, err := sc.ForPlan(planA); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := sc.Hits(), sc.Misses()
+	if _, err := sc.ForPlan(planB); err != nil {
+		t.Fatal(err)
+	}
+	// Plan B's first boundary (the shared prefix) hits; its final state
+	// (different suffix) misses.
+	if hits := sc.Hits() - h0; hits != 1 {
+		t.Fatalf("shared-prefix assembly booked %d hits, want 1", hits)
+	}
+	if misses := sc.Misses() - m0; misses != 1 {
+		t.Fatalf("shared-prefix assembly booked %d misses, want 1", misses)
+	}
+}
+
+// TestEvictionKeepsBytesBounded: the cache evicts LRU states beyond the
+// byte cap but never evicts the set it is currently inserting.
+func TestEvictionKeepsBytesBounded(t *testing.T) {
+	per := SnapshotBytes(1, 4) // one 4-qubit boundary state
+	sc := NewSnapshotCache(3 * per)
+	for i := 0; i < 6; i++ {
+		c := workloads.QFT(4, true)
+		c.RZ(float64(i)+0.5, 0) // distinct content per iteration
+		plan := &partition.Plan{Circuit: c, Bounds: []int{c.Len() / 2}, Arities: []int{4, 4}, Strategy: "manual"}
+		if _, err := sc.ForPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Bytes() > 3*per && sc.Len() > 2 {
+			t.Fatalf("iteration %d: %d bytes resident over the %d cap", i, sc.Bytes(), 3*per)
+		}
+	}
+	if sc.Len() < 2 {
+		t.Fatalf("cache over-evicted: %d states resident", sc.Len())
+	}
+}
+
+// TestForPlanConcurrent exercises assembly under the race detector: many
+// goroutines over plans sharing prefixes, against a small byte cap so
+// eviction runs concurrently with lookups.
+func TestForPlanConcurrent(t *testing.T) {
+	base := workloads.QFT(4, true)
+	sc := NewSnapshotCache(4 * SnapshotBytes(1, 4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				c := base.Clone()
+				c.RZ(float64((g+i)%5)+0.25, 0)
+				plan := &partition.Plan{Circuit: c, Bounds: []int{base.Len() / 2}, Arities: []int{4, 4}, Strategy: "manual"}
+				ps, err := sc.ForPlan(plan)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ps.Matches(plan) {
+					t.Error("assembled set does not match plan")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

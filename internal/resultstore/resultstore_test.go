@@ -1,0 +1,203 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	s := mustOpen(t, Config{MaxEntries: 2})
+	s.Put("a", []byte("aa"))
+	s.Put("b", []byte("bb"))
+	if _, ok := s.Get("a"); !ok { // refresh a: b is now least recent
+		t.Fatal("a missing before eviction")
+	}
+	s.Put("c", []byte("cc"))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("least-recently-used entry b survived over the cap")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Bytes() != 4 {
+		t.Fatalf("Bytes = %d, want 4", s.Bytes())
+	}
+}
+
+func TestPutOverwriteSameKey(t *testing.T) {
+	s := mustOpen(t, Config{MaxEntries: 4})
+	s.Put("k", []byte("v1"))
+	s.Put("k", []byte("longer-v2"))
+	got, ok := s.Get("k")
+	if !ok || !bytes.Equal(got, []byte("longer-v2")) {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len("longer-v2")) {
+		t.Fatalf("Len %d Bytes %d after overwrite", s.Len(), s.Bytes())
+	}
+}
+
+func TestDiskPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{MaxEntries: 8, Dir: dir})
+	s.Put("deadbeef", []byte(`{"v":1}`))
+
+	// The entry landed as a whole file under its final name.
+	body, err := os.ReadFile(filepath.Join(dir, "deadbeef.json"))
+	if err != nil || !bytes.Equal(body, []byte(`{"v":1}`)) {
+		t.Fatalf("disk body %q, err %v", body, err)
+	}
+
+	// A fresh store over the same directory serves it without re-Put.
+	s2 := mustOpen(t, Config{MaxEntries: 8, Dir: dir})
+	got, ok := s2.Get("deadbeef")
+	if !ok || !bytes.Equal(got, []byte(`{"v":1}`)) {
+		t.Fatalf("reopened store: got %q, %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d", s2.Len())
+	}
+}
+
+func TestDiskServesMemoryEvictedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{MaxEntries: 1, Dir: dir})
+	s.Put("old", []byte("old-body"))
+	s.Put("new", []byte("new-body")) // evicts "old" from the memory front
+	got, ok := s.Get("old")
+	if !ok || !bytes.Equal(got, []byte("old-body")) {
+		t.Fatalf("disk fallthrough: got %q, %v", got, ok)
+	}
+}
+
+func TestRescanIgnoresTempAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	s.Put("real", []byte("body"))
+	// A crash mid-write leaves a temp file; unrelated files happen too.
+	for _, name := range []string{".tmp-12345", "README", "sub.json.bak"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "nested.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Config{Dir: dir})
+	if s2.Len() != 1 {
+		t.Fatalf("rescan indexed %d entries, want 1", s2.Len())
+	}
+	if _, ok := s2.Get("real"); !ok {
+		t.Fatal("real entry lost in rescan")
+	}
+}
+
+func TestDiskByteCapEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	body := bytes.Repeat([]byte("x"), 100)
+	s := mustOpen(t, Config{MaxEntries: 1, Dir: dir, MaxDiskBytes: 250})
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), body)
+	}
+	// 400 bytes written into a 250-byte cap: the two oldest are gone — from
+	// the index and from disk.
+	for i, wantAlive := range []bool{false, false, true, true} {
+		key := fmt.Sprintf("k%d", i)
+		if _, ok := s.Get(key); ok != wantAlive {
+			t.Fatalf("%s alive=%v, want %v", key, ok, wantAlive)
+		}
+		_, err := os.Stat(filepath.Join(dir, key+".json"))
+		if alive := err == nil; alive != wantAlive {
+			t.Fatalf("%s file exists=%v, want %v", key, alive, wantAlive)
+		}
+	}
+	if s.Bytes() != 200 {
+		t.Fatalf("Bytes = %d, want 200", s.Bytes())
+	}
+}
+
+func TestReopenTrimsDirtyDirectoryOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a directory written under a larger (or absent) cap, with
+	// distinct mtimes so the rescan's age ordering is deterministic.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 4; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("k%d.json", i))
+		if err := os.WriteFile(p, bytes.Repeat([]byte("y"), 100), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mustOpen(t, Config{Dir: dir, MaxDiskBytes: 250})
+	if s.Len() != 2 || s.Bytes() != 200 {
+		t.Fatalf("after trim: Len %d Bytes %d, want 2/200", s.Len(), s.Bytes())
+	}
+	for i, wantAlive := range []bool{false, false, true, true} {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); ok != wantAlive {
+			t.Fatalf("k%d alive=%v, want %v", i, ok, wantAlive)
+		}
+	}
+}
+
+func TestVanishedFileBecomesCleanMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{MaxEntries: 1, Dir: dir})
+	s.Put("gone", []byte("body"))
+	s.Put("other", []byte("body")) // push "gone" out of the memory front
+	if err := os.Remove(filepath.Join(dir, "gone.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("vanished file still served")
+	}
+	// The index entry is dropped too: Len reflects reality.
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after vanish, want 1", s.Len())
+	}
+}
+
+// TestConcurrentAccess exercises the store under the race detector: mixed
+// puts and gets across goroutines over a shared small cap.
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, Config{MaxEntries: 8, Dir: t.TempDir(), MaxDiskBytes: 1 << 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%20)
+				if i%3 == 0 {
+					s.Put(key, []byte(key))
+				} else if body, ok := s.Get(key); ok && !bytes.Equal(body, []byte(key)) {
+					t.Errorf("key %s returned body %q", key, body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n < 1 || n > 20 {
+		t.Fatalf("Len = %d out of range", n)
+	}
+}

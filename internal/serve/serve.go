@@ -8,6 +8,12 @@
 // points), streaming one NDJSON line per point. cmd/tqsimd is a thin main
 // around New.
 //
+// With Config.StoreEntries or Config.StoreDir set, finished jobs and sweeps
+// are recorded in a content-addressed result store (internal/resultstore)
+// and repeated requests replay byte-identically without simulating; with
+// Config.SnapshotCacheBytes set, ideal prefix snapshots are shared across
+// jobs and sweeps whose circuits share gate prefixes (core.SnapshotCache).
+//
 // The same Server type implements both distributed roles (see protocol.go
 // for the wire contract): a worker (Config.WorkerMode) additionally serves
 // POST /v1/shard leases, and a coordinator (Config.Workers) shards
@@ -47,6 +53,7 @@ import (
 	"tqsim/internal/hpcmodel"
 	"tqsim/internal/metrics"
 	"tqsim/internal/planner"
+	"tqsim/internal/resultstore"
 	"tqsim/internal/rng"
 )
 
@@ -131,6 +138,26 @@ type Config struct {
 	// JitterSeed seeds the backoff-jitter stream (default 1) so retry
 	// schedules replay deterministically under a fixed fault plan.
 	JitterSeed uint64
+	// StoreEntries enables the content-addressed result store and caps its
+	// in-memory LRU front. A stored job or sweep is replayed byte-identical
+	// from the store — the simulator's determinism contract makes the
+	// stored bytes exactly what a fresh run would produce — without
+	// consuming an execution slot. 0 disables the store unless StoreDir is
+	// set (the library default; tqsimd enables it).
+	StoreEntries int
+	// StoreDir persists stored results to this directory (atomic
+	// write-then-rename), so replays survive daemon restarts. Empty keeps
+	// the store memory-only.
+	StoreDir string
+	// StoreMaxBytes caps StoreDir's total size (default 1 GiB).
+	StoreMaxBytes int64
+	// SnapshotCacheBytes enables the cross-job ideal-prefix snapshot cache
+	// and caps its resident state bytes. Boundary states are keyed by the
+	// structural digest of the gate prefix before them, so any two jobs —
+	// or sweep points — whose circuits share a gate prefix share the cached
+	// ideal states at common plan boundaries. 0 disables the cache (the
+	// library default; tqsimd enables it); negative selects no byte cap.
+	SnapshotCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +247,19 @@ type Stats struct {
 	// Workers is the per-worker registry view: liveness state, breaker
 	// state, heartbeat age, lease/retry/requeue counts and utilization.
 	Workers []WorkerStat `json:"workers,omitempty"`
+	// Result-store counters: jobs and sweeps answered as stored replays vs
+	// looked up and missed, and the store's entry count and resident bytes
+	// (disk bytes when a backing directory is configured).
+	ResultsHits    uint64 `json:"results_hits"`
+	ResultsMisses  uint64 `json:"results_misses"`
+	ResultsEntries int    `json:"results_entries"`
+	ResultsBytes   int64  `json:"results_bytes"`
+	// Snapshot-cache counters: ideal boundary states served from the
+	// cross-job cache vs computed (counted per boundary, not per plan), and
+	// the cache's resident state bytes.
+	SnapshotHits   uint64 `json:"snapshot_hits"`
+	SnapshotMisses uint64 `json:"snapshot_misses"`
+	SnapshotBytes  int64  `json:"snapshot_bytes"`
 }
 
 // Server is the tqsimd HTTP handler. Construct with New.
@@ -249,6 +289,15 @@ type Server struct {
 	sweepPreps *lruCache[*sweepJob]
 	pool       *registry // non-nil when coordinating a worker fleet
 	stats      [statCount]atomic.Uint64
+
+	// results replays finished jobs and sweeps byte-identically without
+	// simulating; snapCache shares ideal boundary states across jobs. Both
+	// nil when disabled by config. storeErr records a failed store open
+	// (e.g. an unwritable StoreDir): New still returns a working server so
+	// the signature stays error-free, and cmd/tqsimd checks StoreError.
+	results   *resultstore.Store
+	snapCache *tqsim.SnapshotCache
+	storeErr  error
 }
 
 type cachedPlan struct {
@@ -277,6 +326,8 @@ const (
 	statRetryAfterWaits
 	statWorkersJoined
 	statWorkersRevived
+	statResultsHits
+	statResultsMisses
 	statCount
 )
 
@@ -302,6 +353,21 @@ func New(cfg Config) *Server {
 	if len(s.cfg.Workers) > 0 || s.cfg.AcceptWorkers {
 		s.pool = newRegistry(s.cfg)
 	}
+	if s.cfg.StoreEntries > 0 || s.cfg.StoreDir != "" {
+		st, err := resultstore.Open(resultstore.Config{
+			MaxEntries:   s.cfg.StoreEntries,
+			Dir:          s.cfg.StoreDir,
+			MaxDiskBytes: s.cfg.StoreMaxBytes,
+		})
+		if err != nil {
+			s.storeErr = err
+		} else {
+			s.results = st
+		}
+	}
+	if s.cfg.SnapshotCacheBytes != 0 {
+		s.snapCache = tqsim.NewSnapshotCache(s.cfg.SnapshotCacheBytes)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
@@ -316,6 +382,12 @@ func New(cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StoreError reports why the result store failed to open (nil when the
+// store is disabled or healthy). New never fails: a server with a broken
+// store still simulates correctly, it just cannot replay — callers that
+// consider persistence mandatory (cmd/tqsimd with -store-dir) check here.
+func (s *Server) StoreError() error { return s.storeErr }
 
 // BeginDrain moves the server into draining mode: new submissions (jobs and
 // shard leases) are rejected 503 with a Retry-After header while in-flight
@@ -716,18 +788,17 @@ func (s *Server) planBatch(hash string, c *tqsim.Circuit, m *tqsim.NoiseModel, s
 	return cp, false, nil
 }
 
-// circuitHash keys the plan cache: canonical QASM of the parsed circuit
-// plus every option that shapes the plan or the decision.
+// circuitHash keys the plan cache: the circuit's structural digest plus
+// every option that shapes the plan or the decision. The digest covers the
+// full gate content — including raw-unitary matrices with no QASM 2.0
+// form. The previous key hashed a canonical QASM rendering and fell back
+// to name/width/length when serialization failed, so two same-shape
+// circuits differing only in an explicit unitary collided and the second
+// silently executed the first one's cached plan (and its gate list).
 func circuitHash(c *tqsim.Circuit, noiseName, mode string, opt *tqsim.Options) string {
-	src, err := tqsim.SerializeQASM(c)
-	if err != nil {
-		// Unserializable circuits (raw unitary gates) fall back to the
-		// structural identity; suite circuits by name are stable.
-		src = fmt.Sprintf("%s/%d/%d", c.Name, c.NumQubits, c.Len())
-	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%g\x00%d\x00%d\x00%s\x00%d\x00%d\x00%g",
-		src, noiseName, mode, opt.CopyCost, opt.MaxLevels, opt.MemoryBudgetBytes,
+		tqsim.CircuitDigest(c), noiseName, mode, opt.CopyCost, opt.MaxLevels, opt.MemoryBudgetBytes,
 		opt.Backend, opt.ClusterNodes, opt.Parallelism, opt.Epsilon)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -740,18 +811,42 @@ func BatchSeed(seed uint64, i int) uint64 {
 	return rng.SeedAt(seed, uint64(i))
 }
 
+// errQueueFull reports acquire rejected a submission because MaxConcurrent
+// running plus QueueDepth queued requests are already admitted.
+var errQueueFull = errors.New("queue full")
+
 // acquire takes an execution slot, bounded by MaxConcurrent running plus
-// QueueDepth waiting. Reports false when the queue is full.
-func (s *Server) acquire() bool {
+// QueueDepth waiting. Returns errQueueFull when the queue is full, and the
+// context's error when the caller goes away while queued. The slot wait
+// used to ignore the context entirely: a client that disconnected while
+// queued at capacity still took a slot when one freed, ran every batch
+// into the dead connection, and booked as failed — the cancellation that
+// per-batch ctx checks catch mid-run was invisible before the run started.
+func (s *Server) acquire(ctx context.Context) error {
 	s.pendMu.Lock()
 	if s.pending >= s.cfg.MaxConcurrent+s.cfg.QueueDepth {
 		s.pendMu.Unlock()
-		return false
+		return errQueueFull
 	}
 	s.pending++
 	s.pendMu.Unlock()
-	s.slots <- struct{}{}
-	return true
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		// Undo the pending claim exactly the way release would, minus the
+		// slot this request never got — including the idle signal DrainWait
+		// blocks on, so a drain doesn't hang on a request that left the
+		// queue sideways.
+		s.pendMu.Lock()
+		s.pending--
+		if s.pending == 0 && s.idleCh != nil {
+			close(s.idleCh)
+			s.idleCh = nil
+		}
+		s.pendMu.Unlock()
+		return ctx.Err()
+	}
 }
 
 func (s *Server) release() {
@@ -816,14 +911,33 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, herr.msg)
 		return
 	}
-	if !s.acquire() {
-		s.stats[statQueueFull].Add(1)
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (%d running + %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth))
+	// The result-store lookup runs before the queue: a replay writes
+	// already-merged bytes and must not wait behind — or consume — an
+	// execution slot or any memory budget.
+	key := ""
+	if s.results != nil {
+		key = jobResultKey(j)
+		if blob, ok := s.results.Get(key); ok && s.replayJob(w, j, blob) {
+			s.stats[statResultsHits].Add(1)
+			s.stats[statCompleted].Add(1)
+			return
+		}
+		s.stats[statResultsMisses].Add(1)
+	}
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.stats[statQueueFull].Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("queue full (%d running + %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth))
+			return
+		}
+		// The client disconnected while queued: the connection is gone, so
+		// there is nothing to write — book the job canceled, not failed.
+		s.stats[statCanceled].Add(1)
 		return
 	}
 	defer s.release()
-	ctx := r.Context()
 
 	// Multi-batch jobs shard across the worker pool when one is configured;
 	// single-batch jobs always run locally (there is nothing to shard).
@@ -842,16 +956,25 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if j.stream {
-		s.runStreaming(ctx, w, j, distributed)
+		s.runStreaming(ctx, w, j, distributed, key)
 		return
 	}
-	resp, herr := s.runJob(ctx, j, distributed, nil)
+	var rec *jobRecorder
+	var onBatch func(*batchResult) error
+	if key != "" {
+		rec = &jobRecorder{}
+		onBatch = func(br *batchResult) error { rec.observe(br); return nil }
+	}
+	resp, herr := s.runJob(ctx, j, distributed, onBatch)
 	if herr != nil {
 		s.countJobError(ctx, herr)
 		writeError(w, herr.status, herr.msg)
 		return
 	}
 	s.stats[statCompleted].Add(1)
+	if key != "" {
+		s.storeJob(key, resp, rec)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -922,6 +1045,10 @@ func (s *Server) runBatches(ctx context.Context, j *job, from, to int, onBatch f
 	merged := make(map[uint64]int)
 	outcomes := 0
 	backend, structure := "", ""
+	// Boundary-snapshot sets for this range's (at most two) batch sizes,
+	// assembled from the cross-job cache. A nil map value remembers an
+	// assembly failure so it isn't retried per batch.
+	var prefixBySize map[int]*tqsim.PrefixSnapshots
 	for i := from; i < to; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, "", "", errf(statusClientClosedRequest, "cancelled before batch %d: %v", i, err)
@@ -940,7 +1067,25 @@ func (s *Server) runBatches(ctx context.Context, j *job, from, to int, onBatch f
 			}
 		}
 		opt.Seed = BatchSeed(j.opt.Seed, i)
-		res, err := tqsim.RunPlanContext(ctx, cp.plan, j.noise, opt)
+		// Prefix reuse is gated exactly like the executor gates it — dense
+		// plain backend, Pauli-only noise — so a batch never pays for
+		// snapshots an engine would ignore. Reuse is histogram-preserving:
+		// a no-fire segment adopts the cached ideal state the executor
+		// would have recomputed, RNG consumption unchanged.
+		var prefix *tqsim.PrefixSnapshots
+		if s.snapCache != nil && opt.Backend == "statevec" && j.noise.PauliOnly() {
+			size := j.batchShots(i)
+			p, ok := prefixBySize[size]
+			if !ok {
+				p, _ = s.snapCache.ForPlan(cp.plan) // nil on error: run unprefixed
+				if prefixBySize == nil {
+					prefixBySize = make(map[int]*tqsim.PrefixSnapshots, 2)
+				}
+				prefixBySize[size] = p
+			}
+			prefix = p
+		}
+		res, err := tqsim.RunPlanPrefixed(ctx, cp.plan, j.noise, opt, prefix)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, 0, "", "", errf(statusClientClosedRequest, "batch %d cancelled: %v", i, err)
@@ -965,8 +1110,9 @@ func (s *Server) runBatches(ctx context.Context, j *job, from, to int, onBatch f
 }
 
 // runStreaming writes the NDJSON stream: a plan header, one line per
-// batch, and a final done line with the merged histogram.
-func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job, distributed bool) {
+// batch, and a final done line with the merged histogram. A non-empty
+// storeKey records the finished job in the result store.
+func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job, distributed bool, storeKey string) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -995,7 +1141,14 @@ func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job
 		s.stats[statCanceled].Add(1)
 		return
 	}
+	var rec *jobRecorder
+	if storeKey != "" {
+		rec = &jobRecorder{}
+	}
 	resp, herr := s.runJob(ctx, j, distributed, func(br *batchResult) error {
+		if rec != nil {
+			rec.observe(br)
+		}
 		return emit(&batchLine{
 			Type:   "batch",
 			Batch:  br.index,
@@ -1010,6 +1163,9 @@ func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job
 		return
 	}
 	s.stats[statCompleted].Add(1)
+	if storeKey != "" {
+		s.storeJob(storeKey, resp, rec)
+	}
 	_ = emit(&batchLine{
 		Type:      "done",
 		Batches:   resp.Batches,
@@ -1093,6 +1249,17 @@ func (s *Server) Snapshot() Stats {
 		st.WorkersAlive = s.aliveWorkers()
 		st.WorkersTotal = len(s.pool.snapshot())
 		st.Workers = s.workerStats()
+	}
+	st.ResultsHits = s.stats[statResultsHits].Load()
+	st.ResultsMisses = s.stats[statResultsMisses].Load()
+	if s.results != nil {
+		st.ResultsEntries = s.results.Len()
+		st.ResultsBytes = s.results.Bytes()
+	}
+	if s.snapCache != nil {
+		st.SnapshotHits = s.snapCache.Hits()
+		st.SnapshotMisses = s.snapCache.Misses()
+		st.SnapshotBytes = s.snapCache.Bytes()
 	}
 	return st
 }

@@ -134,6 +134,12 @@ func (s *Server) prepareSweep(req *SweepRequest) (*sweepJob, *httpError) {
 		estPeak: prep.MaxEstPeakBytes() * int64(conc),
 		stream:  req.Stream == nil || *req.Stream,
 	}
+	// Route the sweep's ideal-prefix snapshots through the cross-job cache:
+	// points whose circuit prefixes match an earlier job or sweep adopt the
+	// already-computed boundary states instead of rebuilding them.
+	if s.snapCache != nil {
+		prep.UseSnapshotCache(s.snapCache)
+	}
 	wire := SweepRequest{Spec: *prep.Spec()}
 	stream := false
 	wire.Stream = &stream
@@ -190,13 +196,32 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, herr.msg)
 		return
 	}
-	if !s.acquire() {
-		s.stats[statQueueFull].Add(1)
-		writeError(w, http.StatusTooManyRequests, "queue full")
+	// Store lookup before the queue, as on the job path: a stored sweep
+	// replays without a slot, without budget, and without running a point.
+	key := ""
+	if s.results != nil {
+		if k, ok := sweepResultKey(sj); ok {
+			key = k
+			if blob, hit := s.results.Get(key); hit && s.replaySweep(w, sj, blob) {
+				s.stats[statResultsHits].Add(1)
+				s.stats[statSweepsCompleted].Add(1)
+				return
+			}
+			s.stats[statResultsMisses].Add(1)
+		}
+	}
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.stats[statQueueFull].Add(1)
+			writeError(w, http.StatusTooManyRequests, "queue full")
+			return
+		}
+		// Client gone while queued: canceled, nothing to write.
+		s.stats[statCanceled].Add(1)
 		return
 	}
 	defer s.release()
-	ctx := r.Context()
 
 	// Multi-point sweeps shard across the worker pool when one is
 	// configured; memory is reserved locally only when executing locally.
@@ -210,7 +235,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if sj.stream {
-		s.runSweepStreaming(ctx, w, sj, distributed)
+		s.runSweepStreaming(ctx, w, sj, distributed, key)
 		return
 	}
 	resp, herr := s.runSweep(ctx, sj, distributed, nil)
@@ -220,6 +245,9 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats[statSweepsCompleted].Add(1)
+	if key != "" {
+		s.storeSweep(key, resp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -338,8 +366,9 @@ func (s *Server) sweepPointFromWire(sj *sweepJob, sb *ShardBatch) *SweepPointJSO
 }
 
 // runSweepStreaming writes the NDJSON stream: a sweep header, one line per
-// point in completion order, and a final done line with totals.
-func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, sj *sweepJob, distributed bool) {
+// point in completion order, and a final done line with totals. A
+// non-empty storeKey records the finished sweep in the result store.
+func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, sj *sweepJob, distributed bool, storeKey string) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -368,6 +397,9 @@ func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, s
 		return
 	}
 	s.stats[statSweepsCompleted].Add(1)
+	if storeKey != "" {
+		s.storeSweep(storeKey, resp)
+	}
 	_ = emit(&sweepLine{
 		Type:            "done",
 		Points:          resp.Points,

@@ -327,8 +327,8 @@ func TestDrainWaitSignals(t *testing.T) {
 	}
 
 	// Busy server: DrainWait returns once release fires.
-	if !srv.acquire() {
-		t.Fatal("acquire failed")
+	if err := srv.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire failed: %v", err)
 	}
 	done := make(chan error, 1)
 	go func() {
@@ -356,8 +356,8 @@ func TestDrainWaitSignals(t *testing.T) {
 	}
 
 	// ctx cancel path with a job still pending.
-	if !srv.acquire() {
-		t.Fatal("acquire failed")
+	if err := srv.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire failed: %v", err)
 	}
 	defer srv.release()
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

@@ -10,6 +10,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 )
@@ -49,11 +50,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("lease [%d,%d) outside the job's %d batches", sr.From, sr.To, n))
 		return
 	}
-	if !s.acquire() {
-		// 503, not the job endpoint's 429: the caller is a coordinator and
-		// should re-lease the range to another worker, not bounce a client.
-		s.stats[statQueueFull].Add(1)
-		writeError(w, http.StatusServiceUnavailable, "worker at capacity; re-lease elsewhere")
+	if err := s.acquire(r.Context()); err != nil {
+		if errors.Is(err, errQueueFull) {
+			// 503, not the job endpoint's 429: the caller is a coordinator and
+			// should re-lease the range to another worker, not bounce a client.
+			s.stats[statQueueFull].Add(1)
+			writeError(w, http.StatusServiceUnavailable, "worker at capacity; re-lease elsewhere")
+		} else {
+			// The coordinator abandoned the lease while it was queued here.
+			s.stats[statCanceled].Add(1)
+		}
 		return
 	}
 	defer s.release()
@@ -108,9 +114,13 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request, sr *Sh
 			fmt.Sprintf("lease [%d,%d) outside the sweep's %d points", sr.From, sr.To, n))
 		return
 	}
-	if !s.acquire() {
-		s.stats[statQueueFull].Add(1)
-		writeError(w, http.StatusServiceUnavailable, "worker at capacity; re-lease elsewhere")
+	if err := s.acquire(r.Context()); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.stats[statQueueFull].Add(1)
+			writeError(w, http.StatusServiceUnavailable, "worker at capacity; re-lease elsewhere")
+		} else {
+			s.stats[statCanceled].Add(1)
+		}
 		return
 	}
 	defer s.release()

@@ -465,7 +465,20 @@ type Prepared struct {
 
 	prefixes map[string]*prefixEntry
 	ideals   []idealEntry
+
+	// snapCache, when set, sources the ideal-prefix snapshots from the
+	// shared cross-job cache instead of building sweep-private sets — see
+	// UseSnapshotCache.
+	snapCache *core.SnapshotCache
 }
+
+// UseSnapshotCache routes the sweep's ideal-prefix snapshots through a
+// shared cross-job cache: boundary states another job or sweep already
+// computed are adopted instead of rebuilt, and states this sweep computes
+// are published for the next one. Histograms are unaffected — the cache
+// yields sets bitwise equal to NewPrefixSnapshots. Call before Run; the
+// serve layer attaches its daemon-wide cache here.
+func (p *Prepared) UseSnapshotCache(sc *core.SnapshotCache) { p.snapCache = sc }
 
 // Prepare validates the spec, expands the grid, and builds every distinct
 // plan and planner decision once. A *PlanError distinguishes "no engine can
@@ -698,7 +711,13 @@ func (p *Prepared) MaxEstPeakBytes() int64 {
 // (correctness never depends on the snapshots existing).
 func (p *Prepared) prefix(e *planEntry) *core.PrefixSnapshots {
 	pe := p.prefixes[e.prefixKey]
-	pe.once.Do(func() { pe.ps, pe.err = core.NewPrefixSnapshots(e.plan) })
+	pe.once.Do(func() {
+		if p.snapCache != nil {
+			pe.ps, pe.err = p.snapCache.ForPlan(e.plan)
+			return
+		}
+		pe.ps, pe.err = core.NewPrefixSnapshots(e.plan)
+	})
 	if pe.err != nil {
 		return nil
 	}

@@ -77,6 +77,16 @@ type (
 	Decision = planner.Decision
 	// PlannerCandidate is one engine the planner evaluated for a Decision.
 	PlannerCandidate = planner.Candidate
+	// PrefixSnapshots is a read-only set of ideal (noise-free) states at a
+	// plan's subcircuit boundaries — the substrate of ideal-prefix reuse.
+	// Safe to share across concurrent runs; see RunPlanPrefixed.
+	PrefixSnapshots = core.PrefixSnapshots
+	// SnapshotCache is a byte-bounded cross-job cache of ideal boundary
+	// states, keyed per boundary by the structural digest of the gate
+	// prefix before it. Any two jobs whose circuits share a gate prefix
+	// share the cached state at every common plan boundary. Safe for
+	// concurrent use; see NewSnapshotCache.
+	SnapshotCache = core.SnapshotCache
 )
 
 // AutoBackend is the Options.Backend value that delegates engine selection
@@ -373,10 +383,36 @@ func RunPlanContext(ctx context.Context, p *Plan, m *NoiseModel, opt Options) (*
 	return runPlanPrefixed(ctx, p, m, opt, nil)
 }
 
-// runPlanPrefixed is RunPlanContext with an optional shared ideal-prefix
-// snapshot set threaded into the dense executor — the sweep engine's reuse
-// hook. A nil prefix reproduces RunPlanContext exactly; a matching prefix
-// changes the work accounting, never the histogram.
+// RunPlanPrefixed is RunPlanContext with an optional shared ideal-prefix
+// snapshot set threaded into the dense executor — the reuse hook behind the
+// sweep engine's cross-point reuse and tqsimd's cross-job snapshot cache
+// (SnapshotCache.ForPlan builds a matching set). A nil prefix reproduces
+// RunPlanContext exactly; a matching prefix changes the work accounting
+// (TreeResult.PrefixReuseHits, PeakStateBytes), never the histogram — the
+// executor only consults it on the plain dense backend under Pauli-only
+// noise, where a no-fire segment's state is bitwise the cached boundary
+// state.
+func RunPlanPrefixed(ctx context.Context, p *Plan, m *NoiseModel, opt Options, prefix *PrefixSnapshots) (*TreeResult, error) {
+	return runPlanPrefixed(ctx, p, m, opt, prefix)
+}
+
+// NewSnapshotCache returns a SnapshotCache holding at most maxBytes of
+// boundary states (LRU-evicted beyond it; maxBytes <= 0 is unbounded).
+// tqsimd constructs one per daemon (-snapshot-cache-mb) and threads it into
+// every eligible job and sweep.
+func NewSnapshotCache(maxBytes int64) *SnapshotCache {
+	return core.NewSnapshotCache(maxBytes)
+}
+
+// CircuitDigest returns the circuit's structural sha256 identity: width
+// plus the full gate list (kinds, operand qubits, parameter bits, explicit
+// matrix bytes). Total where QASM serialization is not (raw unitaries have
+// no QASM 2.0 form), and collision-resistant where a name/shape fallback is
+// not — the identity tqsimd keys its plan cache and result store by.
+func CircuitDigest(c *Circuit) string { return c.Digest() }
+
+// runPlanPrefixed is RunPlanPrefixed's internal form (kept separate so the
+// facade's own callers read uniformly).
 func runPlanPrefixed(ctx context.Context, p *Plan, m *NoiseModel, opt Options, prefix *core.PrefixSnapshots) (*TreeResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
