@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race test-distributed test-sweep test-chaos test-store fuzz-smoke bench-kernels bench-sweep bench ci docs-lint docs-check
+.PHONY: build vet test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-kernels bench-sweep bench bench-trajectory ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,17 @@ test-store:
 	$(GO) test -race ./internal/resultstore ./internal/circuit ./internal/core -run 'TestDigest|TestPrefixDigests|TestForPlan|TestEviction|Test.*LRU|TestPut|TestDisk|TestRescan|TestReopen|TestVanished|TestConcurrent'
 	$(GO) test -race ./internal/serve -run 'TestResultStore|TestSnapshotCache|TestSweepUsesSharedSnapshotCache|TestCircuitHashDistinguishesUnitaries|TestQueuedClientDisconnectCancels|TestPlanCacheStatsConsistentUnderEviction'
 
+# Load/capacity harness suite under the race detector: the seeded
+# determinism contracts (byte-identical arrival schedule and request
+# sequence, including concurrent generation), the latency-histogram
+# quantile-accuracy and merge property tests, the saturation-knee search
+# against a synthetic queue with analytic capacity, the live end-to-end
+# run against an httptest tqsimd with /v1/stats polled concurrently, and
+# the server-side latency accounting.
+test-loadgen:
+	$(GO) test -race ./internal/loadgen ./internal/metrics
+	$(GO) test -race ./internal/serve -run 'TestStatsLatency'
+
 # Short fuzz smoke: the QASM parser/round-trip fuzzer plus its committed
 # regression corpus. Go runs one fuzz target per invocation.
 fuzz-smoke:
@@ -88,4 +99,12 @@ bench-sweep:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: build vet docs-lint test race test-distributed test-sweep test-chaos test-store fuzz-smoke bench-sweep docs-check
+# Performance trajectory: measure kernels, sweep reuse, serve quantiles
+# and the saturation knee; write BENCH_$(PR).json and gate against the
+# highest-numbered committed BENCH_*.json with noise-tolerant thresholds
+# (exit 1 on regression). Bump PR per stacked change: make bench-trajectory PR=9
+PR ?= 8
+bench-trajectory:
+	$(GO) run ./cmd/benchreport -pr $(PR) -check -against auto
+
+ci: build vet docs-lint test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-sweep bench-trajectory docs-check

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"tqsim"
+	"tqsim/internal/gate"
+	"tqsim/internal/loadgen"
+	"tqsim/internal/rng"
+	"tqsim/internal/serve"
+	"tqsim/internal/statevec"
+)
+
+// collectKernels times the gate kernels the BENCH trajectory tracks:
+// a dense single-qubit gate, a control-permutation gate and a diagonal
+// gate, each at a serial-regime and a parallel-regime width. Each kernel
+// runs for ~minKernelTime of wall time (manual loop — the fixed budget
+// keeps the whole collection bounded, unlike testing.B's benchtime).
+func collectKernels() map[string]float64 {
+	const minKernelTime = 200 * time.Millisecond
+	kernels := []struct {
+		name string
+		w    int
+		g    gate.Gate
+	}{
+		{"H/q10", 10, gate.New(gate.KindH, 5)},
+		{"H/q20", 20, gate.New(gate.KindH, 10)},
+		{"CX/q20", 20, gate.New(gate.KindCX, 10, 9)},
+		{"RZ/q20", 20, gate.NewParam(gate.KindRZ, []float64{0.3}, 10)},
+	}
+	out := make(map[string]float64, len(kernels))
+	for _, k := range kernels {
+		st := statevec.NewZero(k.w)
+		// Warm up caches and the allocator before timing.
+		st.Apply(k.g)
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < minKernelTime {
+			st.Apply(k.g)
+			iters++
+		}
+		elapsed := time.Since(start)
+		out[k.name] = float64(st.Dim()) * float64(iters) / elapsed.Seconds()
+	}
+	return out
+}
+
+// collectSweepRatio runs BenchmarkSweepReuse's exact spec with reuse on
+// and off and returns the gate-application work ratio (on/off, lower is
+// better). The spec lives here too so the trajectory number and the
+// benchmark measure the same workload.
+func collectSweepRatio() (float64, error) {
+	spec := func(noReuse bool) *tqsim.SweepSpec {
+		return &tqsim.SweepSpec{
+			Circuit: "qft_n10",
+			Noise: []tqsim.SweepNoisePoint{
+				{P1: 0.0002, P2: 0.001},
+				{P1: 0.0005, P2: 0.002},
+				{P1: 0.001, P2: 0.005},
+			},
+			Shots:    []int{1000},
+			Repeats:  2,
+			Seed:     17,
+			CopyCost: 5,
+			Backend:  "statevec",
+			NoReuse:  noReuse,
+		}
+	}
+	on, err := tqsim.RunSweep(spec(false))
+	if err != nil {
+		return 0, fmt.Errorf("sweep (reuse on): %w", err)
+	}
+	off, err := tqsim.RunSweep(spec(true))
+	if err != nil {
+		return 0, fmt.Errorf("sweep (reuse off): %w", err)
+	}
+	if off.GateApplications == 0 {
+		return 0, fmt.Errorf("sweep did no work")
+	}
+	return float64(on.GateApplications) / float64(off.GateApplications), nil
+}
+
+// collectServe drives an in-process tqsimd at a fixed rate with the
+// default mix and records the client-side quantiles and goodput.
+func collectServe(ctx context.Context, rate float64, duration, slo time.Duration) (ServeBench, error) {
+	ts := httptest.NewServer(serve.New(serve.Config{
+		StoreEntries:       512,
+		SnapshotCacheBytes: 256 << 20,
+	}))
+	defer ts.Close()
+	spec := &loadgen.Spec{
+		Arrival:        "poisson",
+		Rate:           rate,
+		Duration:       duration,
+		Seed:           8,
+		ReplayFraction: 0.2,
+		SLOp99:         slo,
+	}
+	rep, err := loadgen.RunWithClient(ctx, ts.Client(), ts.URL, spec)
+	if err != nil {
+		return ServeBench{}, err
+	}
+	return ServeBench{
+		RateRPS:    rate,
+		DurationS:  duration.Seconds(),
+		SLOMS:      float64(slo.Milliseconds()),
+		P50MS:      rep.P50MS,
+		P99MS:      rep.P99MS,
+		OfferedRPS: rep.Offered,
+		GoodputRPS: rep.Goodput,
+	}, nil
+}
+
+// collectKnee bisects to the saturation knee of a fresh in-process
+// tqsimd. Every trial runs against its own store-less server at a
+// derived seed stream, so no trial is answered from a previous trial's
+// cached results (replays measure the store, not the simulator).
+func collectKnee(ctx context.Context, slo, trialDur time.Duration) (*loadgen.KneeResult, error) {
+	trialIdx := 0
+	trial := func(ctx context.Context, rate float64) (*loadgen.Report, error) {
+		trialIdx++
+		ts := httptest.NewServer(serve.New(serve.Config{StoreEntries: -1}))
+		defer ts.Close()
+		spec := &loadgen.Spec{
+			Arrival:  "poisson",
+			Rate:     rate,
+			Duration: trialDur,
+			Seed:     rng.SeedAt(8, uint64(1000+trialIdx)),
+			SLOp99:   slo,
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: knee trial %d at %.1f req/s\n", trialIdx, rate)
+		return loadgen.RunWithClient(ctx, ts.Client(), ts.URL, spec)
+	}
+	return loadgen.FindKnee(ctx, loadgen.KneeSpec{
+		StartRate: 16,
+		MaxRate:   2048,
+		SLOp99:    slo,
+		Tolerance: 0.15,
+	}, trial)
+}

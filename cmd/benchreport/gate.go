@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// BenchSchema identifies the BENCH_<pr>.json shape. Bump on breaking
+// changes; Compare refuses to gate across schema versions.
+const BenchSchema = "tqsim-bench/1"
+
+// Bench is one point on the repo's performance trajectory: the schema'd
+// contents of a committed BENCH_<pr>.json. Every metric is collected by
+// cmd/benchreport on one machine in one run, so numbers within a file are
+// mutually comparable; across files the gate uses noise-tolerant
+// thresholds rather than exact deltas.
+type Bench struct {
+	Schema string `json:"schema"`
+	PR     int    `json:"pr"`
+	GoVer  string `json:"go,omitempty"`
+
+	// Kernels maps kernel names (e.g. "H/q20") to amplitudes visited per
+	// second — the engine-level numbers every speedup bottoms out in.
+	Kernels map[string]float64 `json:"kernels_amps_per_s"`
+
+	// SweepWorkRatio is gate applications with cross-point prefix reuse
+	// over without, for BenchmarkSweepReuse's spec. Lower is better; 1.0
+	// means the reuse shortcut never fired.
+	SweepWorkRatio float64 `json:"sweep_work_ratio"`
+
+	// Serve is a fixed-rate tqsimgen run against an in-process tqsimd.
+	Serve ServeBench `json:"serve"`
+
+	// KneeRPS is the saturation knee: the highest probed rate whose p99
+	// met the knee SLO (0 = not measured).
+	KneeRPS    float64 `json:"knee_rps,omitempty"`
+	KneeSLOMS  float64 `json:"knee_slo_ms,omitempty"`
+	KneeTrials int     `json:"knee_trials,omitempty"`
+}
+
+// ServeBench is the serve-layer slice of the trajectory.
+type ServeBench struct {
+	RateRPS    float64 `json:"rate_rps"`
+	DurationS  float64 `json:"duration_s"`
+	SLOMS      float64 `json:"slo_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	OfferedRPS float64 `json:"offered_rps"`
+	GoodputRPS float64 `json:"goodput_rps"`
+}
+
+// goodputRatio is goodput normalized by offered load — the
+// machine-portable serve health number (absolute RPS is not portable
+// across runner sizes; the fraction of offered load served within SLO is).
+func (s ServeBench) goodputRatio() float64 {
+	if s.OfferedRPS <= 0 {
+		return 0
+	}
+	return s.GoodputRPS / s.OfferedRPS
+}
+
+func loadBench(path string) (*Bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BenchSchema)
+	}
+	return &b, nil
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// resolveBaseline implements -against auto: the committed BENCH_*.json
+// with the highest PR number in dir ("" = none committed yet).
+func resolveBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	return best, nil
+}
+
+// Regression thresholds. They are deliberately loose: the gate exists to
+// catch real regressions (a kernel halving, reuse breaking, the serve
+// path falling over), not scheduler jitter. Ratios are used wherever the
+// metric scales with machine size.
+const (
+	kernelFailFactor  = 0.5  // kernel slower than half the baseline
+	sweepRatioSlack   = 0.05 // absolute worsening of the work ratio
+	serveP99Factor    = 3.0  // p99 more than 3x baseline...
+	serveP99SlackMS   = 20.0 // ...plus absolute slack for tiny baselines
+	goodputRatioSlack = 0.2  // goodput/offered fraction drop
+	kneeFailFactor    = 0.5  // knee below half the baseline
+)
+
+// Compare gates cur against prev and returns one line per regression
+// (empty = pass). Metrics present in prev but missing in cur are
+// regressions too: losing a measurement silently would blind the
+// trajectory.
+func Compare(prev, cur *Bench) []string {
+	var regs []string
+	if prev.Schema != cur.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q vs current %q", prev.Schema, cur.Schema)}
+	}
+	names := make([]string, 0, len(prev.Kernels))
+	for name := range prev.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := prev.Kernels[name]
+		got, ok := cur.Kernels[name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("kernel %s: missing from current run (baseline %.3g amps/s)", name, base))
+			continue
+		}
+		if base > 0 && got < base*kernelFailFactor {
+			regs = append(regs, fmt.Sprintf("kernel %s: %.3g amps/s < %.0f%% of baseline %.3g",
+				name, got, kernelFailFactor*100, base))
+		}
+	}
+	if prev.SweepWorkRatio > 0 && cur.SweepWorkRatio > prev.SweepWorkRatio+sweepRatioSlack {
+		regs = append(regs, fmt.Sprintf("sweep work ratio %.3f worse than baseline %.3f + %.2f slack",
+			cur.SweepWorkRatio, prev.SweepWorkRatio, sweepRatioSlack))
+	}
+	if prev.Serve.P99MS > 0 && cur.Serve.P99MS > prev.Serve.P99MS*serveP99Factor+serveP99SlackMS {
+		regs = append(regs, fmt.Sprintf("serve p99 %.1fms > baseline %.1fms x%.0f + %.0fms",
+			cur.Serve.P99MS, prev.Serve.P99MS, serveP99Factor, serveP99SlackMS))
+	}
+	if pr := prev.Serve.goodputRatio(); pr > 0 && cur.Serve.goodputRatio() < pr-goodputRatioSlack {
+		regs = append(regs, fmt.Sprintf("serve goodput/offered %.2f < baseline %.2f - %.2f slack",
+			cur.Serve.goodputRatio(), pr, goodputRatioSlack))
+	}
+	if prev.KneeRPS > 0 && cur.KneeRPS > 0 && cur.KneeRPS < prev.KneeRPS*kneeFailFactor {
+		regs = append(regs, fmt.Sprintf("knee %.1f req/s < %.0f%% of baseline %.1f",
+			cur.KneeRPS, kneeFailFactor*100, prev.KneeRPS))
+	}
+	if prev.KneeRPS > 0 && cur.KneeRPS == 0 {
+		regs = append(regs, fmt.Sprintf("knee missing from current run (baseline %.1f req/s)", prev.KneeRPS))
+	}
+	return regs
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseBench() *Bench {
+	return &Bench{
+		Schema: BenchSchema,
+		PR:     7,
+		Kernels: map[string]float64{
+			"H/q10":  2e9,
+			"H/q20":  4e9,
+			"CX/q20": 3e9,
+		},
+		SweepWorkRatio: 0.62,
+		Serve: ServeBench{
+			RateRPS: 40, DurationS: 8, SLOMS: 500,
+			P50MS: 10, P99MS: 60, OfferedRPS: 40, GoodputRPS: 39,
+		},
+		KneeRPS: 120,
+	}
+}
+
+// mutate deep-copies the baseline and applies one seeded change.
+func mutate(f func(*Bench)) *Bench {
+	b := baseBench()
+	kernels := make(map[string]float64, len(b.Kernels))
+	for k, v := range b.Kernels {
+		kernels[k] = v
+	}
+	b.Kernels = kernels
+	f(b)
+	return b
+}
+
+// TestCompareGate seeds each regression class the gate must catch, and
+// the noise-level wobble it must NOT catch.
+func TestCompareGate(t *testing.T) {
+	prev := baseBench()
+	cases := []struct {
+		name string
+		cur  *Bench
+		want string // substring of the expected regression ("" = pass)
+	}{
+		{"identical", mutate(func(b *Bench) {}), ""},
+		{"kernel noise", mutate(func(b *Bench) { b.Kernels["H/q20"] *= 0.8 }), ""},
+		{"kernel halved", mutate(func(b *Bench) { b.Kernels["H/q20"] *= 0.4 }), "kernel H/q20"},
+		{"kernel missing", mutate(func(b *Bench) { delete(b.Kernels, "CX/q20") }), "kernel CX/q20: missing"},
+		{"kernel improved", mutate(func(b *Bench) { b.Kernels["H/q10"] *= 3 }), ""},
+		{"ratio noise", mutate(func(b *Bench) { b.SweepWorkRatio += 0.03 }), ""},
+		{"reuse broken", mutate(func(b *Bench) { b.SweepWorkRatio = 1.0 }), "sweep work ratio"},
+		{"p99 noise", mutate(func(b *Bench) { b.Serve.P99MS *= 2 }), ""},
+		{"p99 blown", mutate(func(b *Bench) { b.Serve.P99MS = 400 }), "serve p99"},
+		{"goodput noise", mutate(func(b *Bench) { b.Serve.GoodputRPS = 36 }), ""},
+		{"goodput collapsed", mutate(func(b *Bench) { b.Serve.GoodputRPS = 20 }), "goodput/offered"},
+		{"knee noise", mutate(func(b *Bench) { b.KneeRPS = 80 }), ""},
+		{"knee collapsed", mutate(func(b *Bench) { b.KneeRPS = 50 }), "knee 50.0"},
+		{"knee lost", mutate(func(b *Bench) { b.KneeRPS = 0 }), "knee missing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := Compare(prev, tc.cur)
+			if tc.want == "" {
+				if len(regs) != 0 {
+					t.Fatalf("expected pass, got regressions: %v", regs)
+				}
+				return
+			}
+			found := false
+			for _, r := range regs {
+				if strings.Contains(r, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("expected a regression containing %q, got: %v", tc.want, regs)
+			}
+		})
+	}
+}
+
+// TestCompareMultipleRegressions: independent regressions all surface in
+// one gate run, not just the first.
+func TestCompareMultipleRegressions(t *testing.T) {
+	cur := mutate(func(b *Bench) {
+		b.Kernels["H/q10"] *= 0.1
+		b.SweepWorkRatio = 0.99
+		b.KneeRPS = 10
+	})
+	regs := Compare(baseBench(), cur)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
+	}
+}
+
+// TestLoadBenchSchemaGate: files with the wrong schema are refused, not
+// silently compared.
+func TestLoadBenchSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_3.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"tqsim-bench/99","pr":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBench(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema file accepted: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBench(path); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+// TestResolveBaseline picks the highest-numbered BENCH file.
+func TestResolveBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_9.json", "BENCHMARK.md", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := resolveBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Fatalf("resolved %q, want BENCH_10.json", got)
+	}
+	empty := t.TempDir()
+	got, err = resolveBaseline(empty)
+	if err != nil || got != "" {
+		t.Fatalf("empty dir: got %q, %v", got, err)
+	}
+}

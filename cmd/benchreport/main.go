@@ -1,0 +1,142 @@
+// Command benchreport measures the repo's performance trajectory and
+// gates regressions against the previously committed point.
+//
+// One run collects, on one machine:
+//
+//   - gate-kernel throughput (amps/s) at serial and parallel widths,
+//   - the cross-point sweep prefix-reuse work ratio (BenchmarkSweepReuse's
+//     exact spec),
+//   - fixed-rate serve quantiles and goodput (tqsimgen's engine against an
+//     in-process tqsimd),
+//   - the saturation knee (optional, -knee-trial > 0),
+//
+// and writes them as a schema'd BENCH_<pr>.json. With -check it compares
+// the fresh run against a baseline file (-against, or "auto" = the
+// highest-numbered committed BENCH_*.json) using noise-tolerant
+// thresholds (see gate.go) and exits 1 on regression — the CI trajectory
+// gate. The output file is written before the gate verdict, so a failing
+// run still leaves its evidence on disk.
+//
+//	benchreport -pr 8                        # write BENCH_8.json
+//	benchreport -pr 9 -check -against auto   # gate PR 9 against BENCH_8.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		pr        = flag.Int("pr", 0, "PR number for the output file name (required unless -out)")
+		out       = flag.String("out", "", "output path (default BENCH_<pr>.json)")
+		against   = flag.String("against", "", `baseline BENCH file to compare with; "auto" = highest-numbered BENCH_*.json`)
+		check     = flag.Bool("check", false, "exit 1 when the fresh run regresses past the thresholds")
+		rate      = flag.Float64("serve-rate", 40, "fixed offered rate for the serve measurement")
+		duration  = flag.Duration("serve-duration", 8*time.Second, "length of the serve measurement")
+		slo       = flag.Duration("slo-p99", 500*time.Millisecond, "p99 SLO for goodput and the knee")
+		kneeTrial = flag.Duration("knee-trial", 2*time.Second, "per-trial duration of the knee search (0 = skip the knee)")
+	)
+	flag.Parse()
+	if *out == "" {
+		if *pr <= 0 {
+			fatalf("-pr (or -out) is required")
+		}
+		*out = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
+
+	// Resolve and load the baseline before the (slow) collection, so a
+	// bad -against path fails in seconds, not minutes.
+	var baseline *Bench
+	if *against != "" {
+		path := *against
+		if path == "auto" {
+			var err error
+			path, err = resolveBaseline(".")
+			if err != nil {
+				fatalf("resolving baseline: %v", err)
+			}
+			if path == "" {
+				fmt.Fprintln(os.Stderr, "benchreport: no committed BENCH_*.json yet; nothing to gate against")
+			}
+		}
+		if path != "" {
+			b, err := loadBench(path)
+			if err != nil {
+				fatalf("baseline: %v", err)
+			}
+			baseline = b
+			fmt.Fprintf(os.Stderr, "benchreport: gating against %s (PR %d)\n", path, b.PR)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	bench := &Bench{Schema: BenchSchema, PR: *pr, GoVer: runtime.Version()}
+
+	fmt.Fprintln(os.Stderr, "benchreport: timing kernels...")
+	bench.Kernels = collectKernels()
+
+	fmt.Fprintln(os.Stderr, "benchreport: measuring sweep reuse ratio...")
+	ratio, err := collectSweepRatio()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bench.SweepWorkRatio = ratio
+
+	fmt.Fprintf(os.Stderr, "benchreport: serving %.0f req/s for %v...\n", *rate, *duration)
+	sb, err := collectServe(ctx, *rate, *duration, *slo)
+	if err != nil {
+		fatalf("serve measurement: %v", err)
+	}
+	bench.Serve = sb
+
+	if *kneeTrial > 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: searching for the saturation knee...")
+		res, err := collectKnee(ctx, *slo, *kneeTrial)
+		if err != nil {
+			fatalf("knee search: %v", err)
+		}
+		bench.KneeRPS = res.Knee
+		bench.KneeSLOMS = float64(slo.Milliseconds())
+		bench.KneeTrials = len(res.Trials)
+	}
+
+	buf, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", *out)
+	os.Stdout.Write(buf)
+
+	if baseline != nil {
+		regs := Compare(baseline, bench)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "benchreport: REGRESSION: %s\n", r)
+			}
+			if *check {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "benchreport: no regressions vs PR %d\n", baseline.PR)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

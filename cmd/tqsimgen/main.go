@@ -1,0 +1,259 @@
+// Command tqsimgen is the tqsim load generator and capacity prober: a
+// seeded, deterministic workload driver for a running tqsimd (or a
+// self-hosted in-process one) built on internal/loadgen.
+//
+// It offers open-loop (Poisson or fixed-rate) and closed-loop (K clients
+// with think time) arrival processes over a configurable request mix —
+// jobs and sweeps, streaming and JSON shapes, fresh seeds and
+// store-replay repeats — and reports client-side p50/p95/p99 latency,
+// throughput, goodput under a p99 SLO, and the 413/429/503/error
+// breakdown. The offered workload is a pure function of (-seed, flags):
+// two runs at the same seed issue byte-identical request sequences on
+// identical schedules, so capacity experiments differ only in the system
+// under test.
+//
+// Quickstart (against a self-hosted in-process server):
+//
+//	tqsimgen -self -rate 50 -duration 10s -slo-p99 500ms
+//
+// Against a live daemon, with machine-readable output:
+//
+//	tqsimd -addr :8651 &
+//	tqsimgen -target http://localhost:8651 -rate 50 -duration 10s -slo-p99 500ms -json
+//
+// Closed-loop (8 clients, 20ms mean think time):
+//
+//	tqsimgen -self -arrival closed -clients 8 -think 20ms -duration 10s
+//
+// Saturation knee — ramp and bisect to the highest rate whose p99 still
+// meets the SLO:
+//
+//	tqsimgen -self -knee -slo-p99 500ms -knee-trial 5s
+//
+// Knee trials against a -target reuse the live server; each trial derives
+// a distinct simulation-seed stream so a result-store-enabled server
+// cannot answer later trials from earlier trials' cached results (which
+// would inflate the measured capacity). With -self every trial gets a
+// fresh store-less server for the same reason.
+//
+// After a -target run, tqsimgen fetches /v1/stats and prints the server's
+// own latency histogram next to the client's — the server-side view
+// (handler time) cross-checks the client-side one (round-trip time).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tqsim/internal/loadgen"
+	"tqsim/internal/rng"
+	"tqsim/internal/serve"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "", "base URL of a running tqsimd (e.g. http://localhost:8651)")
+		self     = flag.Bool("self", false, "host an in-process tqsimd on an ephemeral port and drive that")
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson, fixed, closed")
+		rate     = flag.Float64("rate", 20, "offered request rate per second (open-loop)")
+		clients  = flag.Int("clients", 4, "concurrent clients (closed-loop)")
+		think    = flag.Duration("think", 0, "mean think time between a client's requests (closed-loop, exponential)")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		requests = flag.Int("requests", 0, "cap total requests issued (0 = no cap)")
+		seed     = flag.Uint64("seed", 1, "seed for every deterministic stream (schedule, bodies, think times)")
+		mixPath  = flag.String("mix", "", "JSON mix file (array of mix entries); empty = built-in default mix")
+		replayFr = flag.Float64("replay-fraction", 0, "fraction of requests issued with a pinned seed (store-replay traffic)")
+		sloP99   = flag.Duration("slo-p99", 0, "p99 latency SLO; goodput counts completed requests under it")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		inflight = flag.Int("max-inflight", 1024, "open-loop concurrency cap; arrivals beyond it are shed, not queued")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON instead of text")
+
+		knee      = flag.Bool("knee", false, "find the saturation knee: ramp + bisect to the highest rate meeting -slo-p99")
+		kneeStart = flag.Float64("knee-start", 8, "first probed rate")
+		kneeMax   = flag.Float64("knee-max", 4096, "rate ceiling for the ramp")
+		kneeTol   = flag.Float64("knee-tol", 0.1, "relative bracket width at which bisection stops")
+		kneeTrial = flag.Duration("knee-trial", 5*time.Second, "duration of each probe trial")
+		kneeErr   = flag.Float64("knee-max-errors", 0.01, "largest tolerated non-completion fraction per trial")
+	)
+	flag.Parse()
+
+	if (*target == "") == !*self {
+		fatalf("exactly one of -target or -self is required")
+	}
+
+	spec := &loadgen.Spec{
+		Arrival:        *arrival,
+		Rate:           *rate,
+		Clients:        *clients,
+		Think:          *think,
+		Duration:       *duration,
+		MaxRequests:    *requests,
+		Seed:           *seed,
+		ReplayFraction: *replayFr,
+		SLOp99:         *sloP99,
+		Timeout:        *timeout,
+		MaxInFlight:    *inflight,
+	}
+	if *mixPath != "" {
+		mix, err := loadgen.LoadMix(*mixPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Mix = mix
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if *knee {
+		if *sloP99 <= 0 {
+			fatalf("-knee needs -slo-p99")
+		}
+		runKnee(ctx, *target, *self, spec, loadgen.KneeSpec{
+			StartRate:        *kneeStart,
+			MaxRate:          *kneeMax,
+			SLOp99:           *sloP99,
+			MaxErrorFraction: *kneeErr,
+			Tolerance:        *kneeTol,
+		}, *kneeTrial, *jsonOut)
+		return
+	}
+
+	base, client, closeSrv := resolveTarget(*target, *self, serve.Config{})
+	defer closeSrv()
+	rep, err := loadgen.RunWithClient(ctx, client, base, spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonOut {
+		out := struct {
+			*loadgen.Report
+			Server *serverLatency `json:"server,omitempty"`
+		}{rep, fetchServerLatency(client, base)}
+		emitJSON(out)
+		return
+	}
+	fmt.Println(rep.String())
+	if sl := fetchServerLatency(client, base); sl != nil && sl.Count > 0 {
+		fmt.Printf("server-side (handler time): %d samples p50 %.3fms p99 %.3fms\n",
+			sl.Count, sl.P50MS, sl.P99MS)
+	}
+}
+
+// resolveTarget returns the base URL and client for the run, plus a
+// cleanup func. cfg customizes the -self server (the zero Config gives
+// tqsimd defaults plus a result store, like a stock daemon).
+func resolveTarget(target string, self bool, cfg serve.Config) (string, *http.Client, func()) {
+	if !self {
+		return target, &http.Client{}, func() {}
+	}
+	if cfg.StoreEntries == 0 {
+		cfg.StoreEntries = 512
+	}
+	if cfg.SnapshotCacheBytes == 0 {
+		cfg.SnapshotCacheBytes = 256 << 20
+	}
+	ts := httptest.NewServer(serve.New(cfg))
+	return ts.URL, ts.Client(), ts.Close
+}
+
+// runKnee wires a TrialFunc over the target and runs the bisection.
+func runKnee(ctx context.Context, target string, self bool, spec *loadgen.Spec, ks loadgen.KneeSpec, trialDur time.Duration, jsonOut bool) {
+	trialIdx := 0
+	trial := func(ctx context.Context, rate float64) (*loadgen.Report, error) {
+		trialIdx++
+		s := *spec
+		s.Arrival = "poisson"
+		s.Rate = rate
+		s.Duration = trialDur
+		// Each trial draws its simulation seeds from a distinct derived
+		// stream so a result store never answers trial N from trial N-1's
+		// cached results — replayed trials would measure the store, not
+		// the simulator, and report an inflated knee.
+		s.Seed = rng.SeedAt(spec.Seed, uint64(1000+trialIdx))
+		s.ReplayFraction = 0
+		var (
+			base    string
+			client  *http.Client
+			cleanup func()
+		)
+		if self {
+			// A fresh store-less server per trial: no cross-trial state.
+			base, client, cleanup = resolveTarget("", true, serve.Config{StoreEntries: -1})
+		} else {
+			base, client, cleanup = resolveTarget(target, false, serve.Config{})
+		}
+		defer cleanup()
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "trial %d: %.1f req/s for %v...\n", trialIdx, rate, trialDur)
+		}
+		return loadgen.RunWithClient(ctx, client, base, &s)
+	}
+	res, err := loadgen.FindKnee(ctx, ks, trial)
+	if err != nil {
+		fatalf("knee search: %v", err)
+	}
+	if jsonOut {
+		emitJSON(res)
+		return
+	}
+	for _, tr := range res.Trials {
+		verdict := "ok"
+		if tr.Breach {
+			verdict = "BREACH (" + tr.Reason + ")"
+		}
+		fmt.Printf("  %8.1f req/s  p99 %8.3fms  errors %5.1f%%  %s\n", tr.Rate, tr.P99MS, tr.ErrFrc*100, verdict)
+	}
+	switch {
+	case !res.Converged:
+		fmt.Printf("knee: ≥ %.1f req/s (sustained the -knee-max ceiling without breaching)\n", res.Knee)
+	case res.Knee == 0:
+		fmt.Printf("knee: none — even the lowest probed rate breached the SLO\n")
+	default:
+		fmt.Printf("knee: %.1f req/s (first breach at %.1f req/s, bracket ±%.0f%%)\n",
+			res.Knee, res.FirstBad, 100*(res.FirstBad-res.Knee)/res.FirstBad)
+	}
+}
+
+// serverLatency is the slice of /v1/stats used for the cross-check.
+type serverLatency struct {
+	Count  uint64  `json:"latency_count"`
+	MeanMS float64 `json:"latency_mean_ms"`
+	P50MS  float64 `json:"latency_p50_ms"`
+	P95MS  float64 `json:"latency_p95_ms"`
+	P99MS  float64 `json:"latency_p99_ms"`
+}
+
+func fetchServerLatency(client *http.Client, base string) *serverLatency {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var sl serverLatency
+	if json.NewDecoder(resp.Body).Decode(&sl) != nil {
+		return nil
+	}
+	return &sl
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tqsimgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tqsim/internal/rng"
+)
+
+// Schedule materializes the open-loop arrival offsets (relative to the run
+// start) for the spec: exponential inter-arrival gaps at Rate for
+// "poisson", uniform 1/Rate spacing for "fixed". The schedule is a pure
+// function of (Spec, Seed): the gap stream is keyed by
+// rng.SeedAt(Seed, streamArrival), offsets accumulate in float64 seconds
+// with no clock or scheduling input, and repeated calls return
+// byte-identical slices. Closed-loop specs have no pre-computed schedule
+// (arrivals depend on completions); Schedule returns an error for them.
+func (s *Spec) Schedule() ([]time.Duration, error) {
+	c, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	switch c.Arrival {
+	case "poisson":
+		r := rng.New(rng.SeedAt(c.Seed, streamArrival))
+		var out []time.Duration
+		t := 0.0
+		horizon := c.Duration.Seconds()
+		for len(out) < scheduleCap {
+			// Inverse-CDF exponential gap; 1-U keeps the argument in (0,1].
+			t += -math.Log(1-r.Float64()) / c.Rate
+			if t >= horizon {
+				break
+			}
+			if c.MaxRequests > 0 && len(out) >= c.MaxRequests {
+				break
+			}
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+		return out, nil
+	case "fixed":
+		n := int(c.Rate * c.Duration.Seconds())
+		if c.MaxRequests > 0 && n > c.MaxRequests {
+			n = c.MaxRequests
+		}
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(float64(i) / c.Rate * float64(time.Second))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("loadgen: arrival %q has no open-loop schedule", c.Arrival)
+	}
+}
+
+// thinkStream returns client c's deterministic think-time stream for a
+// closed-loop run: successive calls yield the client's think times in
+// order, exponentially distributed around Spec.Think. Each client's stream
+// is keyed by rng.SeedAt over the think base stream, so streams are
+// independent of scheduling and of each other.
+func (s *Spec) thinkStream(client int) func() time.Duration {
+	r := rng.New(rng.SeedAt(rng.SeedAt(s.Seed, streamThink), uint64(client)))
+	return func() time.Duration {
+		if s.Think <= 0 {
+			return 0
+		}
+		return time.Duration(-math.Log(1-r.Float64()) * float64(s.Think))
+	}
+}

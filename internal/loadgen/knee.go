@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+)
+
+// The saturation-knee search: ramp the offered rate geometrically until the
+// SLO first breaks, then bisect the bracket to the knee — the highest rate
+// the target sustains under the SLO. Trials are injected as a function so
+// the search is testable against a synthetic service with a known analytic
+// capacity (TestFindKneeAnalyticCeiling) and reusable over any Spec.
+
+// TrialFunc runs one fixed-duration trial at the given offered rate.
+type TrialFunc func(ctx context.Context, rate float64) (*Report, error)
+
+// KneeSpec configures the knee search.
+type KneeSpec struct {
+	// StartRate is the first probed rate (default 8/s). It should be a
+	// rate the target trivially sustains.
+	StartRate float64
+	// MaxRate bounds the ramp (default 4096/s); a target that sustains
+	// MaxRate reports an open-ended (non-converged) knee at MaxRate.
+	MaxRate float64
+	// SLOp99 is the p99 latency bound a trial must meet (required).
+	SLOp99 time.Duration
+	// MaxErrorFraction is the largest tolerated fraction of non-completed
+	// requests (errors, rejections, drops) before a trial counts as a
+	// breach even when p99 holds (default 0.01).
+	MaxErrorFraction float64
+	// Tolerance is the relative width of the final bracket: bisection
+	// stops when (firstBad-knee)/firstBad ≤ Tolerance (default 0.1).
+	Tolerance float64
+}
+
+// Trial is one probed rate and its outcome.
+type Trial struct {
+	Rate   float64 `json:"rate"`
+	Breach bool    `json:"breach"`
+	Reason string  `json:"reason,omitempty"`
+	P99MS  float64 `json:"p99_ms"`
+	ErrFrc float64 `json:"error_fraction"`
+}
+
+// KneeResult is the outcome of FindKnee.
+type KneeResult struct {
+	// Knee is the highest probed rate that met the SLO (0 when even
+	// StartRate breached and bisection could not find a sustainable rate).
+	Knee float64 `json:"knee_rps"`
+	// FirstBad is the lowest probed rate that breached (0 when the target
+	// sustained MaxRate).
+	FirstBad float64 `json:"first_bad_rps"`
+	// Converged reports the bracket reached Tolerance; false means the
+	// ramp hit MaxRate without a breach.
+	Converged bool    `json:"converged"`
+	Trials    []Trial `json:"trials"`
+}
+
+func (ks KneeSpec) withDefaults() (KneeSpec, error) {
+	if ks.StartRate <= 0 {
+		ks.StartRate = 8
+	}
+	if ks.MaxRate <= 0 {
+		ks.MaxRate = 4096
+	}
+	if ks.MaxRate < ks.StartRate {
+		return ks, fmt.Errorf("loadgen: knee max rate %.1f below start rate %.1f", ks.MaxRate, ks.StartRate)
+	}
+	if ks.SLOp99 <= 0 {
+		return ks, fmt.Errorf("loadgen: knee search needs a p99 SLO")
+	}
+	if ks.MaxErrorFraction <= 0 {
+		ks.MaxErrorFraction = 0.01
+	}
+	if ks.Tolerance <= 0 {
+		ks.Tolerance = 0.1
+	}
+	return ks, nil
+}
+
+// breach classifies one trial against the SLO.
+func (ks KneeSpec) breach(rep *Report) (bool, string, float64) {
+	attempts := rep.Sent + rep.Dropped
+	errFrac := 0.0
+	if attempts > 0 {
+		errFrac = float64(attempts-rep.Completed) / float64(attempts)
+	}
+	switch {
+	case rep.Completed == 0:
+		return true, "no requests completed", errFrac
+	case errFrac > ks.MaxErrorFraction:
+		return true, fmt.Sprintf("error fraction %.3f > %.3f", errFrac, ks.MaxErrorFraction), errFrac
+	case rep.P99 > ks.SLOp99:
+		return true, fmt.Sprintf("p99 %v > SLO %v", rep.P99, ks.SLOp99), errFrac
+	}
+	return false, "", errFrac
+}
+
+// FindKnee locates the saturation knee: it doubles the offered rate from
+// StartRate until a trial breaches the SLO (p99 above SLOp99, or too many
+// rejections/errors), then bisects the [good, bad] bracket until its
+// relative width is within Tolerance. The reported knee is always a rate
+// that was actually probed and met the SLO — the search never extrapolates
+// above a measured breach, so it cannot report a rate above the service's
+// true capacity.
+func FindKnee(ctx context.Context, spec KneeSpec, trial TrialFunc) (*KneeResult, error) {
+	ks, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &KneeResult{}
+	probe := func(rate float64) (bool, error) {
+		rep, err := trial(ctx, rate)
+		if err != nil {
+			return false, fmt.Errorf("trial at %.1f req/s: %w", rate, err)
+		}
+		breach, why, errFrac := ks.breach(rep)
+		res.Trials = append(res.Trials, Trial{
+			Rate: rate, Breach: breach, Reason: why, P99MS: rep.P99MS, ErrFrc: errFrac,
+		})
+		return breach, nil
+	}
+
+	// Ramp: double until the first breach (or MaxRate sustained).
+	good, bad := 0.0, 0.0
+	for rate := ks.StartRate; ; rate = math.Min(rate*2, ks.MaxRate) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		breach, err := probe(rate)
+		if err != nil {
+			return res, err
+		}
+		if breach {
+			bad = rate
+			break
+		}
+		good = rate
+		if rate >= ks.MaxRate {
+			res.Knee, res.Converged = good, false
+			return res, nil
+		}
+	}
+
+	// Bisect [good, bad] to the knee. good may be 0 (StartRate breached):
+	// the bracket still tightens toward the highest sustainable rate, with
+	// an absolute floor so a target that sustains nothing terminates with
+	// knee 0 instead of bisecting toward 0 forever.
+	for bad-good > ks.Tolerance*bad && bad > ks.Tolerance*ks.StartRate {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		mid := (good + bad) / 2
+		breach, err := probe(mid)
+		if err != nil {
+			return res, err
+		}
+		if breach {
+			bad = mid
+		} else {
+			good = mid
+		}
+	}
+	res.Knee, res.FirstBad, res.Converged = good, bad, true
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"container/heap"
+	"context"
+	"testing"
+	"time"
+
+	"tqsim/internal/metrics"
+)
+
+// syntheticService simulates an M/D/c FCFS queue: `servers` parallel
+// workers each taking exactly `service` per request, with an unbounded
+// queue. Its analytic capacity is servers/service req/s: below that rate
+// waiting time stays bounded, above it the queue (and so p99) grows
+// without limit over the trial. This gives the knee search a target with
+// a known right answer.
+type syntheticService struct {
+	servers  int
+	service  time.Duration
+	duration time.Duration
+}
+
+// capacity is the analytic saturation rate in requests per second.
+func (s syntheticService) capacity() float64 {
+	return float64(s.servers) / s.service.Seconds()
+}
+
+type busyHeap []float64 // server free times, min-heap
+
+func (h busyHeap) Len() int            { return len(h) }
+func (h busyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h busyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *busyHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *busyHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// trial runs one discrete-event simulation at the offered rate and
+// renders it as a loadgen Report, exactly as a live trial would.
+func (s syntheticService) trial(_ context.Context, rate float64) (*Report, error) {
+	n := int(rate * s.duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	free := make(busyHeap, s.servers) // all servers free at t=0
+	heap.Init(&free)
+	var hist metrics.LatencyHist
+	svc := s.service.Seconds()
+	for i := 0; i < n; i++ {
+		arrive := float64(i) / rate
+		begin := free[0]
+		if arrive > begin {
+			begin = arrive
+		}
+		done := begin + svc
+		free[0] = done
+		heap.Fix(&free, 0)
+		hist.Record(time.Duration((done - arrive) * float64(time.Second)))
+	}
+	rep := &Report{
+		Arrival:   "fixed",
+		Offered:   rate,
+		Sent:      n,
+		Completed: n,
+		Hist:      &hist,
+	}
+	rep.P50, rep.P95, rep.P99 = hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99)
+	rep.P50MS, rep.P95MS, rep.P99MS = durMS(rep.P50), durMS(rep.P95), durMS(rep.P99)
+	return rep, nil
+}
+
+// TestFindKneeAnalyticCeiling checks the knee search against the
+// synthetic queue's analytic capacity: the found knee converges to
+// within tolerance of the ceiling and — because the knee is always an
+// actually-probed, non-breaching rate — never exceeds it.
+func TestFindKneeAnalyticCeiling(t *testing.T) {
+	svc := syntheticService{
+		servers:  4,
+		service:  10 * time.Millisecond,
+		duration: 10 * time.Second,
+	}
+	cap := svc.capacity() // 400 req/s
+	ks := KneeSpec{
+		StartRate: 10,
+		MaxRate:   10000,
+		// Well below cap the p99 is the bare service time (10ms); at or
+		// above cap the queue grows for the whole trial and p99 explodes,
+		// so any SLO comfortably above 10ms separates the two regimes.
+		SLOp99:    40 * time.Millisecond,
+		Tolerance: 0.05,
+	}
+	res, err := FindKnee(context.Background(), ks, svc.trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("knee search did not converge: %+v", res)
+	}
+	// With deterministic arrivals the queue is stable at exactly ρ=1, so
+	// the knee may equal capacity — but can never exceed it, because the
+	// knee is always a probed rate and any rate above capacity grows the
+	// queue for the whole trial and breaches.
+	if res.Knee > cap {
+		t.Fatalf("knee %.1f above analytic capacity %.1f", res.Knee, cap)
+	}
+	// The knee must be close below capacity: queueing only pushes p99
+	// past 40ms near saturation, so the knee should land within ~25%.
+	if res.Knee < 0.70*cap {
+		t.Fatalf("knee %.1f implausibly far below capacity %.1f", res.Knee, cap)
+	}
+	if res.FirstBad <= res.Knee {
+		t.Fatalf("bracket inverted: knee %.1f, first bad %.1f", res.Knee, res.FirstBad)
+	}
+	if w := (res.FirstBad - res.Knee) / res.FirstBad; w > ks.Tolerance {
+		t.Fatalf("bracket width %.3f above tolerance %.3f", w, ks.Tolerance)
+	}
+	// Every trial's verdict must be consistent with the capacity: every
+	// rate strictly above capacity breaches.
+	for _, tr := range res.Trials {
+		if tr.Rate > cap && !tr.Breach {
+			t.Fatalf("trial at %.1f > capacity %.1f did not breach", tr.Rate, cap)
+		}
+	}
+}
+
+// TestFindKneeOpenEnded: a service that never breaches reports a
+// non-converged knee at MaxRate.
+func TestFindKneeOpenEnded(t *testing.T) {
+	fast := func(_ context.Context, rate float64) (*Report, error) {
+		var hist metrics.LatencyHist
+		hist.Record(time.Millisecond)
+		return &Report{Offered: rate, Sent: 100, Completed: 100, P99: time.Millisecond, Hist: &hist}, nil
+	}
+	res, err := FindKnee(context.Background(), KneeSpec{StartRate: 10, MaxRate: 100, SLOp99: 50 * time.Millisecond}, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("expected open-ended (non-converged) result")
+	}
+	if res.Knee != 100 {
+		t.Fatalf("open-ended knee %.1f, want MaxRate 100", res.Knee)
+	}
+}
+
+// TestFindKneeAlwaysBreaching: a service that always breaches bisects
+// down and reports a zero knee rather than inventing capacity.
+func TestFindKneeAlwaysBreaching(t *testing.T) {
+	dead := func(_ context.Context, rate float64) (*Report, error) {
+		return &Report{Offered: rate, Sent: 100, Completed: 0}, nil
+	}
+	res, err := FindKnee(context.Background(), KneeSpec{StartRate: 8, MaxRate: 64, SLOp99: 50 * time.Millisecond}, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Knee != 0 {
+		t.Fatalf("dead service: got knee %.1f converged %v, want 0 and true", res.Knee, res.Converged)
+	}
+}
+
+// TestKneeSpecValidation rejects a missing SLO and inverted rate bounds.
+func TestKneeSpecValidation(t *testing.T) {
+	noop := func(_ context.Context, rate float64) (*Report, error) { return &Report{}, nil }
+	if _, err := FindKnee(context.Background(), KneeSpec{}, noop); err == nil {
+		t.Fatal("missing SLO accepted")
+	}
+	if _, err := FindKnee(context.Background(), KneeSpec{StartRate: 100, MaxRate: 10, SLOp99: time.Second}, noop); err == nil {
+		t.Fatal("MaxRate < StartRate accepted")
+	}
+}

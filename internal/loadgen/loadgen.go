@@ -1,0 +1,283 @@
+// Package loadgen is the tqsim load/capacity harness: a seeded,
+// deterministic workload generator that drives a live (or httptest-hosted)
+// tqsimd over HTTP with open-loop (Poisson, fixed-rate) or closed-loop
+// (K clients with think time) arrival processes and a configurable request
+// mix — jobs and sweeps, streaming and JSON shapes, fresh seeds and
+// store-replay repeats — recording per-request latency into a mergeable
+// log-bucketed histogram (internal/metrics.LatencyHist) with p50/p95/p99,
+// throughput, goodput-under-SLO and a 413/429/503/error breakdown.
+//
+// Determinism contract: the arrival schedule and the request sequence are
+// pure functions of (Spec, Seed) — Schedule and RequestAt produce
+// byte-identical output across runs, in any order, from any number of
+// goroutines (TestScheduleDeterministic, TestRequestSequenceDeterministic).
+// What the harness *measures* (latencies, error counts) is of course a
+// property of the target at run time; what it *offers* is reproducible by
+// seed, so two capacity experiments differ only in the system under test.
+//
+// FindKnee ramps the offered rate and bisects to the saturation knee: the
+// highest rate whose p99 still meets the SLO. cmd/tqsimgen is the CLI.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tqsim/internal/rng"
+	"tqsim/internal/serve"
+	"tqsim/internal/sweep"
+)
+
+// Seed-derivation stream indices: each deterministic sub-stream of a run is
+// keyed by rng.SeedAt(Spec.Seed, stream), the same derivation rule tqsimd
+// batch seeds and sweep point seeds use, so streams never alias each other
+// or the per-request streams derived below them.
+const (
+	streamArrival = 1 // open-loop inter-arrival gaps
+	streamMix     = 2 // base of the per-request body streams
+	streamThink   = 3 // base of the per-client think-time streams
+	streamReplay  = 4 // the pinned seed shared by replay requests
+)
+
+// MixEntry is one weighted request class in the generated mix.
+type MixEntry struct {
+	// Weight is the relative probability of this class (must be positive).
+	Weight float64 `json:"weight"`
+	// Kind is "job" (POST /v1/jobs, the default) or "sweep"
+	// (POST /v1/sweeps).
+	Kind string `json:"kind,omitempty"`
+	// Circuit names a benchmark-suite circuit (e.g. "bv_n10").
+	Circuit string `json:"circuit"`
+	// Noise names the model (default "DC"; "ideal" for noise-free).
+	Noise string `json:"noise,omitempty"`
+	// Shots per request (jobs) or per sweep point.
+	Shots int `json:"shots"`
+	// BatchShots forwards to the job request (0 = server default).
+	BatchShots int `json:"batch_shots,omitempty"`
+	// Stream requests the NDJSON shape instead of one JSON body.
+	Stream bool `json:"stream,omitempty"`
+	// Backend pins an engine by name ("" = auto).
+	Backend string `json:"backend,omitempty"`
+	// NoisePoints sizes a sweep's depolarizing-noise axis (kind "sweep";
+	// default 2). Rates are deterministic in the point index.
+	NoisePoints int `json:"noise_points,omitempty"`
+	// Repeats is the sweep's repeat axis (default 1).
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// DefaultMix is a small mixed workload that a modest tqsimd holds at tens
+// of requests per second: mostly cheap BV jobs, some QFT, a streaming
+// class, and an occasional two-point sweep.
+var DefaultMix = []MixEntry{
+	{Weight: 6, Kind: "job", Circuit: "bv_n10", Noise: "DC", Shots: 200},
+	{Weight: 2, Kind: "job", Circuit: "qft_n8", Noise: "DC", Shots: 100},
+	{Weight: 1, Kind: "job", Circuit: "bv_n8", Noise: "ideal", Shots: 400, Stream: true, BatchShots: 100},
+	{Weight: 1, Kind: "sweep", Circuit: "bv_n8", Shots: 100, NoisePoints: 2, Repeats: 1},
+}
+
+// Spec configures one load-generation run.
+type Spec struct {
+	// Arrival selects the process: "poisson" (open-loop, exponential
+	// inter-arrivals — the default), "fixed" (open-loop, uniform spacing)
+	// or "closed" (Clients concurrent loops with think time).
+	Arrival string `json:"arrival,omitempty"`
+	// Rate is the offered request rate per second (open-loop processes).
+	Rate float64 `json:"rate,omitempty"`
+	// Clients is the closed-loop concurrency (default 4).
+	Clients int `json:"clients,omitempty"`
+	// Think is the closed-loop mean think time between a client's requests
+	// (exponentially distributed; 0 = none).
+	Think time.Duration `json:"think,omitempty"`
+	// Duration bounds the run (required).
+	Duration time.Duration `json:"duration"`
+	// MaxRequests optionally caps the total requests issued (0 = no cap).
+	MaxRequests int `json:"max_requests,omitempty"`
+	// Seed keys every deterministic stream of the run.
+	Seed uint64 `json:"seed"`
+	// Mix is the weighted request mix (nil = DefaultMix).
+	Mix []MixEntry `json:"mix,omitempty"`
+	// ReplayFraction is the fraction of requests issued with a pinned
+	// simulation seed, so a result-store-enabled server answers the repeats
+	// as replays — the heavy-repeat-traffic scenario (0 = all fresh seeds).
+	ReplayFraction float64 `json:"replay_fraction,omitempty"`
+	// SLOp99 is the latency SLO goodput is measured against (0 = all
+	// completed requests are good).
+	SLOp99 time.Duration `json:"slo_p99,omitempty"`
+	// Timeout bounds one request (default 30s).
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// MaxInFlight caps concurrent open-loop requests; arrivals beyond it
+	// are dropped and counted, not queued (queueing would silently turn an
+	// open-loop run into a closed-loop one). Default 1024.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// scheduleCap bounds the materialized open-loop schedule.
+const scheduleCap = 2_000_000
+
+func (s *Spec) withDefaults() (*Spec, error) {
+	c := *s
+	if c.Arrival == "" {
+		c.Arrival = "poisson"
+	}
+	switch c.Arrival {
+	case "poisson", "fixed":
+		if c.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: arrival %q needs a positive rate", c.Arrival)
+		}
+	case "closed":
+		if c.Clients <= 0 {
+			c.Clients = 4
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (have poisson, fixed, closed)", c.Arrival)
+	}
+	if c.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if c.Rate*c.Duration.Seconds() > scheduleCap {
+		return nil, fmt.Errorf("loadgen: rate %.0f over %v expands past the %d-request schedule cap",
+			c.Rate, c.Duration, scheduleCap)
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix
+	}
+	total := 0.0
+	for i, m := range c.Mix {
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: mix[%d] weight must be positive", i)
+		}
+		if m.Kind != "" && m.Kind != "job" && m.Kind != "sweep" {
+			return nil, fmt.Errorf("loadgen: mix[%d] kind %q (have job, sweep)", i, m.Kind)
+		}
+		if m.Circuit == "" {
+			return nil, fmt.Errorf("loadgen: mix[%d] needs a circuit", i)
+		}
+		if m.Shots <= 0 {
+			return nil, fmt.Errorf("loadgen: mix[%d] shots must be positive", i)
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: mix weights sum to zero")
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	return &c, nil
+}
+
+// LoadMix reads a JSON mix file (an array of MixEntry).
+func LoadMix(path string) ([]MixEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mix []MixEntry
+	if err := json.Unmarshal(raw, &mix); err != nil {
+		return nil, fmt.Errorf("mix %s: %w", path, err)
+	}
+	return mix, nil
+}
+
+// Request is one generated request, a pure function of (Spec, Index).
+type Request struct {
+	Index  int
+	Kind   string // "job" | "sweep"
+	Path   string // "/v1/jobs" | "/v1/sweeps"
+	Stream bool
+	Body   []byte
+	// Replay marks a request issued with the pinned replay seed.
+	Replay bool
+}
+
+// RequestAt builds request i of the sequence. Each request draws from its
+// own derived RNG stream (rng.SeedAt over the mix base stream), so requests
+// can be generated in any order — or concurrently — with byte-identical
+// bodies. encoding/json marshals struct fields in declaration order and map
+// keys sorted, so the body bytes themselves are deterministic.
+func (s *Spec) RequestAt(i int) (*Request, error) {
+	c, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return c.requestAt(i)
+}
+
+func (s *Spec) requestAt(i int) (*Request, error) {
+	r := rng.New(rng.SeedAt(rng.SeedAt(s.Seed, streamMix), uint64(i)))
+	weights := make([]float64, len(s.Mix))
+	for k, m := range s.Mix {
+		weights[k] = m.Weight
+	}
+	m := s.Mix[r.Choice(weights)]
+
+	// The per-request simulation seed: fresh from the request stream, or
+	// the pinned replay seed for the configured fraction — repeated
+	// identical bodies are exactly what a content-addressed result store
+	// answers without simulating.
+	replay := s.ReplayFraction > 0 && r.Float64() < s.ReplayFraction
+	simSeed := r.Uint64()
+	if replay {
+		simSeed = rng.SeedAt(s.Seed, streamReplay)
+	}
+
+	kind := m.Kind
+	if kind == "" {
+		kind = "job"
+	}
+	req := &Request{Index: i, Kind: kind, Replay: replay}
+	switch kind {
+	case "job":
+		noise := m.Noise
+		if noise == "" {
+			noise = "DC"
+		}
+		body, err := json.Marshal(&serve.JobRequest{
+			Circuit:    m.Circuit,
+			Noise:      noise,
+			Shots:      m.Shots,
+			Seed:       simSeed,
+			BatchShots: m.BatchShots,
+			Stream:     m.Stream,
+			Backend:    m.Backend,
+		})
+		if err != nil {
+			return nil, err
+		}
+		req.Path, req.Stream, req.Body = "/v1/jobs", m.Stream, body
+	case "sweep":
+		points := m.NoisePoints
+		if points <= 0 {
+			points = 2
+		}
+		repeats := m.Repeats
+		if repeats <= 0 {
+			repeats = 1
+		}
+		axis := make([]sweep.NoisePoint, points)
+		for k := range axis {
+			axis[k] = sweep.NoisePoint{P1: 0.0002 * float64(k+1), P2: 0.001 * float64(k+1)}
+		}
+		stream := m.Stream
+		sr := serve.SweepRequest{Spec: sweep.Spec{
+			Circuit: m.Circuit,
+			Noise:   axis,
+			Shots:   []int{m.Shots},
+			Repeats: repeats,
+			Seed:    simSeed,
+			Backend: m.Backend,
+		}}
+		sr.Stream = &stream
+		body, err := json.Marshal(&sr)
+		if err != nil {
+			return nil, err
+		}
+		req.Path, req.Stream, req.Body = "/v1/sweeps", stream, body
+	}
+	return req, nil
+}

@@ -1,0 +1,333 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tqsim/internal/metrics"
+)
+
+// Report is the measured outcome of one run. The latency histogram covers
+// completed (2xx) requests only; rejections and transport errors are
+// broken out so a saturated server's fast 429s never masquerade as low
+// latency.
+type Report struct {
+	Target  string  `json:"target"`
+	Arrival string  `json:"arrival"`
+	Offered float64 `json:"offered_rps"` // scheduled (open) or achieved (closed) req/s
+	Sent    int     `json:"sent"`
+	// Completed counts 2xx responses whose body (including an NDJSON
+	// stream) finished without an error record.
+	Completed int `json:"completed"`
+	// Dropped counts open-loop arrivals shed at MaxInFlight.
+	Dropped int `json:"dropped"`
+	// Status maps status classes to counts: "2xx" plus the individual
+	// admission-control codes ("413", "429", "503") and any other code.
+	Status          map[string]int `json:"status"`
+	TransportErrors int            `json:"transport_errors"`
+	StreamErrors    int            `json:"stream_errors"`
+	Replays         int            `json:"replays"`
+
+	P50       time.Duration `json:"-"`
+	P95       time.Duration `json:"-"`
+	P99       time.Duration `json:"-"`
+	Mean      time.Duration `json:"-"`
+	P50MS     float64       `json:"p50_ms"`
+	P95MS     float64       `json:"p95_ms"`
+	P99MS     float64       `json:"p99_ms"`
+	MeanMS    float64       `json:"mean_ms"`
+	ElapsedS  float64       `json:"elapsed_s"`
+	Elapsed   time.Duration `json:"-"`
+	SLO       time.Duration `json:"-"`
+	SLOMS     float64       `json:"slo_p99_ms,omitempty"`
+	SLOBreach int           `json:"slo_violations"`
+	// Throughput is completed requests per second of wall time; Goodput
+	// additionally requires the request met the SLO.
+	Throughput float64 `json:"throughput_rps"`
+	Goodput    float64 `json:"goodput_rps"`
+
+	// Hist is the client-side latency histogram (mergeable across runs).
+	Hist *metrics.LatencyHist `json:"-"`
+}
+
+// runState accumulates concurrent per-request outcomes.
+type runState struct {
+	hist      metrics.LatencyHist
+	completed atomic.Int64
+	sent      atomic.Int64
+	dropped   atomic.Int64
+	transport atomic.Int64
+	streamErr atomic.Int64
+	replays   atomic.Int64
+	sloBreach atomic.Int64
+
+	mu     sync.Mutex
+	status map[string]int
+}
+
+func (st *runState) countStatus(code int) {
+	key := strconv.Itoa(code)
+	if code >= 200 && code < 300 {
+		key = "2xx"
+	}
+	st.mu.Lock()
+	st.status[key]++
+	st.mu.Unlock()
+}
+
+// Run drives the target with the spec's arrival process and request mix
+// and reports latency quantiles, throughput, goodput and the error
+// breakdown. ctx cancels the run early (the report covers what ran).
+func Run(ctx context.Context, target string, spec *Spec) (*Report, error) {
+	return RunWithClient(ctx, nil, target, spec)
+}
+
+// RunWithClient is Run with a caller-supplied HTTP client (e.g. an
+// httptest server's). A nil client uses a fresh one with Spec.Timeout.
+func RunWithClient(ctx context.Context, client *http.Client, target string, spec *Spec) (*Report, error) {
+	c, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if client == nil {
+		client = &http.Client{Timeout: c.Timeout}
+	}
+	st := &runState{status: make(map[string]int)}
+	start := time.Now()
+	var offered float64
+	switch c.Arrival {
+	case "poisson", "fixed":
+		sched, err := c.Schedule()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.runOpenLoop(ctx, client, target, st, sched, start); err != nil {
+			return nil, err
+		}
+		offered = float64(len(sched)) / c.Duration.Seconds()
+	case "closed":
+		c.runClosedLoop(ctx, client, target, st, start)
+		// A closed loop offers exactly what it achieves.
+		offered = float64(st.sent.Load()) / time.Since(start).Seconds()
+	}
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Target:          target,
+		Arrival:         c.Arrival,
+		Offered:         offered,
+		Sent:            int(st.sent.Load()),
+		Completed:       int(st.completed.Load()),
+		Dropped:         int(st.dropped.Load()),
+		Status:          st.status,
+		TransportErrors: int(st.transport.Load()),
+		StreamErrors:    int(st.streamErr.Load()),
+		Replays:         int(st.replays.Load()),
+		Elapsed:         elapsed,
+		ElapsedS:        elapsed.Seconds(),
+		SLO:             c.SLOp99,
+		SLOMS:           durMS(c.SLOp99),
+		SLOBreach:       int(st.sloBreach.Load()),
+		Hist:            &st.hist,
+	}
+	rep.P50, rep.P95, rep.P99 = st.hist.Quantile(0.50), st.hist.Quantile(0.95), st.hist.Quantile(0.99)
+	rep.Mean = st.hist.Mean()
+	rep.P50MS, rep.P95MS, rep.P99MS, rep.MeanMS = durMS(rep.P50), durMS(rep.P95), durMS(rep.P99), durMS(rep.Mean)
+	if s := elapsed.Seconds(); s > 0 {
+		rep.Throughput = float64(rep.Completed) / s
+		rep.Goodput = float64(rep.Completed-rep.SLOBreach) / s
+	}
+	return rep, nil
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// runOpenLoop paces the precomputed schedule, shedding (not queueing)
+// arrivals past MaxInFlight so the offered process stays open-loop.
+func (c *Spec) runOpenLoop(ctx context.Context, client *http.Client, target string, st *runState, sched []time.Duration, start time.Time) error {
+	// Pre-generate the request sequence so marshaling cost never skews the
+	// pacing loop.
+	reqs := make([]*Request, len(sched))
+	for i := range sched {
+		r, err := c.requestAt(i)
+		if err != nil {
+			return err
+		}
+		reqs[i] = r
+	}
+	sem := make(chan struct{}, c.MaxInFlight)
+	var wg sync.WaitGroup
+pace:
+	for i, off := range sched {
+		if wait := time.Until(start.Add(off)); wait > 0 {
+			select {
+			case <-ctx.Done():
+				break pace
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			break pace
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			st.dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(r *Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.doRequest(ctx, client, target, st, r)
+		}(reqs[i])
+	}
+	wg.Wait()
+	return nil
+}
+
+// runClosedLoop runs Clients concurrent request loops with think time.
+// Client k issues requests k, k+Clients, k+2·Clients, … so the request
+// sequence stays a pure function of the spec even though interleaving
+// across clients is timing-dependent.
+func (c *Spec) runClosedLoop(ctx context.Context, client *http.Client, target string, st *runState, start time.Time) {
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < c.Clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			think := c.thinkStream(k)
+			for i := k; ; i += c.Clients {
+				if ctx.Err() != nil || time.Since(start) >= c.Duration {
+					return
+				}
+				if c.MaxRequests > 0 && issued.Add(1) > int64(c.MaxRequests) {
+					return
+				}
+				r, err := c.requestAt(i)
+				if err != nil {
+					return
+				}
+				c.doRequest(ctx, client, target, st, r)
+				if t := think(); t > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(t):
+					}
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// streamRecord is the minimal shape of one NDJSON line: enough to spot a
+// terminal error record in a 200-status stream.
+type streamRecord struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+// doRequest issues one request, reads the full response (all NDJSON lines
+// for streams) and records latency and classification. Latency is
+// first-byte-to-last-byte inclusive: the client-side view of the whole
+// request, directly comparable to the server's /v1/stats histogram.
+func (c *Spec) doRequest(ctx context.Context, client *http.Client, target string, st *runState, r *Request) {
+	st.sent.Add(1)
+	if r.Replay {
+		st.replays.Add(1)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+r.Path, bytes.NewReader(r.Body))
+	if err != nil {
+		st.transport.Add(1)
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(hreq)
+	if err != nil {
+		st.transport.Add(1)
+		return
+	}
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	if ok && r.Stream {
+		ok = drainStream(resp)
+	} else {
+		// Read (and discard) the whole body so latency covers the full
+		// response and the connection can be reused.
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			ok = false
+		}
+	}
+	resp.Body.Close()
+	lat := time.Since(t0)
+	st.countStatus(resp.StatusCode)
+	if !ok {
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			st.streamErr.Add(1)
+		}
+		return
+	}
+	st.completed.Add(1)
+	st.hist.Record(lat)
+	if c.SLOp99 > 0 && lat > c.SLOp99 {
+		st.sloBreach.Add(1)
+	}
+}
+
+// drainStream consumes an NDJSON response and reports whether it finished
+// without an error record.
+func drainStream(resp *http.Response) bool {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	ok := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec streamRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Type == "error" {
+			ok = false
+		}
+	}
+	if sc.Err() != nil {
+		ok = false
+	}
+	return ok
+}
+
+// String renders the report for humans.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "arrival %s offered %.1f req/s over %.1fs\n", r.Arrival, r.Offered, r.ElapsedS)
+	fmt.Fprintf(&b, "sent %d completed %d dropped %d transport-errors %d stream-errors %d replays %d\n",
+		r.Sent, r.Completed, r.Dropped, r.TransportErrors, r.StreamErrors, r.Replays)
+	fmt.Fprintf(&b, "status:")
+	for _, k := range []string{"2xx", "413", "429", "503"} {
+		fmt.Fprintf(&b, " %s=%d", k, r.Status[k])
+	}
+	for k, v := range r.Status {
+		switch k {
+		case "2xx", "413", "429", "503":
+		default:
+			fmt.Fprintf(&b, " %s=%d", k, v)
+		}
+	}
+	fmt.Fprintf(&b, "\nlatency p50 %v p95 %v p99 %v mean %v\n", r.P50, r.P95, r.P99, r.Mean)
+	fmt.Fprintf(&b, "throughput %.1f/s goodput %.1f/s", r.Throughput, r.Goodput)
+	if r.SLO > 0 {
+		fmt.Fprintf(&b, " (SLO p99 %v, %d violations)", r.SLO, r.SLOBreach)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed latency histogram shared by the serve layer (server-side
+// per-request accounting in /v1/stats) and internal/loadgen (client-side
+// measurement in tqsimgen), so the two views are directly comparable and
+// mergeable.
+//
+// Buckets grow geometrically with latBucketsPerOctave buckets per factor-2
+// of nanoseconds: bucket i covers (2^((i-1)/8), 2^(i/8)] ns. 512 buckets
+// span 64 octaves — 1 ns to ~585 years — so no latency a service can
+// produce falls off the end.
+
+const (
+	// latBucketsPerOctave buckets per power of two of nanoseconds sets the
+	// resolution: each bucket's bounds are a factor 2^(1/8) ≈ 1.0905 apart.
+	latBucketsPerOctave = 8
+	latNumBuckets       = 512
+)
+
+// QuantileRelErrorBound is the documented worst-case relative error of
+// LatencyHist.Quantile versus the exact sample quantile: the returned value
+// is the upper edge of the bucket holding the rank-⌈qN⌉ sample, and that
+// sample is greater than upper/2^(1/8), so the error is strictly below
+// 2^(1/8)-1 ≈ 9.05%. TestLatencyHistQuantileAccuracy pins this bound on
+// uniform, exponential and bimodal samples.
+var QuantileRelErrorBound = math.Pow(2, 1.0/latBucketsPerOctave) - 1
+
+// LatencyHist is a mergeable, log-bucketed latency histogram safe for
+// concurrent use: Record and the read side touch only atomics, so a
+// server can record per-request latencies while /v1/stats computes
+// quantiles with no lock and no torn counters. The zero value is ready to
+// use (do not copy a LatencyHist after first use).
+type LatencyHist struct {
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	buckets [latNumBuckets]atomic.Uint64
+}
+
+// latBucketOf maps a duration to its bucket index.
+func latBucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1 {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(float64(ns)) * latBucketsPerOctave))
+	if i < 0 {
+		i = 0
+	}
+	if i >= latNumBuckets {
+		i = latNumBuckets - 1
+	}
+	return i
+}
+
+// latBucketUpper returns bucket i's inclusive upper bound.
+func latBucketUpper(i int) time.Duration {
+	return time.Duration(math.Ceil(math.Pow(2, float64(i)/latBucketsPerOctave)))
+}
+
+// Record adds one observation. Non-positive durations land in the lowest
+// bucket.
+func (h *LatencyHist) Record(d time.Duration) {
+	h.buckets[latBucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of the recorded durations (exact, not
+// bucketed), or 0 when empty.
+func (h *LatencyHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / int64(n))
+}
+
+// Merge adds o's observations into h. Because buckets are additive,
+// merge(h1, h2) holds exactly the histogram of the concatenated samples:
+// every quantile of the merged histogram equals the quantile of a single
+// histogram fed both sample sets (TestLatencyHistMerge).
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sumNS.Add(o.sumNS.Load())
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) of the
+// recorded durations: the upper edge of the bucket containing the sample
+// of rank ⌈q·N⌉. The relative error versus the exact sample quantile is
+// below QuantileRelErrorBound. Returns 0 on an empty histogram.
+//
+// The bucket array is snapshotted first and the rank computed from the
+// snapshot's own total, so a quantile read concurrent with Record is
+// internally consistent (it reflects some valid recent sample set).
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	var snap [latNumBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		snap[i] = h.buckets[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range snap {
+		cum += n
+		if cum >= rank {
+			return latBucketUpper(i)
+		}
+	}
+	return latBucketUpper(latNumBuckets - 1)
+}
+
+// Buckets returns a snapshot of the raw bucket counts (index i covers
+// (2^((i-1)/8), 2^(i/8)] ns). Exposed for tests and serialization.
+func (h *LatencyHist) Buckets() []uint64 {
+	out := make([]uint64, latNumBuckets)
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"tqsim/internal/rng"
+)
+
+// sampleSets generates the three distribution shapes the quantile bound is
+// pinned on: uniform (flat density), exponential (heavy right tail — the
+// shape real latencies take under load) and bimodal (cache-hit vs
+// cache-miss style two-cluster latencies).
+func sampleSets(n int, seed uint64) map[string][]time.Duration {
+	r := rng.New(seed)
+	uniform := make([]time.Duration, n)
+	expo := make([]time.Duration, n)
+	bimodal := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		// Uniform on [1ms, 100ms).
+		uniform[i] = time.Millisecond + time.Duration(r.Float64()*99e6)
+		// Exponential with mean 10ms (clamped away from zero).
+		expo[i] = time.Duration(math.Max(1, -math.Log(1-r.Float64())*10e6))
+		// Bimodal: 70% near 1ms, 30% near 80ms, each with ±20% jitter.
+		mode := 1e6
+		if r.Float64() < 0.3 {
+			mode = 80e6
+		}
+		bimodal[i] = time.Duration(mode * (0.8 + 0.4*r.Float64()))
+	}
+	return map[string][]time.Duration{"uniform": uniform, "exponential": expo, "bimodal": bimodal}
+}
+
+// exactQuantile is the reference: the rank-⌈qN⌉ order statistic.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestLatencyHistQuantileAccuracy pins the documented error bound: for
+// uniform, exponential and bimodal samples, every reported p50/p95/p99 is
+// an upper bound on the exact sample quantile with relative error below
+// QuantileRelErrorBound (2^(1/8)-1 ≈ 9.05%).
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	const n = 20000
+	for name, samples := range sampleSets(n, 12345) {
+		h := &LatencyHist{}
+		for _, d := range samples {
+			h.Record(d)
+		}
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			got := h.Quantile(q)
+			want := exactQuantile(sorted, q)
+			if got < want {
+				t.Errorf("%s q=%.2f: histogram quantile %v below exact %v (must be an upper bound)",
+					name, q, got, want)
+			}
+			relErr := float64(got-want) / float64(want)
+			// +1ns absolute slack for the integer rounding of bucket edges.
+			if relErr > QuantileRelErrorBound+1/float64(want) {
+				t.Errorf("%s q=%.2f: relative error %.4f exceeds bound %.4f (got %v, exact %v)",
+					name, q, relErr, QuantileRelErrorBound, got, want)
+			}
+		}
+		if h.Count() != n {
+			t.Errorf("%s: count %d, want %d", name, h.Count(), n)
+		}
+	}
+}
+
+// TestLatencyHistMerge verifies merge(h1, h2) equals the histogram of the
+// concatenated samples: identical bucket arrays, counts, means and
+// quantiles.
+func TestLatencyHistMerge(t *testing.T) {
+	for name, samples := range sampleSets(8000, 999) {
+		whole := &LatencyHist{}
+		h1, h2 := &LatencyHist{}, &LatencyHist{}
+		for i, d := range samples {
+			whole.Record(d)
+			if i%2 == 0 {
+				h1.Record(d)
+			} else {
+				h2.Record(d)
+			}
+		}
+		h1.Merge(h2)
+		if h1.Count() != whole.Count() {
+			t.Fatalf("%s: merged count %d != whole %d", name, h1.Count(), whole.Count())
+		}
+		if h1.Mean() != whole.Mean() {
+			t.Errorf("%s: merged mean %v != whole %v", name, h1.Mean(), whole.Mean())
+		}
+		mb, wb := h1.Buckets(), whole.Buckets()
+		for i := range mb {
+			if mb[i] != wb[i] {
+				t.Fatalf("%s: bucket %d: merged %d != whole %d", name, i, mb[i], wb[i])
+			}
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+			if h1.Quantile(q) != whole.Quantile(q) {
+				t.Errorf("%s q=%.2f: merged %v != whole %v", name, q, h1.Quantile(q), whole.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestLatencyHistEdges covers the clamping paths: zero/negative durations,
+// the 1ns floor, and quantiles on an empty histogram.
+func TestLatencyHistEdges(t *testing.T) {
+	h := &LatencyHist{}
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zero quantiles and mean")
+	}
+	h.Record(0)
+	h.Record(-5 * time.Second)
+	h.Record(1)
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("all-floor samples: q1 = %v, want 1ns", got)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+}

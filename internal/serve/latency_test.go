@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func statsOf(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStatsLatencyAccounting pins the server-side latency histogram in
+// /v1/stats: every completed request — fresh runs, store replays, and
+// sweeps — lands exactly one sample, and the exported quantiles are
+// consistent.
+func TestStatsLatencyAccounting(t *testing.T) {
+	ts := httptest.NewServer(New(Config{StoreEntries: 16}))
+	defer ts.Close()
+
+	if st := statsOf(t, ts.URL); st.LatencyCount != 0 || st.LatencyP99MS != 0 {
+		t.Fatalf("fresh server already has latency samples: %+v", st)
+	}
+
+	job := &JobRequest{Circuit: "bv_n8", Noise: "DC", Shots: 100, Seed: 5}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job status %d: %s", resp.StatusCode, body)
+	}
+	st := statsOf(t, ts.URL)
+	if st.LatencyCount != 1 {
+		t.Fatalf("after one job: latency_count %d, want 1", st.LatencyCount)
+	}
+	if st.LatencyP50MS <= 0 || st.LatencyMeanMS <= 0 {
+		t.Fatalf("latency quantiles not populated: %+v", st)
+	}
+
+	// The identical request replays from the result store — replays are
+	// requests too and must be measured, not skipped.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay status %d: %s", resp.StatusCode, body)
+	}
+	st = statsOf(t, ts.URL)
+	if st.ResultsHits == 0 {
+		t.Fatalf("second identical job was not a store replay: %+v", st)
+	}
+	if st.LatencyCount != 2 {
+		t.Fatalf("after job + replay: latency_count %d, want 2", st.LatencyCount)
+	}
+
+	// A rejected request must NOT land in the histogram.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", &JobRequest{Circuit: "no_such_circuit", Shots: 10})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("bogus circuit accepted")
+	}
+	if st = statsOf(t, ts.URL); st.LatencyCount != 2 {
+		t.Fatalf("rejected request recorded latency: count %d, want 2", st.LatencyCount)
+	}
+
+	// Quantile ordering holds with mixed samples.
+	if st.LatencyP99MS < st.LatencyP95MS || st.LatencyP95MS < st.LatencyP50MS {
+		t.Fatalf("quantiles out of order: %+v", st)
+	}
+}
+
+// TestStatsLatencyStreaming: a streaming (NDJSON) job records exactly one
+// sample covering the whole stream.
+func TestStatsLatencyStreaming(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", &JobRequest{
+		Circuit: "bv_n8", Noise: "DC", Shots: 200, Seed: 9, BatchShots: 50, Stream: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream job status %d: %s", resp.StatusCode, body)
+	}
+	if st := statsOf(t, ts.URL); st.LatencyCount != 1 {
+		t.Fatalf("streaming job: latency_count %d, want 1", st.LatencyCount)
+	}
+}

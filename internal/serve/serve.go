@@ -260,6 +260,18 @@ type Stats struct {
 	SnapshotHits   uint64 `json:"snapshot_hits"`
 	SnapshotMisses uint64 `json:"snapshot_misses"`
 	SnapshotBytes  int64  `json:"snapshot_bytes"`
+	// Per-request latency accounting over completed jobs and sweeps
+	// (replays included; rejections and failures excluded), measured from
+	// request receipt to response completion on a log-bucketed histogram
+	// (internal/metrics.LatencyHist). This is the server-side view the
+	// tqsimgen load harness cross-checks its client-side measurements
+	// against: client p99 ≥ server p99, with the gap being network and
+	// client-side queueing.
+	LatencyCount  uint64  `json:"latency_count"`
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
 }
 
 // Server is the tqsimd HTTP handler. Construct with New.
@@ -298,7 +310,16 @@ type Server struct {
 	results   *resultstore.Store
 	snapCache *tqsim.SnapshotCache
 	storeErr  error
+
+	// reqLat is the per-request latency histogram behind the /v1/stats
+	// latency_* fields: every completed job and sweep (stored replays
+	// included) records its receipt-to-completion wall time. Atomic
+	// buckets, so recording never contends with a concurrent stats read.
+	reqLat metrics.LatencyHist
 }
+
+// recordLatency books one completed request into the latency histogram.
+func (s *Server) recordLatency(start time.Time) { s.reqLat.Record(time.Since(start)) }
 
 type cachedPlan struct {
 	plan     *tqsim.Plan
@@ -896,6 +917,7 @@ func (s *Server) releaseMemory(est int64) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if s.Draining() {
 		s.rejectDraining(w)
 		return
@@ -920,6 +942,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if blob, ok := s.results.Get(key); ok && s.replayJob(w, j, blob) {
 			s.stats[statResultsHits].Add(1)
 			s.stats[statCompleted].Add(1)
+			s.recordLatency(start)
 			return
 		}
 		s.stats[statResultsMisses].Add(1)
@@ -956,7 +979,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if j.stream {
-		s.runStreaming(ctx, w, j, distributed, key)
+		s.runStreaming(ctx, w, j, distributed, key, start)
 		return
 	}
 	var rec *jobRecorder
@@ -972,6 +995,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats[statCompleted].Add(1)
+	s.recordLatency(start)
 	if key != "" {
 		s.storeJob(key, resp, rec)
 	}
@@ -1111,8 +1135,9 @@ func (s *Server) runBatches(ctx context.Context, j *job, from, to int, onBatch f
 
 // runStreaming writes the NDJSON stream: a plan header, one line per
 // batch, and a final done line with the merged histogram. A non-empty
-// storeKey records the finished job in the result store.
-func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job, distributed bool, storeKey string) {
+// storeKey records the finished job in the result store. start is the
+// request receipt time, for the completed-request latency histogram.
+func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job, distributed bool, storeKey string, start time.Time) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -1163,6 +1188,7 @@ func (s *Server) runStreaming(ctx context.Context, w http.ResponseWriter, j *job
 		return
 	}
 	s.stats[statCompleted].Add(1)
+	s.recordLatency(start)
 	if storeKey != "" {
 		s.storeJob(storeKey, resp, rec)
 	}
@@ -1261,8 +1287,18 @@ func (s *Server) Snapshot() Stats {
 		st.SnapshotMisses = s.snapCache.Misses()
 		st.SnapshotBytes = s.snapCache.Bytes()
 	}
+	if n := s.reqLat.Count(); n > 0 {
+		st.LatencyCount = n
+		st.LatencyMeanMS = latMS(s.reqLat.Mean())
+		st.LatencyP50MS = latMS(s.reqLat.Quantile(0.50))
+		st.LatencyP95MS = latMS(s.reqLat.Quantile(0.95))
+		st.LatencyP99MS = latMS(s.reqLat.Quantile(0.99))
+	}
 	return st
 }
+
+// latMS renders a histogram duration as fractional milliseconds.
+func latMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())

@@ -181,6 +181,7 @@ func (s *Server) preparedSweepForLease(req *SweepRequest) (*sweepJob, *httpError
 }
 
 func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if s.Draining() {
 		s.rejectDraining(w)
 		return
@@ -205,6 +206,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 			if blob, hit := s.results.Get(key); hit && s.replaySweep(w, sj, blob) {
 				s.stats[statResultsHits].Add(1)
 				s.stats[statSweepsCompleted].Add(1)
+				s.recordLatency(start)
 				return
 			}
 			s.stats[statResultsMisses].Add(1)
@@ -235,7 +237,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if sj.stream {
-		s.runSweepStreaming(ctx, w, sj, distributed, key)
+		s.runSweepStreaming(ctx, w, sj, distributed, key, start)
 		return
 	}
 	resp, herr := s.runSweep(ctx, sj, distributed, nil)
@@ -245,6 +247,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats[statSweepsCompleted].Add(1)
+	s.recordLatency(start)
 	if key != "" {
 		s.storeSweep(key, resp)
 	}
@@ -367,8 +370,9 @@ func (s *Server) sweepPointFromWire(sj *sweepJob, sb *ShardBatch) *SweepPointJSO
 
 // runSweepStreaming writes the NDJSON stream: a sweep header, one line per
 // point in completion order, and a final done line with totals. A
-// non-empty storeKey records the finished sweep in the result store.
-func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, sj *sweepJob, distributed bool, storeKey string) {
+// non-empty storeKey records the finished sweep in the result store; start
+// is the request receipt time for the latency histogram.
+func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, sj *sweepJob, distributed bool, storeKey string, start time.Time) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -397,6 +401,7 @@ func (s *Server) runSweepStreaming(ctx context.Context, w http.ResponseWriter, s
 		return
 	}
 	s.stats[statSweepsCompleted].Add(1)
+	s.recordLatency(start)
 	if storeKey != "" {
 		s.storeSweep(storeKey, resp)
 	}
