@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-kernels bench-sweep bench bench-trajectory ci docs-lint docs-check
+.PHONY: build vet test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-kernels bench-sweep bench bench-trajectory bench-compare ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -106,5 +106,14 @@ bench:
 PR ?= 8
 bench-trajectory:
 	$(GO) run ./cmd/benchreport -pr $(PR) -check -against auto
+
+# Benchstat-style before/after table of two committed trajectory points
+# (per-kernel amps/s ratios plus the sweep/serve/knee metrics). Defaults to
+# the two highest-numbered BENCH_*.json: make bench-compare, or
+# make bench-compare A=BENCH_5.json B=BENCH_9.json
+A ?= $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2 | head -1)
+B ?= $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+bench-compare:
+	$(GO) run ./cmd/benchreport -diff $(A) $(B)
 
 ci: build vet docs-lint test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-sweep bench-trajectory docs-check

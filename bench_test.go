@@ -19,11 +19,13 @@ import (
 	"tqsim/internal/cluster"
 	"tqsim/internal/core"
 	"tqsim/internal/densmat"
+	"tqsim/internal/fusion"
 	"tqsim/internal/gate"
 	"tqsim/internal/hpcmodel"
 	"tqsim/internal/metrics"
 	"tqsim/internal/noise"
 	"tqsim/internal/partition"
+	"tqsim/internal/qmath"
 	"tqsim/internal/redunelim"
 	"tqsim/internal/rng"
 	"tqsim/internal/statevec"
@@ -506,6 +508,87 @@ func BenchmarkKernels_2Q(b *testing.B) {
 		b.Run(fmt.Sprintf("q%d/hi", w), func(b *testing.B) {
 			benchKernel(b, w, gate.NewParam(gate.KindCRX, []float64{0.4}, w-1, w-2))
 		})
+	}
+}
+
+func BenchmarkKernels_3Q(b *testing.B) {
+	// A fixed random 8x8 unitary through the dense three-qubit
+	// gather/scatter kernel — the widest fused-block application path.
+	u8 := qmath.RandomUnitary(8, rng.New(77))
+	for _, w := range kernelWidths {
+		b.Run(fmt.Sprintf("q%d/hi", w), func(b *testing.B) {
+			st := statevec.NewZero(w)
+			b.SetBytes(int64(st.Bytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Apply3Q(w/2, w/2-1, w/2-2, u8)
+			}
+			b.ReportMetric(float64(st.Dim())*float64(b.N)/b.Elapsed().Seconds(), "amps/s")
+		})
+	}
+}
+
+func BenchmarkKernels_PhaseRun(b *testing.B) {
+	// The cache-blocked fusion kernel: eight controlled phases sharing one
+	// anchor applied in a single half-space sweep (one QFT row's CP chain).
+	// Compare against 8x the CPhase kernel cost to see the fusion win.
+	for _, w := range kernelWidths {
+		var qs []int
+		for q := 0; len(qs) < 8; q++ {
+			if q != w/2 {
+				qs = append(qs, q)
+			}
+		}
+		phases := make([]complex128, len(qs))
+		for i := range phases {
+			phases[i] = complex(0.6, 0.8) // exact unit magnitude
+		}
+		b.Run(fmt.Sprintf("q%d/k8", w), func(b *testing.B) {
+			st := statevec.NewZero(w)
+			b.SetBytes(int64(st.Bytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.ApplyPhaseRun(w/2, qs, phases)
+			}
+			b.ReportMetric(float64(st.Dim())*float64(b.N)/b.Elapsed().Seconds(), "amps/s")
+		})
+	}
+}
+
+// BenchmarkFusionQFT_EndToEnd measures an ideal QFT through the fusion
+// backend against direct kernel dispatch — the end-to-end number the
+// fused controlled-phase runs are accountable to. Two stream shapes:
+// the CP-native circuit (decompose=false) is the fusion target, where
+// each QFT row's CP chain collapses into one phase-run sweep; the
+// decomposed circuit (decompose=true) has no multi-qubit structure left
+// by construction, so the fused leg there bounds pure bookkeeping
+// overhead — it must track the plain leg, not beat it.
+func BenchmarkFusionQFT_EndToEnd(b *testing.B) {
+	for _, w := range []int{16, 20} {
+		for _, shape := range []struct {
+			name      string
+			decompose bool
+		}{{"cp", false}, {"decomposed", true}} {
+			c := workloads.QFT(w, shape.decompose)
+			b.Run(fmt.Sprintf("plain/%s/q%d", shape.name, w), func(b *testing.B) {
+				st := statevec.NewZero(w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.ApplyAll(c.Gates)
+				}
+			})
+			b.Run(fmt.Sprintf("fused/%s/q%d", shape.name, w), func(b *testing.B) {
+				st := statevec.NewZero(w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					be := fusion.New()
+					for _, g := range c.Gates {
+						be.Apply(st, g)
+					}
+					be.Flush(st)
+				}
+			})
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"math/cmplx"
 	"net/http/httptest"
 	"os"
 	"time"
@@ -10,37 +11,55 @@ import (
 	"tqsim"
 	"tqsim/internal/gate"
 	"tqsim/internal/loadgen"
+	"tqsim/internal/qmath"
 	"tqsim/internal/rng"
 	"tqsim/internal/serve"
 	"tqsim/internal/statevec"
 )
 
 // collectKernels times the gate kernels the BENCH trajectory tracks:
-// a dense single-qubit gate, a control-permutation gate and a diagonal
-// gate, each at a serial-regime and a parallel-regime width. Each kernel
-// runs for ~minKernelTime of wall time (manual loop — the fixed budget
-// keeps the whole collection bounded, unlike testing.B's benchtime).
+// a dense single-qubit gate, a control-permutation gate, a diagonal gate,
+// the generic dense two- and three-qubit kernels, and the fused
+// controlled-phase run — each at its regime width. Each kernel runs for
+// ~minKernelTime of wall time (manual loop — the fixed budget keeps the
+// whole collection bounded, unlike testing.B's benchtime).
 func collectKernels() map[string]float64 {
 	const minKernelTime = 200 * time.Millisecond
+	apply := func(g gate.Gate) func(*statevec.State) {
+		return func(st *statevec.State) { st.Apply(g) }
+	}
+	// PhaseRun8 is the cache-blocked fusion kernel: eight controlled
+	// phases sharing one anchor in a single half-space sweep (a QFT row's
+	// worth of CPs). Fused3Q is the dense 8x8 gather/scatter kernel on a
+	// fixed random unitary.
+	phaseQs := []int{2, 4, 6, 8, 12, 14, 16, 18}
+	phases := make([]complex128, len(phaseQs))
+	for i := range phases {
+		phases[i] = cmplx.Exp(complex(0, 0.1*float64(i+1)))
+	}
+	u8 := qmath.RandomUnitary(8, rng.New(77))
 	kernels := []struct {
-		name string
-		w    int
-		g    gate.Gate
+		name  string
+		w     int
+		apply func(*statevec.State)
 	}{
-		{"H/q10", 10, gate.New(gate.KindH, 5)},
-		{"H/q20", 20, gate.New(gate.KindH, 10)},
-		{"CX/q20", 20, gate.New(gate.KindCX, 10, 9)},
-		{"RZ/q20", 20, gate.NewParam(gate.KindRZ, []float64{0.3}, 10)},
+		{"H/q10", 10, apply(gate.New(gate.KindH, 5))},
+		{"H/q20", 20, apply(gate.New(gate.KindH, 10))},
+		{"CX/q20", 20, apply(gate.New(gate.KindCX, 10, 9))},
+		{"RZ/q20", 20, apply(gate.NewParam(gate.KindRZ, []float64{0.3}, 10))},
+		{"Apply2Q/q20", 20, apply(gate.NewParam(gate.KindCRX, []float64{0.4}, 10, 9))},
+		{"Fused3Q/q20", 20, func(st *statevec.State) { st.Apply3Q(10, 9, 8, u8) }},
+		{"PhaseRun8/q20", 20, func(st *statevec.State) { st.ApplyPhaseRun(10, phaseQs, phases) }},
 	}
 	out := make(map[string]float64, len(kernels))
 	for _, k := range kernels {
 		st := statevec.NewZero(k.w)
 		// Warm up caches and the allocator before timing.
-		st.Apply(k.g)
+		k.apply(st)
 		iters := 0
 		start := time.Now()
 		for time.Since(start) < minKernelTime {
-			st.Apply(k.g)
+			k.apply(st)
 			iters++
 		}
 		elapsed := time.Since(start)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// humanRate renders amps/s with an SI suffix, benchstat-style.
+func humanRate(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// ratioCell renders new/old ("-" when either side is missing).
+func ratioCell(old, new float64) string {
+	if old <= 0 || new <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", new/old)
+}
+
+// printDiff renders a benchstat-style before/after table of two BENCH
+// files: one row per kernel (union of both metric sets, "-" where a side
+// lacks the measurement) plus the scalar trajectory metrics. Ratios are
+// new/old, so >1 is faster for throughput rows and worse for latency rows.
+func printDiff(a, b *Bench) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "metric\tPR %d\tPR %d\tratio\n", a.PR, b.PR)
+	names := map[string]bool{}
+	for name := range a.Kernels {
+		names[name] = true
+	}
+	for name := range b.Kernels {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		va, vb := a.Kernels[name], b.Kernels[name]
+		fmt.Fprintf(w, "kernel %s (amps/s)\t%s\t%s\t%s\n",
+			name, humanRate(va), humanRate(vb), ratioCell(va, vb))
+	}
+	fmt.Fprintf(w, "sweep work ratio\t%.3f\t%.3f\t%s\n",
+		a.SweepWorkRatio, b.SweepWorkRatio, ratioCell(a.SweepWorkRatio, b.SweepWorkRatio))
+	fmt.Fprintf(w, "serve p50 (ms)\t%.1f\t%.1f\t%s\n",
+		a.Serve.P50MS, b.Serve.P50MS, ratioCell(a.Serve.P50MS, b.Serve.P50MS))
+	fmt.Fprintf(w, "serve p99 (ms)\t%.1f\t%.1f\t%s\n",
+		a.Serve.P99MS, b.Serve.P99MS, ratioCell(a.Serve.P99MS, b.Serve.P99MS))
+	fmt.Fprintf(w, "serve goodput/offered\t%.2f\t%.2f\t%s\n",
+		a.Serve.goodputRatio(), b.Serve.goodputRatio(),
+		ratioCell(a.Serve.goodputRatio(), b.Serve.goodputRatio()))
+	if a.KneeRPS > 0 || b.KneeRPS > 0 {
+		fmt.Fprintf(w, "knee (req/s)\t%.1f\t%.1f\t%s\n",
+			a.KneeRPS, b.KneeRPS, ratioCell(a.KneeRPS, b.KneeRPS))
+	}
+	w.Flush()
+}

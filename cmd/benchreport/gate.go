@@ -10,9 +10,21 @@ import (
 	"strconv"
 )
 
-// BenchSchema identifies the BENCH_<pr>.json shape. Bump on breaking
-// changes; Compare refuses to gate across schema versions.
-const BenchSchema = "tqsim-bench/1"
+// BenchSchema identifies the BENCH_<pr>.json shape written by this build.
+// Bump when the metric set changes meaning; additions of new metrics also
+// bump it so a file's schema states exactly which metrics it can carry.
+const BenchSchema = "tqsim-bench/2"
+
+// knownSchemas lists every BENCH shape this tool can read and gate
+// against. Older versions stay loadable so a schema bump does not orphan
+// the committed trajectory: Compare gates the metrics both files share and
+// reports current-only metrics as new (ungated) instead of failing on the
+// version string — otherwise the first run after a bump would fail by
+// construction against the previous PR's file.
+var knownSchemas = map[string]bool{
+	"tqsim-bench/1": true,
+	BenchSchema:     true,
+}
 
 // Bench is one point on the repo's performance trajectory: the schema'd
 // contents of a committed BENCH_<pr>.json. Every metric is collected by
@@ -73,8 +85,8 @@ func loadBench(path string) (*Bench, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Schema != BenchSchema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BenchSchema)
+	if !knownSchemas[b.Schema] {
+		return nil, fmt.Errorf("%s: unknown schema %q (this build writes %q)", path, b.Schema, BenchSchema)
 	}
 	return &b, nil
 }
@@ -116,13 +128,16 @@ const (
 )
 
 // Compare gates cur against prev and returns one line per regression
-// (empty = pass). Metrics present in prev but missing in cur are
-// regressions too: losing a measurement silently would blind the
-// trajectory.
-func Compare(prev, cur *Bench) []string {
-	var regs []string
+// (empty regs = pass) plus informational notes. Metrics present in prev
+// but missing in cur are regressions: losing a measurement silently would
+// blind the trajectory. Metrics present only in cur — typically introduced
+// by a schema bump — are new and ungated, reported as notes so the first
+// run after a bump gates the shared metrics instead of failing on the
+// version string.
+func Compare(prev, cur *Bench) (regs, notes []string) {
 	if prev.Schema != cur.Schema {
-		return []string{fmt.Sprintf("schema mismatch: baseline %q vs current %q", prev.Schema, cur.Schema)}
+		notes = append(notes, fmt.Sprintf("gating across schemas (baseline %q, current %q): shared metrics only",
+			prev.Schema, cur.Schema))
 	}
 	names := make([]string, 0, len(prev.Kernels))
 	for name := range prev.Kernels {
@@ -140,6 +155,16 @@ func Compare(prev, cur *Bench) []string {
 			regs = append(regs, fmt.Sprintf("kernel %s: %.3g amps/s < %.0f%% of baseline %.3g",
 				name, got, kernelFailFactor*100, base))
 		}
+	}
+	curNames := make([]string, 0, len(cur.Kernels))
+	for name := range cur.Kernels {
+		if _, ok := prev.Kernels[name]; !ok {
+			curNames = append(curNames, name)
+		}
+	}
+	sort.Strings(curNames)
+	for _, name := range curNames {
+		notes = append(notes, fmt.Sprintf("kernel %s: new, ungated (%.3g amps/s)", name, cur.Kernels[name]))
 	}
 	if prev.SweepWorkRatio > 0 && cur.SweepWorkRatio > prev.SweepWorkRatio+sweepRatioSlack {
 		regs = append(regs, fmt.Sprintf("sweep work ratio %.3f worse than baseline %.3f + %.2f slack",
@@ -160,5 +185,5 @@ func Compare(prev, cur *Bench) []string {
 	if prev.KneeRPS > 0 && cur.KneeRPS == 0 {
 		regs = append(regs, fmt.Sprintf("knee missing from current run (baseline %.1f req/s)", prev.KneeRPS))
 	}
-	return regs
+	return regs, notes
 }

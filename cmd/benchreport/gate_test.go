@@ -63,7 +63,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			regs := Compare(prev, tc.cur)
+			regs, _ := Compare(prev, tc.cur)
 			if tc.want == "" {
 				if len(regs) != 0 {
 					t.Fatalf("expected pass, got regressions: %v", regs)
@@ -83,6 +83,35 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// TestCompareAcrossSchemas: a baseline written under the previous schema
+// still gates the metrics both files share; metrics only the current file
+// carries are notes ("new, ungated"), never regressions. This is exactly
+// the first-run-after-a-schema-bump scenario.
+func TestCompareAcrossSchemas(t *testing.T) {
+	prev := baseBench()
+	prev.Schema = "tqsim-bench/1"
+	cur := mutate(func(b *Bench) {
+		b.Kernels["Apply2Q/q20"] = 5e8 // new in the current schema
+		b.Kernels["PhaseRun8/q20"] = 2e9
+	})
+	regs, notes := Compare(prev, cur)
+	if len(regs) != 0 {
+		t.Fatalf("cross-schema gate regressed on new metrics: %v", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"across schemas", "Apply2Q/q20: new, ungated", "PhaseRun8/q20: new, ungated"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes missing %q: %v", want, notes)
+		}
+	}
+	// Shared metrics are still gated across the schema boundary.
+	cur2 := mutate(func(b *Bench) { b.Kernels["H/q20"] *= 0.4 })
+	regs, _ = Compare(prev, cur2)
+	if len(regs) != 1 || !strings.Contains(regs[0], "kernel H/q20") {
+		t.Fatalf("shared metric not gated across schemas: %v", regs)
+	}
+}
+
 // TestCompareMultipleRegressions: independent regressions all surface in
 // one gate run, not just the first.
 func TestCompareMultipleRegressions(t *testing.T) {
@@ -91,7 +120,7 @@ func TestCompareMultipleRegressions(t *testing.T) {
 		b.SweepWorkRatio = 0.99
 		b.KneeRPS = 10
 	})
-	regs := Compare(baseBench(), cur)
+	regs, _ := Compare(baseBench(), cur)
 	if len(regs) != 3 {
 		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
 	}
@@ -113,6 +142,14 @@ func TestLoadBenchSchemaGate(t *testing.T) {
 	}
 	if _, err := loadBench(path); err == nil {
 		t.Fatal("corrupt file accepted")
+	}
+	// Previous-schema files stay loadable: the trajectory must survive a
+	// schema bump.
+	if err := os.WriteFile(path, []byte(`{"schema":"tqsim-bench/1","pr":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := loadBench(path); err != nil || b.PR != 3 {
+		t.Fatalf("v1 file refused: %v", err)
 	}
 }
 

@@ -17,8 +17,12 @@
 // gate. The output file is written before the gate verdict, so a failing
 // run still leaves its evidence on disk.
 //
+// With -diff A B it skips collection entirely and prints a benchstat-style
+// before/after table of two committed BENCH files.
+//
 //	benchreport -pr 8                        # write BENCH_8.json
 //	benchreport -pr 9 -check -against auto   # gate PR 9 against BENCH_8.json
+//	benchreport -diff BENCH_8.json BENCH_9.json
 package main
 
 import (
@@ -43,8 +47,24 @@ func main() {
 		duration  = flag.Duration("serve-duration", 8*time.Second, "length of the serve measurement")
 		slo       = flag.Duration("slo-p99", 500*time.Millisecond, "p99 SLO for goodput and the knee")
 		kneeTrial = flag.Duration("knee-trial", 2*time.Second, "per-trial duration of the knee search (0 = skip the knee)")
+		diff      = flag.Bool("diff", false, "print a before/after table of two BENCH files (args: A B) and exit")
 	)
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fatalf("-diff needs exactly two BENCH files")
+		}
+		a, err := loadBench(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		b, err := loadBench(flag.Arg(1))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printDiff(a, b)
+		return
+	}
 	if *out == "" {
 		if *pr <= 0 {
 			fatalf("-pr (or -out) is required")
@@ -122,7 +142,10 @@ func main() {
 	os.Stdout.Write(buf)
 
 	if baseline != nil {
-		regs := Compare(baseline, bench)
+		regs, notes := Compare(baseline, bench)
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "benchreport: note: %s\n", n)
+		}
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "benchreport: REGRESSION: %s\n", r)

@@ -25,15 +25,25 @@ import (
 // DistState is an n-qubit state distributed over Nodes shards.
 // Qubits [0, n-g) are node-local; qubits [n-g, n) are global, where
 // g = log2(Nodes).
+//
+// Since the statevec layout went structure-of-arrays, shards are zero-copy
+// views (statevec.State.View) over one backing state's re/im planes: shard i
+// windows the i-th contiguous 2^(n-g) amplitudes of the little-endian
+// array, exactly the memory a real cluster node would own. Node-local gates
+// run the engine's fast-path kernels through the views; global gates stream
+// the views' component planes directly. No amplitude is ever copied between
+// the backing state and its shards.
 type DistState struct {
 	n      int
 	nodes  int
 	global int // log2(nodes)
-	shards [][]complex128
-	// wrapped[i] is a statevec view over shards[i], built once so every
-	// node-local gate reuses the engine's strided fast-path kernels (and
-	// the worker pool) without re-wrapping per gate.
-	wrapped []*statevec.State
+	// backing is the full-register state the shard views window. It is
+	// owned by the DistState (NewDistState) or aliases an executor-owned
+	// state (Over).
+	backing *statevec.State
+	// shard[i] is the zero-copy view over backing amplitudes
+	// [i*2^(n-g), (i+1)*2^(n-g)).
+	shard []*statevec.State
 	// BytesSent accumulates the total amplitude traffic between shards.
 	BytesSent int64
 	// Exchanges counts pairwise shard exchanges (message rounds).
@@ -49,10 +59,8 @@ func log2pow(p int) int {
 	return g
 }
 
-// distLayout validates the (n, nodes) geometry and returns a DistState
-// shell with empty shard slots; callers fill the shards with owned or
-// aliased storage.
-func distLayout(n, nodes int) *DistState {
+// layoutCheck validates the (n, nodes) geometry and returns log2(nodes).
+func layoutCheck(n, nodes int) int {
 	if nodes < 1 || nodes&(nodes-1) != 0 {
 		panic("cluster: node count must be a power of two")
 	}
@@ -60,41 +68,38 @@ func distLayout(n, nodes int) *DistState {
 	if n-g < 1 {
 		panic(fmt.Sprintf("cluster: %d qubits cannot shard over %d nodes", n, nodes))
 	}
-	d := &DistState{n: n, nodes: nodes, global: g}
-	d.shards = make([][]complex128, nodes)
-	d.wrapped = make([]*statevec.State, nodes)
+	return g
+}
+
+// over builds the shard views for a backing state.
+func over(backing *statevec.State, nodes int) *DistState {
+	n := backing.NumQubits()
+	g := layoutCheck(n, nodes)
+	d := &DistState{n: n, nodes: nodes, global: g, backing: backing}
+	shardLen := 1 << uint(n-g)
+	d.shard = make([]*statevec.State, nodes)
+	for i := range d.shard {
+		d.shard[i] = backing.View(i*shardLen, shardLen)
+	}
 	return d
 }
 
 // NewDistState returns |0...0> over the given node count (a power of two,
 // with at least one local qubit per shard).
 func NewDistState(n, nodes int) *DistState {
-	d := distLayout(n, nodes)
-	shardLen := 1 << uint(n-d.global)
-	for i := range d.shards {
-		d.shards[i] = make([]complex128, shardLen)
-		d.wrapped[i] = statevec.Wrap(d.shards[i])
-	}
-	d.shards[0][0] = 1
-	return d
+	layoutCheck(n, nodes)
+	return over(statevec.NewZero(n), nodes)
 }
 
 // Over returns a DistState whose shards alias the amplitude storage of s
-// instead of owning their own: shard i is the i-th contiguous slice of the
-// little-endian amplitude array, exactly the memory layout a real cluster
-// partitions. Mutations through the returned DistState are visible in s
-// (and vice versa), which is how the cluster backend adapter executes the
-// sharded code paths against executor-owned states. The current contents of
-// s are adopted as-is.
+// instead of owning their own: shard i is a view over the i-th contiguous
+// window of the little-endian amplitude planes, exactly the memory layout a
+// real cluster partitions. Mutations through the returned DistState are
+// visible in s (and vice versa), which is how the cluster backend adapter
+// executes the sharded code paths against executor-owned states. The
+// current contents of s are adopted as-is.
 func Over(s *statevec.State, nodes int) *DistState {
-	d := distLayout(s.NumQubits(), nodes)
-	amps := s.Amplitudes()
-	shardLen := 1 << uint(d.n-d.global)
-	for i := range d.shards {
-		d.shards[i] = amps[i*shardLen : (i+1)*shardLen : (i+1)*shardLen]
-		d.wrapped[i] = statevec.Wrap(d.shards[i])
-	}
-	return d
+	return over(s, nodes)
 }
 
 // NumQubits returns n.
@@ -107,16 +112,11 @@ func (d *DistState) Nodes() int { return d.nodes }
 func (d *DistState) LocalQubits() int { return d.n - d.global }
 
 // ShardBytes returns the per-shard amplitude storage.
-func (d *DistState) ShardBytes() int64 { return int64(len(d.shards[0])) * 16 }
+func (d *DistState) ShardBytes() int64 { return int64(d.shard[0].Bytes()) }
 
 // Gather reassembles the full state vector (tests and sampling).
 func (d *DistState) Gather() *statevec.State {
-	full := make([]complex128, 1<<uint(d.n))
-	shardLen := len(d.shards[0])
-	for s, sh := range d.shards {
-		copy(full[s*shardLen:(s+1)*shardLen], sh)
-	}
-	return statevec.FromAmplitudes(full)
+	return d.backing.Clone()
 }
 
 // isGlobal reports whether qubit q is a global (inter-node) qubit.
@@ -126,25 +126,51 @@ func (d *DistState) isGlobal(q int) bool { return q >= d.n-d.global }
 func (d *DistState) globalBit(q int) int { return q - (d.n - d.global) }
 
 // Apply1Q applies a 2x2 matrix to qubit t, exchanging shard halves when t
-// is global.
+// is global. Global pairs stream the two shards' component planes — the
+// arithmetic mirrors statevec's 1q kernels (same products, same summation
+// order, real-matrix plane-split fast path) so sharded histograms stay
+// byte-identical to the single-node engine's.
 func (d *DistState) Apply1Q(t int, m qmath.Matrix) {
 	if !d.isGlobal(t) {
-		for _, w := range d.wrapped {
+		for _, w := range d.shard {
 			w.Apply1Q(t, m)
 		}
 		return
 	}
 	bit := 1 << uint(d.globalBit(t))
 	m00, m01, m10, m11 := m.Data[0], m.Data[1], m.Data[2], m.Data[3]
-	for s := range d.shards {
+	allReal := imag(m00) == 0 && imag(m01) == 0 && imag(m10) == 0 && imag(m11) == 0
+	for s := range d.shard {
 		if s&bit != 0 {
 			continue
 		}
-		lo, hi := d.shards[s], d.shards[s|bit]
-		for i := range lo {
-			a0, a1 := lo[i], hi[i]
-			lo[i] = m00*a0 + m01*a1
-			hi[i] = m10*a0 + m11*a1
+		lor, loi := d.shard[s].Components()
+		hir, hii := d.shard[s|bit].Components()
+		if allReal {
+			r00, r01, r10, r11 := real(m00), real(m01), real(m10), real(m11)
+			for i := range lor {
+				a0, a1 := lor[i], hir[i]
+				lor[i] = r00*a0 + r01*a1
+				hir[i] = r10*a0 + r11*a1
+			}
+			for i := range loi {
+				a0, a1 := loi[i], hii[i]
+				loi[i] = r00*a0 + r01*a1
+				hii[i] = r10*a0 + r11*a1
+			}
+		} else {
+			m00r, m00i := real(m00), imag(m00)
+			m01r, m01i := real(m01), imag(m01)
+			m10r, m10i := real(m10), imag(m10)
+			m11r, m11i := real(m11), imag(m11)
+			for i := range lor {
+				a0r, a0i := lor[i], loi[i]
+				a1r, a1i := hir[i], hii[i]
+				lor[i] = (m00r*a0r - m00i*a0i) + (m01r*a1r - m01i*a1i)
+				loi[i] = (m00r*a0i + m00i*a0r) + (m01r*a1i + m01i*a1r)
+				hir[i] = (m10r*a0r - m10i*a0i) + (m11r*a1r - m11i*a1i)
+				hii[i] = (m10r*a0i + m10i*a0r) + (m11r*a1i + m11i*a1r)
+			}
 		}
 		// On a real cluster each partner sends its full shard half to the
 		// other; account both directions.
@@ -153,32 +179,49 @@ func (d *DistState) Apply1Q(t int, m qmath.Matrix) {
 	}
 }
 
+// mix4 transforms one 4-slot amplitude group in split form, mirroring the
+// ((t0+t1)+t2)+t3 association of statevec's Apply2Q.
+func mix4(md []complex128, vr, vi *[4]float64) (wr, wi [4]float64) {
+	for row := 0; row < 4; row++ {
+		var ar, ai float64
+		for col := 0; col < 4; col++ {
+			mr, mi := real(md[row*4+col]), imag(md[row*4+col])
+			ar += mr*vr[col] - mi*vi[col]
+			ai += mr*vi[col] + mi*vr[col]
+		}
+		wr[row], wi[row] = ar, ai
+	}
+	return wr, wi
+}
+
 // Apply2Q applies a 4x4 matrix to qubits (q0, q1), q0 the low bit of the
 // gate's basis index, handling all locality combinations.
 func (d *DistState) Apply2Q(q0, q1 int, m qmath.Matrix) {
 	g0, g1 := d.isGlobal(q0), d.isGlobal(q1)
 	switch {
 	case !g0 && !g1:
-		for _, w := range d.wrapped {
+		for _, w := range d.shard {
 			w.Apply2Q(q0, q1, m)
 		}
 	case g0 && g1:
 		b0 := 1 << uint(d.globalBit(q0))
 		b1 := 1 << uint(d.globalBit(q1))
-		for s := range d.shards {
+		md := m.Data
+		for s := range d.shard {
 			if s&b0 != 0 || s&b1 != 0 {
 				continue
 			}
-			sh := [4][]complex128{
-				d.shards[s], d.shards[s|b0], d.shards[s|b1], d.shards[s|b0|b1],
+			var rr, ii [4][]float64
+			for k, sh := range [4]int{s, s | b0, s | b1, s | b0 | b1} {
+				rr[k], ii[k] = d.shard[sh].Components()
 			}
-			md := m.Data
-			for i := range sh[0] {
-				a0, a1, a2, a3 := sh[0][i], sh[1][i], sh[2][i], sh[3][i]
-				sh[0][i] = md[0]*a0 + md[1]*a1 + md[2]*a2 + md[3]*a3
-				sh[1][i] = md[4]*a0 + md[5]*a1 + md[6]*a2 + md[7]*a3
-				sh[2][i] = md[8]*a0 + md[9]*a1 + md[10]*a2 + md[11]*a3
-				sh[3][i] = md[12]*a0 + md[13]*a1 + md[14]*a2 + md[15]*a3
+			for i := range rr[0] {
+				vr := [4]float64{rr[0][i], rr[1][i], rr[2][i], rr[3][i]}
+				vi := [4]float64{ii[0][i], ii[1][i], ii[2][i], ii[3][i]}
+				wr, wi := mix4(md, &vr, &vi)
+				for k := 0; k < 4; k++ {
+					rr[k][i], ii[k][i] = wr[k], wi[k]
+				}
 			}
 			d.BytesSent += 4 * 3 * d.ShardBytes() / 4 // all-to-all among 4 shards
 			d.Exchanges += 3
@@ -195,32 +238,33 @@ func (d *DistState) Apply2Q(q0, q1 int, m qmath.Matrix) {
 		bit := 1 << uint(d.globalBit(qg))
 		lmask := 1 << uint(ql)
 		md := m.Data
-		for s := range d.shards {
+		for s := range d.shard {
 			if s&bit != 0 {
 				continue
 			}
-			lo, hi := d.shards[s], d.shards[s|bit]
-			half := len(lo) / 2
+			lor, loi := d.shard[s].Components()
+			hir, hii := d.shard[s|bit].Components()
+			half := len(lor) / 2
 			for i := 0; i < half; i++ {
 				off := i & (lmask - 1)
 				i0 := ((i >> uint(ql)) << uint(ql+1)) | off
 				i1 := i0 | lmask
 				// Gate basis: index = bit(q0) | bit(q1)<<1.
-				var v [4]complex128
+				var vr, vi [4]float64
 				if localIsLow {
-					v = [4]complex128{lo[i0], lo[i1], hi[i0], hi[i1]}
+					vr = [4]float64{lor[i0], lor[i1], hir[i0], hir[i1]}
+					vi = [4]float64{loi[i0], loi[i1], hii[i0], hii[i1]}
 				} else {
-					v = [4]complex128{lo[i0], hi[i0], lo[i1], hi[i1]}
+					vr = [4]float64{lor[i0], hir[i0], lor[i1], hir[i1]}
+					vi = [4]float64{loi[i0], hii[i0], loi[i1], hii[i1]}
 				}
-				var w [4]complex128
-				for row := 0; row < 4; row++ {
-					w[row] = md[row*4]*v[0] + md[row*4+1]*v[1] +
-						md[row*4+2]*v[2] + md[row*4+3]*v[3]
-				}
+				wr, wi := mix4(md, &vr, &vi)
 				if localIsLow {
-					lo[i0], lo[i1], hi[i0], hi[i1] = w[0], w[1], w[2], w[3]
+					lor[i0], lor[i1], hir[i0], hir[i1] = wr[0], wr[1], wr[2], wr[3]
+					loi[i0], loi[i1], hii[i0], hii[i1] = wi[0], wi[1], wi[2], wi[3]
 				} else {
-					lo[i0], hi[i0], lo[i1], hi[i1] = w[0], w[1], w[2], w[3]
+					lor[i0], hir[i0], lor[i1], hir[i1] = wr[0], wr[1], wr[2], wr[3]
+					loi[i0], hii[i0], loi[i1], hii[i1] = wi[0], wi[1], wi[2], wi[3]
 				}
 			}
 			d.BytesSent += 2 * d.ShardBytes()
@@ -265,7 +309,7 @@ func (d *DistState) Apply(g gate.Gate) {
 			return
 		}
 		if !d.isGlobal(g.Qubits[0]) && hasFastKernel(g.Kind) {
-			for _, w := range d.wrapped {
+			for _, w := range d.shard {
 				w.Apply(g)
 			}
 			return
@@ -273,7 +317,7 @@ func (d *DistState) Apply(g gate.Gate) {
 		d.Apply1Q(g.Qubits[0], g.Matrix())
 	case 2:
 		if d.localQubits(g) && hasFastKernel(g.Kind) {
-			for _, w := range d.wrapped {
+			for _, w := range d.shard {
 				w.Apply(g)
 			}
 			return
@@ -290,9 +334,7 @@ func (d *DistState) CopyFrom(src *DistState) {
 	if d.n != src.n || d.nodes != src.nodes {
 		panic("cluster: CopyFrom shape mismatch")
 	}
-	for i := range d.shards {
-		copy(d.shards[i], src.shards[i])
-	}
+	d.backing.CopyFrom(src.backing)
 }
 
 // Clone deep-copies the distributed state.
@@ -304,10 +346,5 @@ func (d *DistState) Clone() *DistState {
 
 // ResetZero restores |0...0> without reallocating.
 func (d *DistState) ResetZero() {
-	for _, sh := range d.shards {
-		for i := range sh {
-			sh[i] = 0
-		}
-	}
-	d.shards[0][0] = 1
+	d.backing.ResetZero()
 }

@@ -152,10 +152,12 @@ func SubtreeSpan(arities []int, level int) uint64 {
 // DensePeakBytes returns the dense executor's peak amplitude memory for a
 // tree run: one state per level plus the working copy, per worker. The
 // planner's admission estimates and the executor's reported PeakStateBytes
-// both come from here, so a job admitted on the estimate cannot observe a
-// different number at run time.
+// both come from here, and the per-state term comes from the allocator's
+// own layout constant (statevec.StateBytes), so a job admitted on the
+// estimate cannot observe a different number at run time — even across
+// amplitude-layout changes.
 func DensePeakBytes(workers, levels, numQubits int) int64 {
-	return int64(workers) * int64(levels+1) * (int64(16) << uint(numQubits))
+	return int64(workers) * int64(levels+1) * statevec.StateBytes(numQubits)
 }
 
 // treeWorkers returns the worker count a tree run will use for the plan:

@@ -70,7 +70,7 @@ func (ps *PrefixSnapshots) Matches(plan *partition.Plan) bool {
 // engine's admission estimates and PrefixSnapshots.Bytes both use it, so a
 // sweep admitted on the estimate observes the same number at run time.
 func SnapshotBytes(levels, numQubits int) int64 {
-	return int64(levels) * (int64(16) << uint(numQubits))
+	return int64(levels) * statevec.StateBytes(numQubits)
 }
 
 // Bytes returns the snapshot memory footprint (levels dense states), the

@@ -49,11 +49,16 @@ func FromPure(s *statevec.State) *Density {
 	}
 	d := NewZero(n)
 	dim := 1 << uint(n)
-	amps := s.Amplitudes()
-	dst := d.vec.Amplitudes()
+	sr, si := s.Components()
+	dr, di := d.vec.Components()
 	for r := 0; r < dim; r++ {
+		ar, ai := sr[r], si[r]
+		row := r * dim
 		for c := 0; c < dim; c++ {
-			dst[r*dim+c] = amps[r] * cmplx.Conj(amps[c])
+			// amps[r] * conj(amps[c]), expanded term by term.
+			br, bi := sr[c], -si[c]
+			dr[row+c] = ar*br - ai*bi
+			di[row+c] = ar*bi + ai*br
 		}
 	}
 	return d
@@ -88,8 +93,9 @@ func (d *Density) Purity() float64 {
 	// tr(rho^2) = sum_{rc} rho[r][c] * rho[c][r] = sum |rho[r][c]|^2 for
 	// Hermitian rho.
 	var p float64
-	for _, a := range d.vec.Amplitudes() {
-		p += real(a)*real(a) + imag(a)*imag(a)
+	re, im := d.vec.Components()
+	for i := range re {
+		p += re[i]*re[i] + im[i]*im[i]
 	}
 	return p
 }
@@ -150,16 +156,12 @@ func (d *Density) ApplyKraus(kraus []qmath.Matrix, qubits []int) {
 	}
 	orig := d.vec.Clone()
 	accum := statevec.NewZero(2 * d.n)
-	acc := accum.Amplitudes()
-	acc[0] = 0
+	accum.ZeroAmplitudes()
 	for _, k := range kraus {
 		d.vec.CopyFrom(orig)
 		d.applyLeft(qubits, k)
 		d.applyRight(qubits, k)
-		cur := d.vec.Amplitudes()
-		for i := range acc {
-			acc[i] += cur[i]
-		}
+		accum.AddFrom(d.vec)
 	}
 	d.vec.CopyFrom(accum)
 }

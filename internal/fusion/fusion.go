@@ -1,47 +1,95 @@
-// Package fusion implements a gate-fusion backend: consecutive single-qubit
-// gates on the same qubit are multiplied into one 2x2 matrix before touching
-// the state, so an ideal-circuit segment costs one kernel sweep per fused
-// run instead of one per gate. It stands in for the accelerated
-// (cuStateVec-class) backend of the paper's Figure 12: a genuinely different
-// execution engine behind the same core.Backend interface, demonstrating
-// that TQSim's scheduler is backend-agnostic.
+// Package fusion implements a gate-fusion backend: gates accumulate into
+// larger fused units before touching the state, so an ideal-circuit segment
+// costs one kernel sweep per fused structure instead of one per gate. It
+// stands in for the accelerated (cuStateVec-class) backend of the paper's
+// Figure 12: a genuinely different execution engine behind the same
+// core.Backend interface, demonstrating that TQSim's scheduler is
+// backend-agnostic.
 //
-// The package also demonstrates the paper's §1 observation that noise
-// *disrupts* fusion: the executor flushes before every noise channel, so
-// noisy segments degenerate to single-gate application, while ideal
-// segments fuse freely.
+// Three fusion structures are maintained, with mutually disjoint qubit
+// support:
+//
+//   - per-qubit 1q runs: consecutive single-qubit gates on one qubit
+//     multiply into a single 2x2 matrix (one kernel sweep per run);
+//   - a diagonal phase run: controlled-phase gates (CZ/CP) that share a
+//     common qubit accumulate and apply in one pass over the common qubit's
+//     half-space via statevec.ApplyPhaseRun — the QFT pattern, where row i
+//     carries n-1-i CPs on one target, collapses from n-1-i quarter-space
+//     sweeps to a single half-space sweep;
+//   - a dense 2q block: a two-qubit gate without a specialized kernel
+//     (CRX/CRY/SWAP/generic unitaries) opens a 4x4 block on its qubit pair;
+//     subsequent same-pair two-qubit gates and single-qubit gates on either
+//     block qubit fold into the 4x4 product, and the whole block applies in
+//     one Apply2Q sweep (or one ApplyDiag2Q sweep when the product collapses
+//     to a diagonal, e.g. the CX·RZ·CX ZZ-interaction pattern).
+//
+// Singleton flushes route to the exact kernels the plain backend uses
+// (Apply1Q / ApplyCPhase / Apply2Q / the fast-path Apply dispatch), so a
+// workload that admits no fusion executes bit-identically to the reference.
+// The executor flushes before every noise channel, so noisy segments
+// degenerate to exactly these singleton paths — the paper's §1 observation
+// that noise disrupts fusion — while ideal segments fuse freely.
 package fusion
 
 import (
+	"math/cmplx"
+
 	"tqsim/internal/core"
 	"tqsim/internal/gate"
 	"tqsim/internal/qmath"
 	"tqsim/internal/statevec"
 )
 
-// Backend buffers single-qubit gates per qubit and fuses them. It satisfies
-// core.Backend.
+// Backend buffers gates into fused structures. It satisfies core.Backend.
 //
 // Buffers are qubit-indexed slices grown on demand rather than maps: the
 // executor flushes after every gate of a noisy segment, so the
-// buffer/flush pair runs once per gate and the map hashing + allocation of
-// the original implementation sat directly on the hot path. Fused products
-// are multiplied in place into the pending matrix's storage, so a run of k
-// gates costs one matrix allocation, not k.
+// buffer/flush pair runs once per gate and map hashing + allocation would
+// sit directly on the hot path. Fused products are multiplied in place into
+// the pending storage, so a run of k gates costs one matrix allocation,
+// not k.
 type Backend struct {
 	// pending[q] holds the accumulated 2x2 unitary awaiting application to
 	// qubit q; it is valid iff runLen[q] > 0.
 	pending []qmath.Matrix
+	// pendGate[q] is the original gate when runLen[q] == 1, so a singleton
+	// flush can route through the plain dispatcher's specialized kernel
+	// (applyH, applyDiag1q, ...) instead of a dense 2x2 sweep.
+	pendGate []gate.Gate
 	// runLen tracks the constituent count of each pending matrix.
 	runLen []int
 	// touched lists qubits with possibly-pending work, so Flush skips the
 	// untouched remainder of the register.
 	touched []int
-	// FusedRuns counts fused applications; SingleFlushes counts pending
-	// matrices flushed with only one constituent gate. The ratio
-	// quantifies how much fusion a workload admitted.
+
+	// Diagonal phase run: controlled-phase gates whose pairs all share at
+	// least one qubit. phCommon holds the qubits common to every entry
+	// (empty == no active run); phPairs/phPhases list the entries in
+	// arrival order.
+	phCommon []int
+	phPairs  [][2]int
+	phPhases []complex128
+
+	// Dense 2q block: blkM is the accumulated 4x4 product on pair blkQ
+	// (blkQ[0] = low matrix bit), valid iff blkLen > 0. blkLen counts the
+	// constituent gates folded in. blkGate is the opening gate, so a
+	// singleton flush routes through the plain dispatcher's specialized
+	// kernels (e.g. the SWAP permutation) instead of a dense 4x4 sweep.
+	blkQ    [2]int
+	blkM    qmath.Matrix
+	blkGate gate.Gate
+	blkLen  int
+
+	// FusedRuns counts multi-constituent flushes of any structure;
+	// SingleFlushes counts structures flushed with only one constituent
+	// gate. The ratio quantifies how much fusion a workload admitted.
+	// PhaseRuns and DenseBlocks break FusedRuns down by structure: fused
+	// controlled-phase runs and fused dense 2q blocks respectively (1q runs
+	// are the remainder).
 	FusedRuns     int64
 	SingleFlushes int64
+	PhaseRuns     int64
+	DenseBlocks   int64
 }
 
 // New returns an empty fusion backend.
@@ -53,6 +101,7 @@ func New() *Backend {
 func (b *Backend) grow(q int) {
 	for len(b.pending) <= q {
 		b.pending = append(b.pending, qmath.Matrix{})
+		b.pendGate = append(b.pendGate, gate.Gate{})
 		b.runLen = append(b.runLen, 0)
 	}
 }
@@ -60,10 +109,10 @@ func (b *Backend) grow(q int) {
 // Name implements core.Backend.
 func (b *Backend) Name() string { return "fusion" }
 
-// Fork implements core.Forker: fusion state (pending per-qubit matrices) is
-// per-execution-stream, so parallel tree workers each get a fresh backend.
-// Fusion statistics are then per-worker; callers aggregating FusedRuns
-// should sum across forks if they need totals.
+// Fork implements core.Forker: fusion state is per-execution-stream, so
+// parallel tree workers each get a fresh backend. Fusion statistics are
+// then per-worker; callers aggregating FusedRuns should sum across forks if
+// they need totals.
 func (b *Backend) Fork() core.Backend { return New() }
 
 // Compile-time interface checks.
@@ -76,30 +125,62 @@ func init() {
 	core.Register("fusion", func() core.Backend { return New() })
 }
 
-// flushQubit applies the pending matrix for qubit q, if any. The qubit may
-// linger on the touched list until the next Flush; runLen guards validity.
-func (b *Backend) flushQubit(s *statevec.State, q int) {
-	if q >= len(b.runLen) || b.runLen[q] == 0 {
-		return
+// --- 4x4 and Kronecker helpers ---
+
+// mul4x4 sets dst = m * p (4x4 row-major), reading both fully before
+// writing so dst may alias m or p.
+func mul4x4(dst, m, p []complex128) {
+	var out [16]complex128
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[4*r+c] = m[4*r]*p[c] + m[4*r+1]*p[4+c] +
+				m[4*r+2]*p[8+c] + m[4*r+3]*p[12+c]
+		}
 	}
-	s.Apply1Q(q, b.pending[q])
-	if b.runLen[q] > 1 {
-		b.FusedRuns++
-	} else {
-		b.SingleFlushes++
-	}
-	b.runLen[q] = 0
+	copy(dst, out[:])
 }
 
-// Flush implements core.Backend: applies every pending fused matrix, in
-// first-touch order (deterministic, unlike the original map iteration —
-// pending 1q matrices on distinct qubits commute, but a fixed order keeps
-// runs reproducible).
-func (b *Backend) Flush(s *statevec.State) {
-	for _, q := range b.touched {
-		b.flushQubit(s, q)
+// kron2 expands the 2x2 matrix m acting on one bit of a two-qubit basis
+// into a 4x4: bit selects which basis bit m acts on (0 = low, 1 = high);
+// the other bit is identity.
+func kron2(m []complex128, bit int) [16]complex128 {
+	var k [16]complex128
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			rb, cb := r>>uint(bit)&1, c>>uint(bit)&1
+			ro, co := r>>uint(1-bit)&1, c>>uint(1-bit)&1
+			if ro == co {
+				k[4*r+c] = m[2*rb+cb]
+			}
+		}
 	}
-	b.touched = b.touched[:0]
+	return k
+}
+
+// permute4 returns m with its two basis bits exchanged — the matrix of the
+// same operator when the qubit pair is named in the opposite order.
+func permute4(m []complex128) [16]complex128 {
+	swap := [4]int{0, 2, 1, 3}
+	var out [16]complex128
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[4*r+c] = m[4*swap[r]+swap[c]]
+		}
+	}
+	return out
+}
+
+// diag4 reports whether m is diagonal and returns its diagonal if so.
+func diag4(m []complex128) (d [4]complex128, ok bool) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r != c && m[4*r+c] != 0 {
+				return d, false
+			}
+		}
+		d[r] = m[4*r+r]
+	}
+	return d, true
 }
 
 // mul2x2 sets dst = m * p (2x2), reading both fully before writing so dst
@@ -112,29 +193,326 @@ func mul2x2(dst, m, p []complex128) {
 	dst[0], dst[1], dst[2], dst[3] = d0, d1, d2, d3
 }
 
-// Apply implements core.Backend. Single-qubit gates accumulate into the
-// per-qubit pending matrix; wider gates flush their operands first and then
-// apply directly.
+// --- structure queries ---
+
+func (b *Backend) phaseRunActive() bool { return len(b.phPairs) > 0 }
+
+// phaseRunHas reports whether q appears in any gate of the phase run.
+func (b *Backend) phaseRunHas(q int) bool {
+	for _, p := range b.phPairs {
+		if p[0] == q || p[1] == q {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Backend) blockActive() bool { return b.blkLen > 0 }
+
+func (b *Backend) blockHas(q int) bool {
+	return b.blkLen > 0 && (b.blkQ[0] == q || b.blkQ[1] == q)
+}
+
+// blockSamePair reports whether {a, b} is the block's pair (either order).
+func (b *Backend) blockSamePair(a, bq int) bool {
+	return b.blkLen > 0 &&
+		((b.blkQ[0] == a && b.blkQ[1] == bq) || (b.blkQ[0] == bq && b.blkQ[1] == a))
+}
+
+// --- flushes ---
+
+// flushQubit applies the pending matrix for qubit q, if any. The qubit may
+// linger on the touched list until the next Flush; runLen guards validity.
+func (b *Backend) flushQubit(s *statevec.State, q int) {
+	if q >= len(b.runLen) || b.runLen[q] == 0 {
+		return
+	}
+	if b.runLen[q] == 1 {
+		// The original gate, through the plain dispatcher: bit-identical to
+		// unfused execution, and it keeps the specialized kernels (a noisy
+		// segment degenerates every run to this path).
+		s.Apply(b.pendGate[q])
+		b.SingleFlushes++
+	} else {
+		s.Apply1Q(q, b.pending[q])
+		b.FusedRuns++
+	}
+	b.runLen[q] = 0
+}
+
+// flushPhaseRun applies the accumulated controlled-phase run. A singleton
+// routes to ApplyCPhase — the exact kernel the plain backend uses for
+// CZ/CP — so unfused execution stays bit-identical to the reference.
+func (b *Backend) flushPhaseRun(s *statevec.State) {
+	if !b.phaseRunActive() {
+		return
+	}
+	if len(b.phPairs) == 1 {
+		s.ApplyCPhase(b.phPairs[0][0], b.phPairs[0][1], b.phPhases[0])
+		b.SingleFlushes++
+	} else {
+		anchor := b.phCommon[0]
+		others := make([]int, len(b.phPairs))
+		for i, p := range b.phPairs {
+			if p[0] == anchor {
+				others[i] = p[1]
+			} else {
+				others[i] = p[0]
+			}
+		}
+		s.ApplyPhaseRun(anchor, others, b.phPhases)
+		b.FusedRuns++
+		b.PhaseRuns++
+	}
+	b.phCommon = b.phCommon[:0]
+	b.phPairs = b.phPairs[:0]
+	b.phPhases = b.phPhases[:0]
+}
+
+// flushBlock applies the accumulated dense 2q block. A singleton is the
+// original gate matrix and routes through Apply2Q exactly as the plain
+// backend would; a fused block whose product collapsed to a diagonal takes
+// the cheaper ApplyDiag2Q sweep.
+func (b *Backend) flushBlock(s *statevec.State) {
+	if b.blkLen == 0 {
+		return
+	}
+	if b.blkLen == 1 {
+		// The opening gate alone: apply it through the plain dispatcher so
+		// specialized kernels (SWAP's permutation) still fire unfused.
+		s.Apply(b.blkGate)
+		b.SingleFlushes++
+	} else {
+		if d, ok := diag4(b.blkM.Data); ok {
+			s.ApplyDiag2Q(b.blkQ[0], b.blkQ[1], d[0], d[1], d[2], d[3])
+		} else {
+			s.Apply2Q(b.blkQ[0], b.blkQ[1], b.blkM)
+		}
+		b.FusedRuns++
+		b.DenseBlocks++
+	}
+	b.blkLen = 0
+}
+
+// Flush implements core.Backend: applies every pending fused structure.
+// Supports are mutually disjoint, so order is free mathematically; a fixed
+// order (block, phase run, 1q runs in first-touch order) keeps runs
+// reproducible.
+func (b *Backend) Flush(s *statevec.State) {
+	b.flushBlock(s)
+	b.flushPhaseRun(s)
+	for _, q := range b.touched {
+		b.flushQubit(s, q)
+	}
+	b.touched = b.touched[:0]
+}
+
+// --- folding ---
+
+// pend1q buffers a single-qubit gate on qubit q (caller has already
+// resolved structure conflicts on q).
+func (b *Backend) pend1q(q int, g gate.Gate) {
+	b.grow(q)
+	if b.runLen[q] > 0 {
+		// Later gate multiplies on the left, in place.
+		mul2x2(b.pending[q].Data, g.Matrix().Data, b.pending[q].Data)
+		b.runLen[q]++
+	} else {
+		b.pending[q] = g.Matrix()
+		b.pendGate[q] = g
+		b.runLen[q] = 1
+		b.touched = append(b.touched, q)
+	}
+}
+
+// absorbPending folds qubit q's pending 1q run (if any) into the block as a
+// right factor (it precedes the block's gates) and returns its length.
+func (b *Backend) absorbPending(q int) int {
+	if q >= len(b.runLen) || b.runLen[q] == 0 {
+		return 0
+	}
+	bit := 0
+	if q == b.blkQ[1] {
+		bit = 1
+	}
+	k := kron2(b.pending[q].Data, bit)
+	mul4x4(b.blkM.Data, b.blkM.Data, k[:])
+	n := b.runLen[q]
+	b.runLen[q] = 0
+	return n
+}
+
+// startBlock opens a dense 2q block with gate g on (a, b), folding any
+// pending 1q runs on the pair into the product.
+func (b *Backend) startBlock(a, bq int, g gate.Gate) {
+	b.blkQ = [2]int{a, bq}
+	b.blkM = g.Matrix()
+	b.blkGate = g
+	b.blkLen = 1
+	b.blkLen += b.absorbPending(a)
+	b.blkLen += b.absorbPending(bq)
+}
+
+// foldBlock2Q left-multiplies a same-pair two-qubit matrix into the block,
+// permuting basis bits when the gate names the pair in the opposite order.
+func (b *Backend) foldBlock2Q(a int, m qmath.Matrix) {
+	if a == b.blkQ[0] {
+		mul4x4(b.blkM.Data, m.Data, b.blkM.Data)
+	} else {
+		p := permute4(m.Data)
+		mul4x4(b.blkM.Data, p[:], b.blkM.Data)
+	}
+	b.blkLen++
+}
+
+// foldBlock1Q left-multiplies a single-qubit matrix on block qubit q into
+// the block.
+func (b *Backend) foldBlock1Q(q int, m qmath.Matrix) {
+	bit := 0
+	if q == b.blkQ[1] {
+		bit = 1
+	}
+	k := kron2(m.Data, bit)
+	mul4x4(b.blkM.Data, k[:], b.blkM.Data)
+	b.blkLen++
+}
+
+// foldBlockDiag left-multiplies diag(d) (in the block's bit order) into the
+// block: row r scales by d[r].
+func (b *Backend) foldBlockDiag(d [4]complex128) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			b.blkM.Data[4*r+c] *= d[r]
+		}
+	}
+	b.blkLen++
+}
+
+// cphasePhase returns the diagonal phase of a CZ/CP gate, computed exactly
+// as the statevec fast-path dispatch computes it.
+func cphasePhase(g gate.Gate) complex128 {
+	if g.Kind == gate.KindCZ {
+		return -1
+	}
+	return cmplx.Exp(complex(0, g.Params[0]))
+}
+
+// applyPhaseGate routes a CZ/CP gate into the phase run, extending it when
+// the pair keeps a common qubit with every prior entry and restarting it
+// otherwise.
+func (b *Backend) applyPhaseGate(s *statevec.State, g gate.Gate) {
+	a, bq := g.Qubits[0], g.Qubits[1]
+	phase := cphasePhase(g)
+	// A same-pair dense block absorbs the gate as a diagonal factor. CZ/CP
+	// are symmetric under qubit exchange, so no bit permutation is needed.
+	if b.blockSamePair(a, bq) {
+		var d [4]complex128
+		d[0], d[1], d[2], d[3] = 1, 1, 1, phase
+		b.foldBlockDiag(d)
+		return
+	}
+	if b.blockHas(a) || b.blockHas(bq) {
+		b.flushBlock(s)
+	}
+	b.flushQubit(s, a)
+	b.flushQubit(s, bq)
+	if b.phaseRunActive() {
+		var common []int
+		for _, q := range b.phCommon {
+			if q == a || q == bq {
+				common = append(common, q)
+			}
+		}
+		if len(common) == 0 {
+			b.flushPhaseRun(s)
+		} else {
+			b.phCommon = append(b.phCommon[:0], common...)
+			b.phPairs = append(b.phPairs, [2]int{a, bq})
+			b.phPhases = append(b.phPhases, phase)
+			return
+		}
+	}
+	b.phCommon = append(b.phCommon[:0], a, bq)
+	b.phPairs = append(b.phPairs, [2]int{a, bq})
+	b.phPhases = append(b.phPhases, phase)
+}
+
+// hasFastKernel2Q reports whether the statevec dispatcher has a specialized
+// kernel for the two-qubit kind (such gates never open a dense block: their
+// per-gate kernels beat a generic 4x4 sweep).
+func hasFastKernel2Q(k gate.Kind) bool {
+	switch k {
+	case gate.KindCX, gate.KindCZ, gate.KindCP:
+		return true
+	}
+	return false
+}
+
+// Apply implements core.Backend. Gates accumulate into the fusion
+// structures; anything that cannot fuse flushes the structures overlapping
+// its qubits and applies directly.
 func (b *Backend) Apply(s *statevec.State, g gate.Gate) {
 	if g.Kind == gate.KindI {
 		return
 	}
-	if g.Arity() == 1 {
+	switch g.Arity() {
+	case 1:
 		q := g.Qubits[0]
-		b.grow(q)
-		m := g.Matrix()
-		if b.runLen[q] > 0 {
-			// Later gate multiplies on the left, in place.
-			mul2x2(b.pending[q].Data, m.Data, b.pending[q].Data)
-			b.runLen[q]++
-		} else {
-			b.pending[q] = m
-			b.runLen[q] = 1
-			b.touched = append(b.touched, q)
+		if b.blockHas(q) {
+			b.foldBlock1Q(q, g.Matrix())
+			return
 		}
+		if b.phaseRunActive() && b.phaseRunHas(q) {
+			b.flushPhaseRun(s)
+		}
+		b.pend1q(q, g)
+		return
+	case 2:
+		if g.Kind == gate.KindCZ || g.Kind == gate.KindCP {
+			b.applyPhaseGate(s, g)
+			return
+		}
+		a, bq := g.Qubits[0], g.Qubits[1]
+		if !hasFastKernel2Q(g.Kind) {
+			if b.blockSamePair(a, bq) {
+				b.foldBlock2Q(a, g.Matrix())
+				return
+			}
+			// One block slot: an active block on any other pair flushes
+			// before the new one opens.
+			b.flushBlock(s)
+			if b.phaseRunActive() && (b.phaseRunHas(a) || b.phaseRunHas(bq)) {
+				b.flushPhaseRun(s)
+			}
+			b.startBlock(a, bq, g)
+			return
+		}
+		// CX: folds into an existing same-pair block (as a matrix factor)
+		// but never opens one — its specialized kernel beats a 4x4 sweep.
+		if b.blockSamePair(a, bq) {
+			b.foldBlock2Q(a, g.Matrix())
+			return
+		}
+		if b.blockHas(a) || b.blockHas(bq) {
+			b.flushBlock(s)
+		}
+		if b.phaseRunActive() && (b.phaseRunHas(a) || b.phaseRunHas(bq)) {
+			b.flushPhaseRun(s)
+		}
+		b.flushQubit(s, a)
+		b.flushQubit(s, bq)
+		s.Apply(g)
 		return
 	}
+	// Wider gates: flush every structure overlapping an operand, then apply
+	// through the dispatcher.
 	for _, q := range g.Qubits {
+		if b.blockHas(q) {
+			b.flushBlock(s)
+		}
+		if b.phaseRunActive() && b.phaseRunHas(q) {
+			b.flushPhaseRun(s)
+		}
 		b.flushQubit(s, q)
 	}
 	s.Apply(g)

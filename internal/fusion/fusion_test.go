@@ -85,6 +85,172 @@ func TestTwoQubitGateFlushesOperands(t *testing.T) {
 	}
 }
 
+// randFusionState returns a normalized random dense state for differential
+// fusion tests.
+func randFusionState(n int, seed uint64) *statevec.State {
+	r := rng.New(seed)
+	amps := make([]complex128, 1<<uint(n))
+	for i := range amps {
+		amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	s := statevec.FromAmplitudes(amps)
+	s.Normalize()
+	return s
+}
+
+// runFused applies the gates through a fresh backend (with a final flush)
+// and directly, returning both states and the backend for stats checks.
+func runFused(t *testing.T, n int, seed uint64, gs []gate.Gate) (direct, fused *statevec.State, b *Backend) {
+	t.Helper()
+	direct = randFusionState(n, seed)
+	fused = direct.Clone()
+	for _, g := range gs {
+		direct.Apply(g)
+	}
+	b = New()
+	for _, g := range gs {
+		b.Apply(fused, g)
+	}
+	b.Flush(fused)
+	return direct, fused, b
+}
+
+func TestPhaseRunFusesQFTRow(t *testing.T) {
+	// A QFT row: H on the target, then a CP chain sharing it. The chain
+	// must fuse into a single phase-run flush and match direct execution.
+	gs := []gate.Gate{gate.New(gate.KindH, 0)}
+	for j := 1; j < 5; j++ {
+		gs = append(gs, gate.NewParam(gate.KindCP, []float64{1.0 / float64(int(1)<<uint(j))}, j, 0))
+	}
+	direct, fused, b := runFused(t, 5, 11, gs)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-12 {
+		t.Fatalf("phase run deviates by %v", d)
+	}
+	if b.PhaseRuns != 1 {
+		t.Fatalf("PhaseRuns = %d, want 1 (4 CPs in one sweep)", b.PhaseRuns)
+	}
+}
+
+func TestPhaseRunRestartsWithoutCommonQubit(t *testing.T) {
+	// CZ(0,1) then CZ(2,3): no shared qubit, so two singleton flushes.
+	gs := []gate.Gate{
+		gate.New(gate.KindCZ, 0, 1),
+		gate.New(gate.KindCZ, 2, 3),
+	}
+	direct, fused, b := runFused(t, 4, 12, gs)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d != 0 {
+		t.Fatalf("singleton CZ flushes must be bit-identical, got %v", d)
+	}
+	if b.PhaseRuns != 0 || b.SingleFlushes != 2 {
+		t.Fatalf("PhaseRuns=%d SingleFlushes=%d, want 0/2", b.PhaseRuns, b.SingleFlushes)
+	}
+}
+
+func TestDenseBlockFoldsSamePair(t *testing.T) {
+	// CRX opens a block; the interleaved 1q gate on a block qubit and the
+	// same-pair CRY (named in swapped order) fold into the 4x4 product.
+	gs := []gate.Gate{
+		gate.NewParam(gate.KindCRX, []float64{0.4}, 1, 3),
+		gate.New(gate.KindT, 3),
+		gate.NewParam(gate.KindCRY, []float64{0.7}, 3, 1),
+	}
+	direct, fused, b := runFused(t, 4, 13, gs)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-12 {
+		t.Fatalf("dense block deviates by %v", d)
+	}
+	if b.DenseBlocks != 1 || b.SingleFlushes != 0 {
+		t.Fatalf("DenseBlocks=%d SingleFlushes=%d, want 1/0", b.DenseBlocks, b.SingleFlushes)
+	}
+}
+
+func TestDenseBlockDiagonalCollapse(t *testing.T) {
+	// Two CRZs on the same pair multiply to a diagonal, taking the
+	// ApplyDiag2Q flush; correctness is what matters here.
+	gs := []gate.Gate{
+		gate.NewParam(gate.KindCRZ, []float64{0.3}, 0, 2),
+		gate.NewParam(gate.KindCRZ, []float64{0.9}, 0, 2),
+	}
+	direct, fused, b := runFused(t, 3, 14, gs)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-12 {
+		t.Fatalf("diagonal block deviates by %v", d)
+	}
+	if b.DenseBlocks != 1 {
+		t.Fatalf("DenseBlocks=%d, want 1", b.DenseBlocks)
+	}
+}
+
+func TestDisjointBlocksDoNotClobber(t *testing.T) {
+	// Regression: a second block-opening gate on a disjoint pair must flush
+	// the first block, not overwrite it.
+	gs := []gate.Gate{
+		gate.New(gate.KindS, 3),
+		gate.New(gate.KindY, 1),
+		gate.New(gate.KindSWAP, 3, 1),
+		gate.New(gate.KindSWAP, 4, 0),
+		gate.New(gate.KindSWAP, 5, 2),
+	}
+	direct, fused, _ := runFused(t, 6, 15, gs)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-12 {
+		t.Fatalf("disjoint blocks deviate by %v", d)
+	}
+}
+
+func TestCXFoldsIntoSamePairBlock(t *testing.T) {
+	// CX never opens a block but folds into an existing same-pair one: the
+	// CX·CRZ·CX sandwich is one fused block.
+	gs := []gate.Gate{
+		gate.NewParam(gate.KindCRX, []float64{0.2}, 0, 1),
+		gate.New(gate.KindCX, 0, 1),
+		gate.New(gate.KindCX, 1, 0),
+	}
+	direct, fused, b := runFused(t, 3, 16, gs)
+	if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-12 {
+		t.Fatalf("CX fold deviates by %v", d)
+	}
+	if b.DenseBlocks != 1 {
+		t.Fatalf("DenseBlocks=%d, want 1", b.DenseBlocks)
+	}
+}
+
+func TestFusedRandomSoup(t *testing.T) {
+	// Differential fuzz across every structure interaction: random gates of
+	// every fusable kind against direct execution.
+	r := rng.New(99)
+	const n = 6
+	for trial := 0; trial < 25; trial++ {
+		var gs []gate.Gate
+		for i := 0; i < 60; i++ {
+			switch r.Intn(8) {
+			case 0:
+				gs = append(gs, gate.New(gate.KindH, r.Intn(n)))
+			case 1:
+				gs = append(gs, gate.New(gate.KindT, r.Intn(n)))
+			case 2:
+				gs = append(gs, gate.NewParam(gate.KindRZ, []float64{r.Float64()}, r.Intn(n)))
+			case 3:
+				p := r.Perm(n)
+				gs = append(gs, gate.New(gate.KindCX, p[0], p[1]))
+			case 4:
+				p := r.Perm(n)
+				gs = append(gs, gate.New(gate.KindCZ, p[0], p[1]))
+			case 5:
+				p := r.Perm(n)
+				gs = append(gs, gate.NewParam(gate.KindCP, []float64{r.Float64()}, p[0], p[1]))
+			case 6:
+				p := r.Perm(n)
+				gs = append(gs, gate.NewParam(gate.KindCRX, []float64{r.Float64()}, p[0], p[1]))
+			default:
+				p := r.Perm(n)
+				gs = append(gs, gate.New(gate.KindSWAP, p[0], p[1]))
+			}
+		}
+		direct, fused, _ := runFused(t, n, uint64(trial)+20, gs)
+		if d := qmath.VecDistance(direct.Amplitudes(), fused.Amplitudes()); d > 1e-11 {
+			t.Fatalf("trial %d: fused soup deviates by %v", trial, d)
+		}
+	}
+}
+
 func TestIdentityGateSkipped(t *testing.T) {
 	b := New()
 	s := statevec.NewZero(1)

@@ -133,17 +133,19 @@ func (p PauliString) pauliAction(idx uint64) (uint64, complex128) {
 
 // ExpectationState returns <psi|P|psi> (real for Hermitian P).
 func (p PauliString) ExpectationState(s *statevec.State) float64 {
-	amps := s.Amplitudes()
+	re, im := s.Components()
 	var acc complex128
-	for idx, a := range amps {
+	for idx := range re {
+		a := complex(re[idx], im[idx])
 		if a == 0 {
 			continue
 		}
 		paired, phase := p.pauliAction(uint64(idx))
 		// <psi|P|psi> = sum_idx conj(amp[paired'])... accumulate
-		// conj(amps[j]) * (P|idx>)_j * amps[idx] with j = paired.
-		b := amps[paired]
-		acc += complex(real(b), -imag(b)) * phase * a
+		// conj(amps[j]) * (P|idx>)_j * amps[idx] with j = paired. Reading
+		// the planes directly avoids materializing an interleaved snapshot
+		// per Pauli term.
+		acc += complex(re[paired], -im[paired]) * phase * a
 	}
 	return p.Coef * real(acc)
 }

@@ -72,8 +72,10 @@ func (t *Tableau) WriteState(s *statevec.State) {
 		panic("stabilizer: WriteState supports at most 64 qubits")
 	}
 	anchor := t.basisCandidate()
-	cur := s.Amplitudes()
-	clear(cur)
+	// The projector product is computed in local interleaved buffers (every
+	// intermediate value is a Gaussian integer, see the package comment) and
+	// bulk-written into the SoA state once at the end.
+	cur := make([]complex128, s.Dim())
 	cur[anchor] = 1
 	next := make([]complex128, len(cur))
 	for row := t.n; row < 2*t.n; row++ {
@@ -95,18 +97,15 @@ func (t *Tableau) WriteState(s *statevec.State) {
 		}
 		cur, next = next, cur
 	}
-	amps := s.Amplitudes()
-	if &cur[0] != &amps[0] {
-		copy(amps, cur)
-	}
 	// The anchor survives projection with a real positive coefficient only
 	// up to the stabilizer phases; canonicalize on it, then normalize.
-	if a := amps[anchor]; a != 0 {
+	if a := cur[anchor]; a != 0 {
 		rot := cmplx.Conj(a) / complex(cmplx.Abs(a), 0)
-		for i := range amps {
-			amps[i] *= rot
+		for i := range cur {
+			cur[i] *= rot
 		}
 	}
+	s.SetAmplitudes(cur)
 	s.Normalize()
 }
 

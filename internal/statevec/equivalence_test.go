@@ -149,9 +149,17 @@ func TestKernelEquivalenceParallel(t *testing.T) {
 	for _, g := range gates {
 		checkGate(t, st, g)
 	}
-	for trial := 0; trial < 24; trial++ {
-		kind := allKinds[r.Intn(len(allKinds))]
-		checkGate(t, st, randomGate(kind, n, r))
+	// The full gate-kind grid again, now on the chunked pool path: every
+	// kind that passed serially must agree when its sweep is split across
+	// workers.
+	for _, kind := range allKinds {
+		for trial := 0; trial < 3; trial++ {
+			checkGate(t, st, randomGate(kind, n, r))
+		}
+	}
+	for _, arity := range []int{1, 2, 3} {
+		u := qmath.RandomUnitary(1<<uint(arity), r)
+		checkGate(t, st, gate.NewUnitary(u, "rand", randomQubits(n, arity, r)...))
 	}
 }
 
@@ -328,6 +336,200 @@ func TestPoolConcurrentKernels(t *testing.T) {
 	for w := 0; w < 16; w++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestAmplitudeRoundTrip pins the SoA boundary contract: interleaved
+// amplitudes survive FromAmplitudes -> Amplitudes and SetAmplitudes ->
+// Amplitudes unchanged, Amplitudes returns a snapshot (not a view), and
+// Components / FromComponents write through to the same planes.
+func TestAmplitudeRoundTrip(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + r.Intn(10)
+		amps := make([]complex128, 1<<uint(n))
+		for i := range amps {
+			amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		st := FromAmplitudes(amps)
+		got := st.Amplitudes()
+		for i := range amps {
+			if got[i] != amps[i] {
+				t.Fatalf("n=%d: FromAmplitudes round trip differs at %d: %v != %v", n, i, got[i], amps[i])
+			}
+		}
+		// Amplitudes is a copy: clobbering it must not touch the state.
+		for i := range got {
+			got[i] = 0
+		}
+		if st.Amplitude(0) != amps[0] {
+			t.Fatal("Amplitudes returned an aliasing slice")
+		}
+		// SetAmplitudes overwrites in place.
+		for i := range amps {
+			amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		st.SetAmplitudes(amps)
+		for i, want := range amps {
+			if st.Amplitude(uint64(i)) != want {
+				t.Fatalf("SetAmplitudes differs at %d", i)
+			}
+		}
+		// Components aliases the planes; FromComponents adopts without copy.
+		re, im := st.Components()
+		re[0], im[0] = 42, -7
+		if st.Amplitude(0) != complex(42, -7) {
+			t.Fatal("Components did not write through")
+		}
+		adopted := FromComponents(re, im)
+		adopted.SetAmplitude(1, complex(3, 4))
+		if st.Amplitude(1) != complex(3, 4) {
+			t.Fatal("FromComponents copied instead of adopting")
+		}
+	}
+}
+
+// TestViewAliasing checks that View windows alias the parent planes: kernel
+// mutations through a view land in the parent, and amplitudes outside the
+// window are untouched. This is the contract cluster mode's zero-copy shard
+// windows rely on.
+func TestViewAliasing(t *testing.T) {
+	r := rng.New(29)
+	const n = 8
+	st := randomState(n, r)
+	before := st.Amplitudes()
+	const start, length = 64, 32 // a 5-qubit window
+	v := st.View(start, length)
+	if v.NumQubits() != 5 || v.Dim() != length {
+		t.Fatalf("View dims: n=%d dim=%d", v.NumQubits(), v.Dim())
+	}
+	v.Apply(gate.New(gate.KindH, 2))
+	after := st.Amplitudes()
+	changed := false
+	for i := range after {
+		inWindow := i >= start && i < start+length
+		if !inWindow && after[i] != before[i] {
+			t.Fatalf("amplitude %d outside view window changed", i)
+		}
+		if inWindow && after[i] != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("kernel through view did not write through to parent")
+	}
+	// Direct writes through the view also land in the parent.
+	v.SetAmplitude(0, complex(9, 9))
+	if st.Amplitude(start) != complex(9, 9) {
+		t.Fatal("SetAmplitude through view did not alias parent")
+	}
+}
+
+// TestApplyPhaseRunEquivalence drives the fused controlled-phase run against
+// the obvious reference — the same gates applied one ApplyCPhase at a time —
+// across every sweep shape the kernel special-cases: anchor above the support
+// (the QFT row shape, lowest support qubit 0), anchor below the support,
+// anchor in the middle with a nonzero support floor, unsorted and duplicated
+// run qubits, table-width chunking, and the tiny-register floor where the
+// table bound collapses to one gate per pass. Serial and forced-parallel.
+func TestApplyPhaseRunEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		anchor int
+		qubits []int
+		real   bool // purely real phases exercise the realP scale path
+	}{
+		{name: "anchor-high-support-at-zero", n: 12, anchor: 9, qubits: []int{0, 1, 2, 3}},
+		{name: "anchor-below-support", n: 12, anchor: 0, qubits: []int{5, 7, 9}},
+		{name: "anchor-mid-support-floor", n: 12, anchor: 6, qubits: []int{2, 4, 9, 11}},
+		{name: "singleton", n: 12, anchor: 4, qubits: []int{8}},
+		{name: "unsorted", n: 12, anchor: 11, qubits: []int{7, 2, 9, 0}},
+		{name: "duplicates", n: 12, anchor: 10, qubits: []int{3, 5, 3}},
+		{name: "chunked", n: 10, anchor: 9, qubits: []int{0, 1, 2, 3, 4}},
+		{name: "tiny-register-floor", n: 6, anchor: 5, qubits: []int{0, 1, 2}},
+		{name: "real-phases", n: 12, anchor: 8, qubits: []int{1, 3, 10}, real: true},
+	}
+	for _, force := range []bool{false, true} {
+		mode := "serial"
+		if force {
+			mode = "parallel"
+		}
+		t.Run(mode, func(t *testing.T) {
+			if force {
+				old := ParallelThreshold
+				ParallelThreshold = 1
+				defer func() { ParallelThreshold = old }()
+			}
+			r := rng.New(31)
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					st := randomState(tc.n, r)
+					phases := make([]complex128, len(tc.qubits))
+					for i := range phases {
+						if tc.real {
+							phases[i] = complex(r.NormFloat64(), 0)
+						} else {
+							phases[i] = complex(r.NormFloat64(), r.NormFloat64())
+						}
+					}
+					ref := st.Clone()
+					for j, q := range tc.qubits {
+						ref.ApplyCPhase(tc.anchor, q, phases[j])
+					}
+					got := st.Clone()
+					got.ApplyPhaseRun(tc.anchor, tc.qubits, phases)
+					exact := len(tc.qubits) == 1 // doc: a run of one is bit-identical
+					for i := 0; i < ref.Dim(); i++ {
+						d := got.Amplitude(uint64(i)) - ref.Amplitude(uint64(i))
+						if exact && d != 0 {
+							t.Fatalf("singleton run not bit-identical at %d: %v vs %v",
+								i, got.Amplitude(uint64(i)), ref.Amplitude(uint64(i)))
+						}
+						if real(d)*real(d)+imag(d)*imag(d) > equivTol*equivTol {
+							t.Fatalf("amplitude %d: fused %v vs sequential %v",
+								i, got.Amplitude(uint64(i)), ref.Amplitude(uint64(i)))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestApplyDiag2QEquivalence checks the one-pass diagonal 4x4 kernel against
+// the dense Apply2Q path with the same diagonal, including unit entries that
+// trigger the kernel's skip fast path.
+func TestApplyDiag2QEquivalence(t *testing.T) {
+	r := rng.New(37)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(8)
+		qs := randomQubits(n, 2, r)
+		var d [4]complex128
+		for i := range d {
+			if r.Intn(3) == 0 {
+				d[i] = 1 // exercise the skip[sel] branch
+			} else {
+				d[i] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+		}
+		st := randomState(n, r)
+		ref := st.Clone()
+		ref.Apply2Q(qs[0], qs[1], qmath.FromRows([][]complex128{
+			{d[0], 0, 0, 0},
+			{0, d[1], 0, 0},
+			{0, 0, d[2], 0},
+			{0, 0, 0, d[3]},
+		}))
+		got := st.Clone()
+		got.ApplyDiag2Q(qs[0], qs[1], d[0], d[1], d[2], d[3])
+		for i := 0; i < ref.Dim(); i++ {
+			diff := got.Amplitude(uint64(i)) - ref.Amplitude(uint64(i))
+			if real(diff)*real(diff)+imag(diff)*imag(diff) > equivTol*equivTol {
+				t.Fatalf("trial %d (q0=%d q1=%d): amplitude %d: diag %v vs dense %v",
+					trial, qs[0], qs[1], i, got.Amplitude(uint64(i)), ref.Amplitude(uint64(i)))
+			}
 		}
 	}
 }

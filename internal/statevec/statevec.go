@@ -1,8 +1,21 @@
 // Package statevec implements the Schrödinger-style state-vector engine the
-// whole simulator runs on: 2^n complex amplitudes, in-place gate kernels with
-// fast paths for the common gates, goroutine-parallel application for large
+// whole simulator runs on: 2^n amplitudes, in-place gate kernels with fast
+// paths for the common gates, goroutine-parallel application for large
 // registers, outcome sampling, and the inner-product machinery the fidelity
 // metrics need.
+//
+// Memory layout: amplitudes are stored structure-of-arrays — two parallel
+// []float64 planes (re, im) carved from one allocation — rather than
+// []complex128. The split planes turn every kernel inner loop into
+// independent float64 stream operations (unit-stride loads/multiplies/adds
+// with no interleaved real/imag shuffling), which is what lets the 4-wide
+// unrolled loops below keep the FPU pipeline full, and lets gates with real
+// matrices (H, RY, X-rotations' real parts, fused real products) skip the
+// imaginary half of the arithmetic entirely. Numerics are pinned: each SoA
+// kernel evaluates the same products in the same summation order as the
+// complex128 code it replaced, so results are bit-identical up to the sign
+// of zeros (real fast paths drop exact-zero terms, which can flip -0 to +0;
+// probabilities, norms and histograms are unaffected).
 //
 // Convention: basis index bit i is qubit i (little-endian). For a multi-qubit
 // gate, the first entry of Gate.Qubits is the least significant bit of the
@@ -12,6 +25,7 @@ package statevec
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/cmplx"
 
 	"tqsim/internal/gate"
@@ -29,83 +43,177 @@ var ParallelThreshold = 1 << 14
 // stabilizer tableau) go beyond it; callers route wide circuits there.
 const MaxQubits = 30
 
-// State is an n-qubit pure state.
+// AmpBytes is the storage cost of one amplitude: one float64 per plane.
+// Every admission-control and accounting formula in the repo derives from
+// this constant (via StateBytes and core.DensePeakBytes) so the planner can
+// never silently disagree with the allocator about the layout.
+const AmpBytes = 16
+
+// StateBytes returns the amplitude-array footprint of an n-qubit dense
+// state under the current layout.
+func StateBytes(n int) int64 { return AmpBytes << uint(n) }
+
+// State is an n-qubit pure state in split re/im (structure-of-arrays) form.
 type State struct {
-	n    int
-	amps []complex128
+	n  int
+	re []float64
+	im []float64
+}
+
+// alloc returns an all-zero n-qubit state. Both planes are carved from a
+// single allocation so they stay adjacent in memory (one mmap region, and
+// the Go allocator size-class-aligns large float64 slices; each plane is at
+// least 8-byte aligned and page-aligned for register widths ≥ 17 qubits).
+func alloc(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
+	}
+	dim := 1 << uint(n)
+	buf := make([]float64, 2*dim)
+	return &State{n: n, re: buf[:dim:dim], im: buf[dim:]}
 }
 
 // NewZero returns |0...0> on n qubits.
 func NewZero(n int) *State {
-	if n < 1 || n > MaxQubits {
-		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
-	}
-	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
-	s.amps[0] = 1
+	s := alloc(n)
+	s.re[0] = 1
 	return s
 }
 
 // NewBasis returns the computational basis state |index> on n qubits.
 func NewBasis(n int, index uint64) *State {
-	s := NewZero(n)
-	if index >= uint64(len(s.amps)) {
+	s := alloc(n)
+	if index >= uint64(len(s.re)) {
 		panic("statevec: basis index out of range")
 	}
-	s.amps[0] = 0
-	s.amps[index] = 1
+	s.re[index] = 1
 	return s
 }
 
-// FromAmplitudes builds a state from an amplitude slice (copied). The length
-// must be a power of two.
+// FromAmplitudes builds a state from an amplitude slice (split-copied into
+// the SoA planes). The length must be a power of two.
 func FromAmplitudes(amps []complex128) *State {
-	n := 0
-	for (1 << uint(n)) < len(amps) {
-		n++
+	n := log2len(len(amps), "amplitude length")
+	s := alloc(n)
+	for i, a := range amps {
+		s.re[i] = real(a)
+		s.im[i] = imag(a)
 	}
-	if 1<<uint(n) != len(amps) || n == 0 {
-		panic("statevec: amplitude length must be a power of two >= 2")
-	}
-	s := &State{n: n, amps: make([]complex128, len(amps))}
-	copy(s.amps, amps)
 	return s
 }
 
-// Wrap adopts an existing amplitude slice without copying. It exists for
+// FromComponents adopts existing re/im planes without copying. It exists for
 // engines (e.g. internal/cluster's sharded simulator) that manage their own
-// amplitude storage but want to reuse this package's kernels. The slice
-// length must be a power of two.
-func Wrap(amps []complex128) *State {
+// amplitude storage but want to reuse this package's kernels. Both slices
+// must have the same power-of-two length.
+func FromComponents(re, im []float64) *State {
+	if len(re) != len(im) {
+		panic("statevec: FromComponents plane length mismatch")
+	}
+	n := log2len(len(re), "component length")
+	return &State{n: n, re: re, im: im}
+}
+
+func log2len(l int, what string) int {
 	n := 0
-	for (1 << uint(n)) < len(amps) {
+	for (1 << uint(n)) < l {
 		n++
 	}
-	if 1<<uint(n) != len(amps) || n == 0 {
-		panic("statevec: Wrap needs a power-of-two amplitude slice")
+	if 1<<uint(n) != l || n == 0 {
+		panic("statevec: " + what + " must be a power of two >= 2")
 	}
-	return &State{n: n, amps: amps}
+	return n
+}
+
+// View returns an aliasing sub-state over amplitudes [start, start+length):
+// mutations through the view mutate s. length must be a power of two >= 2.
+// Cluster mode uses views as zero-copy shard windows onto one backing state.
+func (s *State) View(start, length int) *State {
+	if start < 0 || length < 2 || start+length > len(s.re) {
+		panic(fmt.Sprintf("statevec: View [%d,+%d) out of range for dim %d", start, length, len(s.re)))
+	}
+	n := log2len(length, "View length")
+	return &State{n: n, re: s.re[start : start+length : start+length], im: s.im[start : start+length : start+length]}
 }
 
 // NumQubits returns n.
 func (s *State) NumQubits() int { return s.n }
 
 // Dim returns 2^n.
-func (s *State) Dim() int { return len(s.amps) }
+func (s *State) Dim() int { return len(s.re) }
 
-// Amplitudes exposes the underlying amplitude slice. Callers must treat it
-// as read-only; mutating it bypasses normalization bookkeeping.
-func (s *State) Amplitudes() []complex128 { return s.amps }
+// Components exposes the underlying re/im planes. Mutations write through
+// to the state; callers that mutate are responsible for renormalization.
+func (s *State) Components() (re, im []float64) { return s.re, s.im }
+
+// Amplitudes materializes the state as a fresh []complex128 snapshot. It is
+// an interleaving copy, not a view: mutating the returned slice does not
+// affect the state (use SetAmplitudes, Components, or the kernel methods to
+// mutate). Engines on hot paths should prefer Components.
+func (s *State) Amplitudes() []complex128 {
+	out := make([]complex128, len(s.re))
+	for i := range out {
+		out[i] = complex(s.re[i], s.im[i])
+	}
+	return out
+}
+
+// SetAmplitudes overwrites the state from an interleaved amplitude slice.
+// The length must equal Dim.
+func (s *State) SetAmplitudes(amps []complex128) {
+	if len(amps) != len(s.re) {
+		panic("statevec: SetAmplitudes length mismatch")
+	}
+	for i, a := range amps {
+		s.re[i] = real(a)
+		s.im[i] = imag(a)
+	}
+}
 
 // Amplitude returns amplitude i.
-func (s *State) Amplitude(i uint64) complex128 { return s.amps[i] }
+func (s *State) Amplitude(i uint64) complex128 { return complex(s.re[i], s.im[i]) }
 
-// Bytes returns the memory footprint of the amplitude array.
-func (s *State) Bytes() int { return len(s.amps) * 16 }
+// SetAmplitude overwrites amplitude i.
+func (s *State) SetAmplitude(i uint64, v complex128) {
+	s.re[i] = real(v)
+	s.im[i] = imag(v)
+}
+
+// ZeroAmplitudes clears every amplitude (the zero vector, not |0...0>).
+func (s *State) ZeroAmplitudes() {
+	clear(s.re)
+	clear(s.im)
+}
+
+// ResetZero rewinds the state to |0...0> without reallocating.
+func (s *State) ResetZero() {
+	s.ZeroAmplitudes()
+	s.re[0] = 1
+}
+
+// AddFrom accumulates src into s element-wise. Widths must match. Density-
+// matrix Kraus sums use it to accumulate branch states without materializing
+// interleaved copies.
+func (s *State) AddFrom(src *State) {
+	if s.n != src.n {
+		panic("statevec: AddFrom width mismatch")
+	}
+	for i := range s.re {
+		s.re[i] += src.re[i]
+	}
+	for i := range s.im {
+		s.im[i] += src.im[i]
+	}
+}
+
+// Bytes returns the memory footprint of the amplitude planes.
+func (s *State) Bytes() int { return len(s.re) * AmpBytes }
 
 // Clone returns a deep copy — the "state copy" whose cost TQSim profiles.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
-	copy(c.amps, s.amps)
+	c := alloc(s.n)
+	copy(c.re, s.re)
+	copy(c.im, s.im)
 	return c
 }
 
@@ -114,11 +222,19 @@ func (s *State) CopyFrom(src *State) {
 	if s.n != src.n {
 		panic("statevec: CopyFrom width mismatch")
 	}
-	copy(s.amps, src.amps)
+	copy(s.re, src.re)
+	copy(s.im, src.im)
 }
 
 // Norm returns the Euclidean norm of the state.
-func (s *State) Norm() float64 { return qmath.VecNorm(s.amps) }
+func (s *State) Norm() float64 {
+	var acc float64
+	re, im := s.re, s.im
+	for i := range re {
+		acc += re[i]*re[i] + im[i]*im[i]
+	}
+	return math.Sqrt(acc)
+}
 
 // Normalize rescales the state to unit norm. It panics on the zero vector.
 func (s *State) Normalize() {
@@ -126,9 +242,13 @@ func (s *State) Normalize() {
 	if nrm == 0 {
 		panic("statevec: cannot normalize zero state")
 	}
-	inv := complex(1/nrm, 0)
-	for i := range s.amps {
-		s.amps[i] *= inv
+	inv := 1 / nrm
+	re, im := s.re, s.im
+	for i := range re {
+		re[i] *= inv
+	}
+	for i := range im {
+		im[i] *= inv
 	}
 }
 
@@ -137,7 +257,15 @@ func (s *State) Inner(t *State) complex128 {
 	if s.n != t.n {
 		panic("statevec: Inner width mismatch")
 	}
-	return qmath.VecInner(s.amps, t.amps)
+	var accR, accI float64
+	ar, ai, br, bi := s.re, s.im, t.re, t.im
+	for i := range ar {
+		// conj(a) * b, mirroring complex128 multiplication term order.
+		nai := -ai[i]
+		accR += ar[i]*br[i] - nai*bi[i]
+		accI += ar[i]*bi[i] + nai*br[i]
+	}
+	return complex(accR, accI)
 }
 
 // FidelityWith returns |<s|t>|^2.
@@ -148,17 +276,17 @@ func (s *State) FidelityWith(t *State) float64 {
 
 // Probabilities returns the measurement distribution over basis states.
 func (s *State) Probabilities() []float64 {
-	p := make([]float64, len(s.amps))
-	for i, a := range s.amps {
-		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	p := make([]float64, len(s.re))
+	re, im := s.re, s.im
+	for i := range p {
+		p[i] = re[i]*re[i] + im[i]*im[i]
 	}
 	return p
 }
 
 // Prob returns the probability of basis outcome i.
 func (s *State) Prob(i uint64) float64 {
-	a := s.amps[i]
-	return real(a)*real(a) + imag(a)*imag(a)
+	return s.re[i]*s.re[i] + s.im[i]*s.im[i]
 }
 
 // Prob1 returns the marginal probability that qubit q measures 1. Noise
@@ -167,7 +295,7 @@ func (s *State) Prob(i uint64) float64 {
 // combined in deterministic chunk order (see parallelSum), so results are
 // reproducible across runs regardless of worker scheduling.
 func (s *State) Prob1(q int) float64 {
-	half := len(s.amps) / 2
+	half := len(s.re) / 2
 	if half < ParallelThreshold {
 		// Direct call on the serial path: damping channels invoke Prob1
 		// once per gate, so the parallel path's closure allocation is worth
@@ -180,17 +308,17 @@ func (s *State) Prob1(q int) float64 {
 }
 
 // prob1Range accumulates |amp|^2 over compressed qubit-q=1 subspace indices
-// [start, end), visiting amplitudes in ascending order (the summation order
-// is therefore independent of how the range is chunked only up to chunk
-// boundaries, which parallelSum pins deterministically).
+// [start, end), visiting amplitudes in ascending order. The inner loop is
+// unrolled 4-wide into a single accumulator (p += t0; p += t1; ...), which
+// keeps the summation order identical to the scalar loop — jump decisions in
+// the damping channels branch on this value, so its bits are pinned.
 func (s *State) prob1Range(q, start, end int) float64 {
 	mask := 1 << uint(q)
-	amps := s.amps
+	re, im := s.re, s.im
 	var p float64
 	if q == 0 {
 		for i := 2*start + 1; i < 2*end; i += 2 {
-			a := amps[i]
-			p += real(a)*real(a) + imag(a)*imag(a)
+			p += re[i]*re[i] + im[i]*im[i]
 		}
 		return p
 	}
@@ -201,8 +329,18 @@ func (s *State) prob1Range(q, start, end int) float64 {
 		if run > end-j {
 			run = end - j
 		}
-		for _, a := range amps[base+off : base+off+run] {
-			p += real(a)*real(a) + imag(a)*imag(a)
+		lo := base + off
+		rr := re[lo : lo+run]
+		ri := im[lo : lo+run : lo+run]
+		k := 0
+		for ; k+4 <= len(rr); k += 4 {
+			p += rr[k]*rr[k] + ri[k]*ri[k]
+			p += rr[k+1]*rr[k+1] + ri[k+1]*ri[k+1]
+			p += rr[k+2]*rr[k+2] + ri[k+2]*ri[k+2]
+			p += rr[k+3]*rr[k+3] + ri[k+3]*ri[k+3]
+		}
+		for ; k < len(rr); k++ {
+			p += rr[k]*rr[k] + ri[k]*ri[k]
 		}
 		j += run
 	}
@@ -214,13 +352,14 @@ func (s *State) prob1Range(q, start, end int) float64 {
 func (s *State) Sample(r *rng.RNG) uint64 {
 	target := r.Float64()
 	var acc float64
-	for i, a := range s.amps {
-		acc += real(a)*real(a) + imag(a)*imag(a)
+	re, im := s.re, s.im
+	for i := range re {
+		acc += re[i]*re[i] + im[i]*im[i]
 		if target < acc {
 			return uint64(i)
 		}
 	}
-	return uint64(len(s.amps) - 1)
+	return uint64(len(re) - 1)
 }
 
 // SampleMany draws k outcomes. For k large relative to the dimension it
@@ -234,10 +373,11 @@ func (s *State) SampleMany(k int, r *rng.RNG) []uint64 {
 		}
 		return out
 	}
-	cum := make([]float64, len(s.amps))
+	re, im := s.re, s.im
+	cum := make([]float64, len(re))
 	var acc float64
-	for i, a := range s.amps {
-		acc += real(a)*real(a) + imag(a)*imag(a)
+	for i := range re {
+		acc += re[i]*re[i] + im[i]*im[i]
 		cum[i] = acc
 	}
 	for i := range out {
@@ -287,24 +427,52 @@ func (s *State) ApplyX(t int) {
 	s.applyX(t)
 }
 
+// ApplyCPhase multiplies amplitudes with both the qubit-a and qubit-b bits
+// set by phase — the CZ/CP fast path, exported for the fusion backend's
+// single-gate flushes.
+func (s *State) ApplyCPhase(a, b int, phase complex128) {
+	if a == b || a < 0 || b < 0 || a >= s.n || b >= s.n {
+		panic(fmt.Sprintf("statevec: bad qubit pair (%d,%d)", a, b))
+	}
+	s.applyCPhase(a, b, phase)
+}
+
 // apply1q visits the dim/2 (i0, i0|2^t) amplitude pairs in ascending order.
 // Low targets iterate contiguous adjacent pairs; high targets iterate runs
-// of 2^t consecutive amplitudes per subslice pair, so the inner loop is
-// branch-free index-increment code the compiler can keep in registers.
+// of 2^t consecutive amplitudes per subslice pair. Matrices with no
+// imaginary part (H, RY, fused real products) dispatch to a real-plane
+// kernel that does half the arithmetic of the complex one.
 func (s *State) apply1q(t int, m00, m01, m10, m11 complex128) {
 	if t < 0 || t >= s.n {
 		panic(fmt.Sprintf("statevec: qubit %d out of range", t))
 	}
+	if imag(m00) == 0 && imag(m01) == 0 && imag(m10) == 0 && imag(m11) == 0 {
+		s.apply1qReal(t, real(m00), real(m01), real(m10), real(m11))
+		return
+	}
+	s.apply1qCplx(t, m00, m01, m10, m11)
+}
+
+// apply1qReal is the real-matrix 1q kernel: the re and im planes transform
+// independently (re' = M·re, im' = M·im), so each inner loop streams two
+// float64 arrays with four multiplies per element — half the flops of the
+// complex kernel, and the main lever behind the H-kernel throughput target.
+func (s *State) apply1qReal(t int, m00, m01, m10, m11 float64) {
 	mask := 1 << uint(t)
-	half := len(s.amps) / 2
-	amps := s.amps
+	half := len(s.re) / 2
+	re, im := s.re, s.im
 	switch {
 	case t == 0:
 		parallelFor(half, func(start, end int) {
 			for i := 2 * start; i < 2*end; i += 2 {
-				a0, a1 := amps[i], amps[i+1]
-				amps[i] = m00*a0 + m01*a1
-				amps[i+1] = m10*a0 + m11*a1
+				a0, a1 := re[i], re[i+1]
+				re[i] = m00*a0 + m01*a1
+				re[i+1] = m10*a0 + m11*a1
+			}
+			for i := 2 * start; i < 2*end; i += 2 {
+				a0, a1 := im[i], im[i+1]
+				im[i] = m00*a0 + m01*a1
+				im[i+1] = m10*a0 + m11*a1
 			}
 		})
 	case mask < minRunLen:
@@ -312,9 +480,12 @@ func (s *State) apply1q(t int, m00, m01, m10, m11 complex128) {
 			for i := start; i < end; i++ {
 				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
 				i1 := i0 | mask
-				a0, a1 := amps[i0], amps[i1]
-				amps[i0] = m00*a0 + m01*a1
-				amps[i1] = m10*a0 + m11*a1
+				a0, a1 := re[i0], re[i1]
+				re[i0] = m00*a0 + m01*a1
+				re[i1] = m10*a0 + m11*a1
+				b0, b1 := im[i0], im[i1]
+				im[i0] = m00*b0 + m01*b1
+				im[i1] = m10*b0 + m11*b1
 			}
 		})
 	default:
@@ -326,16 +497,138 @@ func (s *State) apply1q(t int, m00, m01, m10, m11 complex128) {
 				if run > end-j {
 					run = end - j
 				}
-				lo := amps[base+off : base+off+run]
-				hi := amps[base+off+mask : base+off+mask+run]
-				for k := range lo {
-					a0, a1 := lo[k], hi[k]
-					lo[k] = m00*a0 + m01*a1
-					hi[k] = m10*a0 + m11*a1
+				lo, hi := base+off, base+off+mask
+				mix1qRealRun(re[lo:lo+run], re[hi:hi+run], m00, m01, m10, m11)
+				mix1qRealRun(im[lo:lo+run], im[hi:hi+run], m00, m01, m10, m11)
+				j += run
+			}
+		})
+	}
+}
+
+// mix1qRealRun applies a real 2x2 to one plane's (lo, hi) streams, 4-wide
+// unrolled and branch-free. Elements are independent, so unrolling does not
+// change floating-point results.
+func mix1qRealRun(lo, hi []float64, m00, m01, m10, m11 float64) {
+	hi = hi[:len(lo)]
+	k := 0
+	for ; k+4 <= len(lo); k += 4 {
+		a0, b0 := lo[k], hi[k]
+		a1, b1 := lo[k+1], hi[k+1]
+		a2, b2 := lo[k+2], hi[k+2]
+		a3, b3 := lo[k+3], hi[k+3]
+		lo[k] = m00*a0 + m01*b0
+		hi[k] = m10*a0 + m11*b0
+		lo[k+1] = m00*a1 + m01*b1
+		hi[k+1] = m10*a1 + m11*b1
+		lo[k+2] = m00*a2 + m01*b2
+		hi[k+2] = m10*a2 + m11*b2
+		lo[k+3] = m00*a3 + m01*b3
+		hi[k+3] = m10*a3 + m11*b3
+	}
+	for ; k < len(lo); k++ {
+		a, b := lo[k], hi[k]
+		lo[k] = m00*a + m01*b
+		hi[k] = m10*a + m11*b
+	}
+}
+
+// apply1qCplx is the general complex 1q kernel. Each output component is
+// evaluated as (m0·a0) + (m1·a1) with complex products expanded term by
+// term, matching the complex128 arithmetic of the previous layout bit for
+// bit.
+func (s *State) apply1qCplx(t int, m00, m01, m10, m11 complex128) {
+	m00r, m00i := real(m00), imag(m00)
+	m01r, m01i := real(m01), imag(m01)
+	m10r, m10i := real(m10), imag(m10)
+	m11r, m11i := real(m11), imag(m11)
+	mask := 1 << uint(t)
+	half := len(s.re) / 2
+	re, im := s.re, s.im
+	mix := func(i0, i1 int) {
+		a0r, a0i := re[i0], im[i0]
+		a1r, a1i := re[i1], im[i1]
+		re[i0] = (m00r*a0r - m00i*a0i) + (m01r*a1r - m01i*a1i)
+		im[i0] = (m00r*a0i + m00i*a0r) + (m01r*a1i + m01i*a1r)
+		re[i1] = (m10r*a0r - m10i*a0i) + (m11r*a1r - m11i*a1i)
+		im[i1] = (m10r*a0i + m10i*a0r) + (m11r*a1i + m11i*a1r)
+	}
+	switch {
+	case t == 0:
+		parallelFor(half, func(start, end int) {
+			for i := 2 * start; i < 2*end; i += 2 {
+				mix(i, i+1)
+			}
+		})
+	case mask < minRunLen:
+		parallelFor(half, func(start, end int) {
+			for i := start; i < end; i++ {
+				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
+				mix(i0, i0|mask)
+			}
+		})
+	default:
+		parallelFor(half, func(start, end int) {
+			for j := start; j < end; {
+				off := j & (mask - 1)
+				base := (j >> uint(t)) << uint(t+1)
+				run := mask - off
+				if run > end-j {
+					run = end - j
+				}
+				lo, hi := base+off, base+off+mask
+				rlo := re[lo : lo+run : lo+run]
+				ilo := im[lo : lo+run : lo+run]
+				rhi := re[hi : hi+run : hi+run]
+				ihi := im[hi : hi+run : hi+run]
+				for k := range rlo {
+					a0r, a0i := rlo[k], ilo[k]
+					a1r, a1i := rhi[k], ihi[k]
+					rlo[k] = (m00r*a0r - m00i*a0i) + (m01r*a1r - m01i*a1i)
+					ilo[k] = (m00r*a0i + m00i*a0r) + (m01r*a1i + m01i*a1r)
+					rhi[k] = (m10r*a0r - m10i*a0i) + (m11r*a1r - m11i*a1i)
+					ihi[k] = (m10r*a0i + m10i*a0r) + (m11r*a1i + m11i*a1r)
 				}
 				j += run
 			}
 		})
+	}
+}
+
+// scaleRun multiplies one run of amplitudes by the complex scalar (dr, di),
+// 4-wide unrolled.
+func scaleRun(re, im []float64, dr, di float64) {
+	im = im[:len(re)]
+	k := 0
+	for ; k+4 <= len(re); k += 4 {
+		r0, i0 := re[k], im[k]
+		r1, i1 := re[k+1], im[k+1]
+		r2, i2 := re[k+2], im[k+2]
+		r3, i3 := re[k+3], im[k+3]
+		re[k] = r0*dr - i0*di
+		im[k] = r0*di + i0*dr
+		re[k+1] = r1*dr - i1*di
+		im[k+1] = r1*di + i1*dr
+		re[k+2] = r2*dr - i2*di
+		im[k+2] = r2*di + i2*dr
+		re[k+3] = r3*dr - i3*di
+		im[k+3] = r3*di + i3*dr
+	}
+	for ; k < len(re); k++ {
+		r, i := re[k], im[k]
+		re[k] = r*dr - i*di
+		im[k] = r*di + i*dr
+	}
+}
+
+// scaleRunReal multiplies one run by a real scalar: each plane scales
+// independently.
+func scaleRunReal(re, im []float64, d float64) {
+	for k := range re {
+		re[k] *= d
+	}
+	for k := range im {
+		im[k] *= d
 	}
 }
 
@@ -347,12 +640,23 @@ func (s *State) scaleHalf(t int, one bool, d complex128) {
 	if one {
 		sel = mask
 	}
-	half := len(s.amps) / 2
-	amps := s.amps
+	dr, di := real(d), imag(d)
+	realD := di == 0
+	half := len(s.re) / 2
+	re, im := s.re, s.im
 	if t == 0 {
 		parallelFor(half, func(start, end int) {
+			if realD {
+				for i := 2*start + sel; i < 2*end; i += 2 {
+					re[i] *= dr
+					im[i] *= dr
+				}
+				return
+			}
 			for i := 2*start + sel; i < 2*end; i += 2 {
-				amps[i] *= d
+				r, ii := re[i], im[i]
+				re[i] = r*dr - ii*di
+				im[i] = r*di + ii*dr
 			}
 		})
 		return
@@ -365,9 +669,11 @@ func (s *State) scaleHalf(t int, one bool, d complex128) {
 			if run > end-j {
 				run = end - j
 			}
-			seg := amps[base+off : base+off+run]
-			for k := range seg {
-				seg[k] *= d
+			lo := base + off
+			if realD {
+				scaleRunReal(re[lo:lo+run], im[lo:lo+run], dr)
+			} else {
+				scaleRun(re[lo:lo+run], im[lo:lo+run], dr, di)
 			}
 			j += run
 		}
@@ -389,13 +695,22 @@ func (s *State) applyDiag1q(t int, d0, d1 complex128) {
 		s.scaleHalf(t, false, d0)
 	case 1<<uint(t) < minRunLen:
 		mask := 1 << uint(t)
-		half := len(s.amps) / 2
-		amps := s.amps
+		d0r, d0i := real(d0), imag(d0)
+		d1r, d1i := real(d1), imag(d1)
+		half := len(s.re) / 2
+		re, im := s.re, s.im
+		scale2 := func(i0, i1 int) {
+			r0, i0v := re[i0], im[i0]
+			re[i0] = r0*d0r - i0v*d0i
+			im[i0] = r0*d0i + i0v*d0r
+			r1, i1v := re[i1], im[i1]
+			re[i1] = r1*d1r - i1v*d1i
+			im[i1] = r1*d1i + i1v*d1r
+		}
 		if t == 0 {
 			parallelFor(half, func(start, end int) {
 				for i := 2 * start; i < 2*end; i += 2 {
-					amps[i] *= d0
-					amps[i+1] *= d1
+					scale2(i, i+1)
 				}
 			})
 			return
@@ -403,16 +718,17 @@ func (s *State) applyDiag1q(t int, d0, d1 complex128) {
 		parallelFor(half, func(start, end int) {
 			for i := start; i < end; i++ {
 				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
-				amps[i0] *= d0
-				amps[i0|mask] *= d1
+				scale2(i0, i0|mask)
 			}
 		})
 	default:
 		// Both halves scaled, long runs: one fused pass with two sequential
 		// streams (2^t apart) so every cache line is loaded exactly once.
 		mask := 1 << uint(t)
-		half := len(s.amps) / 2
-		amps := s.amps
+		d0r, d0i := real(d0), imag(d0)
+		d1r, d1i := real(d1), imag(d1)
+		half := len(s.re) / 2
+		re, im := s.re, s.im
 		parallelFor(half, func(start, end int) {
 			for j := start; j < end; {
 				off := j & (mask - 1)
@@ -421,28 +737,41 @@ func (s *State) applyDiag1q(t int, d0, d1 complex128) {
 				if run > end-j {
 					run = end - j
 				}
-				lo := amps[base+off : base+off+run]
-				hi := amps[base+off+mask : base+off+mask+run]
-				for k := range lo {
-					lo[k] *= d0
-					hi[k] *= d1
-				}
+				lo, hi := base+off, base+off+mask
+				scaleRun(re[lo:lo+run], im[lo:lo+run], d0r, d0i)
+				scaleRun(re[hi:hi+run], im[hi:hi+run], d1r, d1i)
 				j += run
 			}
 		})
 	}
 }
 
+// swapRun exchanges two equal-length runs on one plane, 4-wide unrolled.
+func swapRun(a, b []float64) {
+	b = b[:len(a)]
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		a[k], b[k] = b[k], a[k]
+		a[k+1], b[k+1] = b[k+1], a[k+1]
+		a[k+2], b[k+2] = b[k+2], a[k+2]
+		a[k+3], b[k+3] = b[k+3], a[k+3]
+	}
+	for ; k < len(a); k++ {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
 // applyX swaps pair amplitudes — the Pauli-X fast path.
 func (s *State) applyX(t int) {
 	mask := 1 << uint(t)
-	half := len(s.amps) / 2
-	amps := s.amps
+	half := len(s.re) / 2
+	re, im := s.re, s.im
 	switch {
 	case t == 0:
 		parallelFor(half, func(start, end int) {
 			for i := 2 * start; i < 2*end; i += 2 {
-				amps[i], amps[i+1] = amps[i+1], amps[i]
+				re[i], re[i+1] = re[i+1], re[i]
+				im[i], im[i+1] = im[i+1], im[i]
 			}
 		})
 	case mask < minRunLen:
@@ -450,7 +779,8 @@ func (s *State) applyX(t int) {
 			for i := start; i < end; i++ {
 				i0 := (i>>uint(t))<<uint(t+1) | i&(mask-1)
 				i1 := i0 | mask
-				amps[i0], amps[i1] = amps[i1], amps[i0]
+				re[i0], re[i1] = re[i1], re[i0]
+				im[i0], im[i1] = im[i1], im[i0]
 			}
 		})
 	default:
@@ -462,11 +792,9 @@ func (s *State) applyX(t int) {
 				if run > end-j {
 					run = end - j
 				}
-				lo := amps[base+off : base+off+run]
-				hi := amps[base+off+mask : base+off+mask+run]
-				for k := range lo {
-					lo[k], hi[k] = hi[k], lo[k]
-				}
+				lo, hi := base+off, base+off+mask
+				swapRun(re[lo:lo+run], re[hi:hi+run])
+				swapRun(im[lo:lo+run], im[hi:hi+run])
 				j += run
 			}
 		})
@@ -492,15 +820,16 @@ func (s *State) applyCX(ctl, tgt int) {
 	cmask := 1 << uint(ctl)
 	tmask := 1 << uint(tgt)
 	lowMask, midMask := twoBitMasks(ctl, tgt)
-	quarter := len(s.amps) / 4
-	amps := s.amps
+	quarter := len(s.re) / 4
+	re, im := s.re, s.im
 	if lowMask+1 < minRunLen {
 		parallelFor(quarter, func(start, end int) {
 			for j := start; j < end; j++ {
 				base := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
 				i0 := base | cmask
 				i1 := i0 | tmask
-				amps[i0], amps[i1] = amps[i1], amps[i0]
+				re[i0], re[i1] = re[i1], re[i0]
+				im[i0], im[i1] = im[i1], im[i0]
 			}
 		})
 		return
@@ -515,11 +844,47 @@ func (s *State) applyCX(ctl, tgt int) {
 			if run > end-j {
 				run = end - j
 			}
-			s0 := amps[base : base+run]
-			s1 := amps[base+tmask : base+tmask+run]
-			for k := range s0 {
-				s0[k], s1[k] = s1[k], s0[k]
+			swapRun(re[base:base+run], re[base+tmask:base+tmask+run])
+			swapRun(im[base:base+run], im[base+tmask:base+tmask+run])
+			j += run
+		}
+	})
+}
+
+// applySwap exchanges qubits a and b: amplitudes whose (a,b) bits read 01
+// and 10 trade places, the 00 and 11 quarters are untouched. A pure
+// permutation — no arithmetic — enumerated over one quarter of the index
+// space like applyCX.
+func (s *State) applySwap(a, b int) {
+	amask := 1 << uint(a)
+	bmask := 1 << uint(b)
+	lowMask, midMask := twoBitMasks(a, b)
+	quarter := len(s.re) / 4
+	re, im := s.re, s.im
+	if lowMask+1 < minRunLen {
+		parallelFor(quarter, func(start, end int) {
+			for j := start; j < end; j++ {
+				base := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
+				i0 := base | amask
+				i1 := base | bmask
+				re[i0], re[i1] = re[i1], re[i0]
+				im[i0], im[i1] = im[i1], im[i0]
 			}
+		})
+		return
+	}
+	// Below the lower of the two qubits, compressed indices map to
+	// consecutive amplitudes: swap two contiguous streams per run.
+	parallelFor(quarter, func(start, end int) {
+		for j := start; j < end; {
+			off := j & lowMask
+			base := off | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
+			run := lowMask + 1 - off
+			if run > end-j {
+				run = end - j
+			}
+			swapRun(re[base+amask:base+amask+run], re[base+bmask:base+bmask+run])
+			swapRun(im[base+amask:base+amask+run], im[base+bmask:base+bmask+run])
 			j += run
 		}
 	})
@@ -530,13 +895,17 @@ func (s *State) applyCX(ctl, tgt int) {
 func (s *State) applyCPhase(a, b int, phase complex128) {
 	both := 1<<uint(a) | 1<<uint(b)
 	lowMask, midMask := twoBitMasks(a, b)
-	quarter := len(s.amps) / 4
-	amps := s.amps
+	pr, pi := real(phase), imag(phase)
+	realP := pi == 0
+	quarter := len(s.re) / 4
+	re, im := s.re, s.im
 	if lowMask+1 < minRunLen {
 		parallelFor(quarter, func(start, end int) {
 			for j := start; j < end; j++ {
 				i := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2 | both
-				amps[i] *= phase
+				r, ii := re[i], im[i]
+				re[i] = r*pr - ii*pi
+				im[i] = r*pi + ii*pr
 			}
 		})
 		return
@@ -549,11 +918,270 @@ func (s *State) applyCPhase(a, b int, phase complex128) {
 			if run > end-j {
 				run = end - j
 			}
-			seg := amps[base : base+run]
-			for k := range seg {
-				seg[k] *= phase
+			if realP {
+				scaleRunReal(re[base:base+run], im[base:base+run], pr)
+			} else {
+				scaleRun(re[base:base+run], im[base:base+run], pr, pi)
 			}
 			j += run
+		}
+	})
+}
+
+// ApplyPhaseRun applies a fused run of controlled-phase gates sharing one
+// anchor qubit in a single pass: amplitude i with the anchor bit set is
+// multiplied by the product of phases[k] over every k whose qubits[k] bit is
+// also set in i. This is the cache-blocked fusion path for QFT-style CP
+// chains — k diagonal gates for one sweep over the anchor half-space instead
+// of k quarter-space sweeps. Phases multiply in slice order, so a run of one
+// gate is bit-identical to ApplyCPhase(anchor, qubits[0], phases[0]).
+func (s *State) ApplyPhaseRun(anchor int, qubits []int, phases []complex128) {
+	if len(qubits) != len(phases) {
+		panic("statevec: ApplyPhaseRun qubits/phases length mismatch")
+	}
+	if len(qubits) == 0 {
+		return
+	}
+	if anchor < 0 || anchor >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range", anchor))
+	}
+	for _, q := range qubits {
+		if q < 0 || q >= s.n || q == anchor {
+			panic(fmt.Sprintf("statevec: bad phase-run qubit %d", q))
+		}
+	}
+	// Runs wider than the table bound split into chunks; each chunk is one
+	// pass, which still beats per-gate quarter-space sweeps. The bound also
+	// shrinks with the register so the 2^k table build stays a vanishing
+	// fraction of the 2^(n-1) sweep it serves.
+	const maxPhaseTableBits = 12
+	maxBits := maxPhaseTableBits
+	if nb := s.n - 8; nb < maxBits {
+		maxBits = nb
+	}
+	if maxBits < 1 {
+		maxBits = 1
+	}
+	if len(qubits) > maxBits {
+		for start := 0; start < len(qubits); start += maxBits {
+			end := start + maxBits
+			if end > len(qubits) {
+				end = len(qubits)
+			}
+			s.ApplyPhaseRun(anchor, qubits[start:end], phases[start:end])
+		}
+		return
+	}
+	// Product table over gate subsets: tr/ti[key] is the product of
+	// phases[j] over the set bits j of key, accumulated in ascending slice
+	// order (table[m] = table[m minus high bit] * phases[highBit]), so
+	// table[1<<j] == phases[j] exactly and the per-amplitude work drops to
+	// a key gather plus one complex multiply.
+	k := len(qubits)
+	tr := make([]float64, 1<<uint(k))
+	ti := make([]float64, 1<<uint(k))
+	tr[0] = 1
+	for m := 1; m < len(tr); m++ {
+		hb := bits.Len(uint(m)) - 1
+		rest := m &^ (1 << uint(hb))
+		pr, pi := real(phases[hb]), imag(phases[hb])
+		tr[m] = tr[rest]*pr - ti[rest]*pi
+		ti[m] = tr[rest]*pi + ti[rest]*pr
+	}
+	// Gate-qubit support ascending (anchor excluded — the sweep below only
+	// ever visits the anchor-set half, so the anchor never enters the key).
+	// A qubit can carry several gates of the run (the same pair repeated),
+	// so each position maps to a mask of product-table bits.
+	otherMask := make([]int, s.n)
+	for j, q := range qubits {
+		otherMask[q] |= 1 << uint(j)
+	}
+	others := make([]int, 0, k)
+	for q := 0; q < s.n; q++ {
+		if otherMask[q] != 0 {
+			others = append(others, q)
+		}
+	}
+	// Re-key the product table onto sorted support positions (folding
+	// duplicate-qubit bits once), so the sweep indexes a dense table whose
+	// bit j is support position j. Entry 0 is the exact identity.
+	ptr := make([]float64, 1<<uint(len(others)))
+	pti := make([]float64, len(ptr))
+	for m := range ptr {
+		key := 0
+		for slot, q := range others {
+			if m>>uint(slot)&1 == 1 {
+				key |= otherMask[q]
+			}
+		}
+		ptr[m], pti[m] = tr[key], ti[key]
+	}
+	// Two gratings partition the index space: aligned stretches of
+	// 2^anchor indices alternate anchor-clear (untouched) and anchor-set
+	// (scaled), and aligned blocks of 2^qmin indices each map to one table
+	// key (the support bits are constant across a block). The key walks
+	// with the block counter: an increment flips exactly the bit prefix
+	// [0, TrailingZeros(blk+1)], so the delta is a prefix-XOR of per-bit
+	// contributions — amortized O(1) per block instead of a k-bit gather
+	// per amplitude. One extra adv slot because the last increment flips
+	// the bit just past the counter (a no-op contribution).
+	qmin := others[0]
+	blockLen := 1 << uint(qmin)
+	amask := 1 << uint(anchor)
+	adv := make([]int, s.n-qmin+1)
+	for slot, q := range others {
+		for t := q - qmin; t < len(adv); t++ {
+			adv[t] ^= 1 << uint(slot)
+		}
+	}
+	gatherKey := func(blk int) int {
+		key := 0
+		for slot, q := range others {
+			key |= int(uint(blk)>>uint(q-qmin)&1) << uint(slot)
+		}
+		return key
+	}
+	re, im := s.re, s.im
+	if anchor < qmin {
+		// Blocks contain whole anchored stretches: per block, scale every
+		// other stretch of 2^anchor amplitudes with the block's phase.
+		nBlocks := len(re) >> uint(qmin)
+		parallelFor(nBlocks, func(start, end int) {
+			key := gatherKey(start)
+			for blk := start; blk < end; blk++ {
+				if key != 0 {
+					vr, vi := ptr[key], pti[key]
+					base := blk << uint(qmin)
+					for off := amask; off < blockLen; off += 2 * amask {
+						if amask < 16 {
+							// Short stretches: an inlined scale beats the
+							// call + reslice overhead of the run helpers.
+							for i := base + off; i < base+off+amask; i++ {
+								r, ii := re[i], im[i]
+								re[i] = r*vr - ii*vi
+								im[i] = r*vi + ii*vr
+							}
+						} else if vi == 0 {
+							scaleRunReal(re[base+off:base+off+amask], im[base+off:base+off+amask], vr)
+						} else {
+							scaleRun(re[base+off:base+off+amask], im[base+off:base+off+amask], vr, vi)
+						}
+					}
+				}
+				key ^= adv[bits.TrailingZeros(uint(blk+1))]
+			}
+		})
+		return
+	}
+	// Anchored stretches contain whole blocks (the QFT row shape: the
+	// anchor above its controls). Enumerate only the anchor-set half.
+	if qmin == 0 {
+		// One amplitude per block: the hottest shape (a gate qubit at bit
+		// 0 defeats blocking). Walk aligned windows of up to 256
+		// amplitudes: the window-base key re-gathers once per window and
+		// the low window bits' contribution comes from a LUT, so the
+		// inner loop is one load + XOR per amplitude with no carry chain.
+		wbits := 8
+		if anchor < wbits {
+			wbits = anchor
+		}
+		wlen := 1 << uint(wbits)
+		lowLUT := make([]int, wlen)
+		for d := 1; d < wlen; d++ {
+			t := bits.TrailingZeros(uint(d))
+			contrib := adv[t]
+			if t > 0 {
+				contrib ^= adv[t-1]
+			}
+			lowLUT[d] = lowLUT[d&(d-1)] ^ contrib
+		}
+		half := len(re) / 2
+		parallelFor(half, func(start, end int) {
+			for c := start; c < end; {
+				// Insert a set anchor bit to map the anchored-amp counter
+				// to its index; windows never cross a stretch boundary
+				// (wlen <= 2^anchor), so i advances with c inside one.
+				i := (c>>uint(anchor))<<uint(anchor+1) | c&(amask-1) | amask
+				wEnd := (c | (wlen - 1)) + 1
+				if wEnd > end {
+					wEnd = end
+				}
+				keyW := gatherKey(i &^ (wlen - 1))
+				for ; c < wEnd; c, i = c+1, i+1 {
+					key := keyW ^ lowLUT[i&(wlen-1)]
+					if key != 0 {
+						vr, vi := ptr[key], pti[key]
+						r, ii := re[i], im[i]
+						re[i] = r*vr - ii*vi
+						im[i] = r*vi + ii*vr
+					}
+				}
+			}
+		})
+		return
+	}
+	// qmin > 0: consecutive runs of sb = 2^(anchor-qmin) blocks; the key
+	// re-gathers at each stretch start (amortized over the stretch) and
+	// walks with the prefix-XOR advance inside it.
+	sb := amask >> uint(qmin)
+	lsb := uint(bits.TrailingZeros(uint(sb)))
+	anchoredBlocks := len(re) >> uint(qmin+1)
+	parallelFor(anchoredBlocks, func(start, end int) {
+		// j counts anchored blocks; the containing stretch is j>>lsb, and
+		// the global block index interleaves a set anchor bit above it.
+		gblk := func(j int) int {
+			return (j>>lsb)<<(lsb+1) | sb | j&(sb-1)
+		}
+		blk := gblk(start)
+		key := gatherKey(blk)
+		for j := start; j < end; j++ {
+			if key != 0 {
+				vr, vi := ptr[key], pti[key]
+				base := blk << uint(qmin)
+				if blockLen < 16 {
+					for i := base; i < base+blockLen; i++ {
+						r, ii := re[i], im[i]
+						re[i] = r*vr - ii*vi
+						im[i] = r*vi + ii*vr
+					}
+				} else if vi == 0 {
+					scaleRunReal(re[base:base+blockLen], im[base:base+blockLen], vr)
+				} else {
+					scaleRun(re[base:base+blockLen], im[base:base+blockLen], vr, vi)
+				}
+			}
+			if j&(sb-1) == sb-1 {
+				blk = gblk(j + 1)
+				key = gatherKey(blk)
+			} else {
+				blk++
+				key ^= adv[bits.TrailingZeros(uint(blk))]
+			}
+		}
+	})
+}
+
+// ApplyDiag2Q applies the diagonal 4x4 diag(d00, d01, d10, d11) to qubits
+// (q0, q1), q0 the low bit of the diagonal's basis index, in one pass.
+// Fused same-pair blocks whose product collapses to a diagonal (e.g. the
+// CX·RZ·CX ZZ-interaction pattern) route here instead of the dense kernel.
+func (s *State) ApplyDiag2Q(q0, q1 int, d00, d01, d10, d11 complex128) {
+	if q0 == q1 || q0 < 0 || q1 < 0 || q0 >= s.n || q1 >= s.n {
+		panic(fmt.Sprintf("statevec: bad qubit pair (%d,%d)", q0, q1))
+	}
+	dr := [4]float64{real(d00), real(d01), real(d10), real(d11)}
+	di := [4]float64{imag(d00), imag(d01), imag(d10), imag(d11)}
+	skip := [4]bool{d00 == 1, d01 == 1, d10 == 1, d11 == 1}
+	re, im := s.re, s.im
+	parallelFor(len(re), func(start, end int) {
+		for i := start; i < end; i++ {
+			sel := i>>uint(q0)&1 | (i>>uint(q1)&1)<<1
+			if skip[sel] {
+				continue
+			}
+			r, ii := re[i], im[i]
+			re[i] = r*dr[sel] - ii*di[sel]
+			im[i] = r*di[sel] + ii*dr[sel]
 		}
 	})
 }
@@ -567,27 +1195,55 @@ func (s *State) Apply2Q(q0, q1 int, m qmath.Matrix) {
 	if q0 == q1 || q0 < 0 || q1 < 0 || q0 >= s.n || q1 >= s.n {
 		panic(fmt.Sprintf("statevec: bad qubit pair (%d,%d)", q0, q1))
 	}
+	var mr, mi [16]float64
+	allReal := true
+	for i, v := range m.Data {
+		mr[i], mi[i] = real(v), imag(v)
+		if mi[i] != 0 {
+			allReal = false
+		}
+	}
 	m0 := 1 << uint(q0)
 	m1 := 1 << uint(q1)
 	// Iterate over indices with both bits clear by inserting two zero bits.
 	lowMask, midMask := twoBitMasks(q0, q1)
-	quarter := len(s.amps) / 4
-	amps := s.amps
-	md := m.Data
+	quarter := len(s.re) / 4
+	re, im := s.re, s.im
+	// mix transforms the four basis slots at absolute indices i00..i11,
+	// expanding each complex product term by term with the same ((t0+t1)+t2)+t3
+	// association as the complex128 kernel.
+	mix := func(i00, i01, i10, i11 int) {
+		a0r, a0i := re[i00], im[i00]
+		a1r, a1i := re[i01], im[i01]
+		a2r, a2i := re[i10], im[i10]
+		a3r, a3i := re[i11], im[i11]
+		re[i00] = ((mr[0]*a0r - mi[0]*a0i) + (mr[1]*a1r - mi[1]*a1i) + (mr[2]*a2r - mi[2]*a2i)) + (mr[3]*a3r - mi[3]*a3i)
+		im[i00] = ((mr[0]*a0i + mi[0]*a0r) + (mr[1]*a1i + mi[1]*a1r) + (mr[2]*a2i + mi[2]*a2r)) + (mr[3]*a3i + mi[3]*a3r)
+		re[i01] = ((mr[4]*a0r - mi[4]*a0i) + (mr[5]*a1r - mi[5]*a1i) + (mr[6]*a2r - mi[6]*a2i)) + (mr[7]*a3r - mi[7]*a3i)
+		im[i01] = ((mr[4]*a0i + mi[4]*a0r) + (mr[5]*a1i + mi[5]*a1r) + (mr[6]*a2i + mi[6]*a2r)) + (mr[7]*a3i + mi[7]*a3r)
+		re[i10] = ((mr[8]*a0r - mi[8]*a0i) + (mr[9]*a1r - mi[9]*a1i) + (mr[10]*a2r - mi[10]*a2i)) + (mr[11]*a3r - mi[11]*a3i)
+		im[i10] = ((mr[8]*a0i + mi[8]*a0r) + (mr[9]*a1i + mi[9]*a1r) + (mr[10]*a2i + mi[10]*a2r)) + (mr[11]*a3i + mi[11]*a3r)
+		re[i11] = ((mr[12]*a0r - mi[12]*a0i) + (mr[13]*a1r - mi[13]*a1i) + (mr[14]*a2r - mi[14]*a2i)) + (mr[15]*a3r - mi[15]*a3i)
+		im[i11] = ((mr[12]*a0i + mi[12]*a0r) + (mr[13]*a1i + mi[13]*a1r) + (mr[14]*a2i + mi[14]*a2r)) + (mr[15]*a3i + mi[15]*a3r)
+	}
+	mixReal := func(p []float64, i00, i01, i10, i11 int) {
+		a0, a1, a2, a3 := p[i00], p[i01], p[i10], p[i11]
+		p[i00] = ((mr[0]*a0 + mr[1]*a1) + mr[2]*a2) + mr[3]*a3
+		p[i01] = ((mr[4]*a0 + mr[5]*a1) + mr[6]*a2) + mr[7]*a3
+		p[i10] = ((mr[8]*a0 + mr[9]*a1) + mr[10]*a2) + mr[11]*a3
+		p[i11] = ((mr[12]*a0 + mr[13]*a1) + mr[14]*a2) + mr[15]*a3
+	}
 	if lowMask+1 < minRunLen {
 		// Low qubit too low for worthwhile runs: per-index bit expansion.
 		parallelFor(quarter, func(start, end int) {
 			for j := start; j < end; j++ {
 				base := j&lowMask | (j&midMask)<<1 | (j&^(lowMask|midMask))<<2
-				i00 := base
-				i01 := base | m0
-				i10 := base | m1
-				i11 := base | m0 | m1
-				a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
-				amps[i00] = md[0]*a00 + md[1]*a01 + md[2]*a10 + md[3]*a11
-				amps[i01] = md[4]*a00 + md[5]*a01 + md[6]*a10 + md[7]*a11
-				amps[i10] = md[8]*a00 + md[9]*a01 + md[10]*a10 + md[11]*a11
-				amps[i11] = md[12]*a00 + md[13]*a01 + md[14]*a10 + md[15]*a11
+				if allReal {
+					mixReal(re, base, base|m0, base|m1, base|m0|m1)
+					mixReal(im, base, base|m0, base|m1, base|m0|m1)
+					continue
+				}
+				mix(base, base|m0, base|m1, base|m0|m1)
 			}
 		})
 		return
@@ -603,16 +1259,17 @@ func (s *State) Apply2Q(q0, q1 int, m qmath.Matrix) {
 			if run > end-j {
 				run = end - j
 			}
-			s00 := amps[base : base+run]
-			s01 := amps[base+m0 : base+m0+run]
-			s10 := amps[base+m1 : base+m1+run]
-			s11 := amps[base+m0+m1 : base+m0+m1+run]
-			for k := range s00 {
-				a00, a01, a10, a11 := s00[k], s01[k], s10[k], s11[k]
-				s00[k] = md[0]*a00 + md[1]*a01 + md[2]*a10 + md[3]*a11
-				s01[k] = md[4]*a00 + md[5]*a01 + md[6]*a10 + md[7]*a11
-				s10[k] = md[8]*a00 + md[9]*a01 + md[10]*a10 + md[11]*a11
-				s11[k] = md[12]*a00 + md[13]*a01 + md[14]*a10 + md[15]*a11
+			if allReal {
+				for k := 0; k < run; k++ {
+					mixReal(re, base+k, base+m0+k, base+m1+k, base+m0+m1+k)
+				}
+				for k := 0; k < run; k++ {
+					mixReal(im, base+k, base+m0+k, base+m1+k, base+m0+m1+k)
+				}
+			} else {
+				for k := 0; k < run; k++ {
+					mix(base+k, base+m0+k, base+m1+k, base+m0+m1+k)
+				}
 			}
 			j += run
 		}
@@ -620,23 +1277,31 @@ func (s *State) Apply2Q(q0, q1 int, m qmath.Matrix) {
 }
 
 // Apply3Q applies the 8x8 matrix m to qubits (q0, q1, q2), q0 the low bit.
+// Unlike the previous serial scatter/gather implementation, the kernel is
+// parallel and, for high-enough low qubits, iterates eight contiguous
+// streams per run — so a fused 3-qubit block costs one cache-friendly pass
+// over the state.
 func (s *State) Apply3Q(q0, q1, q2 int, m qmath.Matrix) {
 	if m.N != 8 {
 		panic("statevec: Apply3Q needs an 8x8 matrix")
 	}
-	qs := []int{q0, q1, q2}
-	masks := make([]uint64, 3)
+	qs := [3]int{q0, q1, q2}
+	var masks [3]int
 	for i, q := range qs {
 		if q < 0 || q >= s.n {
 			panic(fmt.Sprintf("statevec: qubit %d out of range", q))
 		}
-		masks[i] = uint64(1) << uint(q)
+		masks[i] = 1 << uint(q)
 	}
-	eighth := len(s.amps) / 8
-	amps := s.amps
-	var idx [8]uint64
-	var vals [8]complex128
-	sorted := []int{q0, q1, q2}
+	var mr, mi [64]float64
+	allReal := true
+	for i, v := range m.Data {
+		mr[i], mi[i] = real(v), imag(v)
+		if mi[i] != 0 {
+			allReal = false
+		}
+	}
+	sorted := qs
 	if sorted[0] > sorted[1] {
 		sorted[0], sorted[1] = sorted[1], sorted[0]
 	}
@@ -646,33 +1311,97 @@ func (s *State) Apply3Q(q0, q1, q2 int, m qmath.Matrix) {
 	if sorted[0] > sorted[1] {
 		sorted[0], sorted[1] = sorted[1], sorted[0]
 	}
-	// Serial: 3-qubit gates are rare (CCX in arithmetic circuits) and the
-	// scatter/gather buffers above are not shareable across goroutines.
-	for i := 0; i < eighth; i++ {
-		base := insertZeroBits(uint64(i), sorted)
+	// Basis-slot offsets: bit k of the slot selects masks[k].
+	var offs [8]int
+	for b := 0; b < 8; b++ {
+		o := 0
+		if b&1 != 0 {
+			o |= masks[0]
+		}
+		if b&2 != 0 {
+			o |= masks[1]
+		}
+		if b&4 != 0 {
+			o |= masks[2]
+		}
+		offs[b] = o
+	}
+	eighth := len(s.re) / 8
+	re, im := s.re, s.im
+	// mixAt gathers the eight slot amplitudes at base, applies the 8x8, and
+	// scatters. Row sums accumulate left to right from zero, matching the
+	// previous complex128 loop's association.
+	mixAt := func(base int) {
+		var vr, vi [8]float64
 		for b := 0; b < 8; b++ {
-			off := base
-			if b&1 != 0 {
-				off |= masks[0]
-			}
-			if b&2 != 0 {
-				off |= masks[1]
-			}
-			if b&4 != 0 {
-				off |= masks[2]
-			}
-			idx[b] = off
-			vals[b] = amps[off]
+			vr[b] = re[base+offs[b]]
+			vi[b] = im[base+offs[b]]
 		}
 		for row := 0; row < 8; row++ {
-			var acc complex128
-			mrow := m.Data[row*8 : row*8+8]
+			var ar, ai float64
+			mrow := row * 8
 			for col := 0; col < 8; col++ {
-				acc += mrow[col] * vals[col]
+				ar += mr[mrow+col]*vr[col] - mi[mrow+col]*vi[col]
+				ai += mr[mrow+col]*vi[col] + mi[mrow+col]*vr[col]
 			}
-			amps[idx[row]] = acc
+			re[base+offs[row]] = ar
+			im[base+offs[row]] = ai
 		}
 	}
+	mixAtReal := func(base int) {
+		var vr, vi [8]float64
+		for b := 0; b < 8; b++ {
+			vr[b] = re[base+offs[b]]
+			vi[b] = im[base+offs[b]]
+		}
+		for row := 0; row < 8; row++ {
+			var ar, ai float64
+			mrow := row * 8
+			for col := 0; col < 8; col++ {
+				ar += mr[mrow+col] * vr[col]
+				ai += mr[mrow+col] * vi[col]
+			}
+			re[base+offs[row]] = ar
+			im[base+offs[row]] = ai
+		}
+	}
+	lowMask := 1<<uint(sorted[0]) - 1
+	sortedSlice := sorted[:]
+	if lowMask+1 < minRunLen {
+		parallelFor(eighth, func(start, end int) {
+			for j := start; j < end; j++ {
+				base := int(insertZeroBits(uint64(j), sortedSlice))
+				if allReal {
+					mixAtReal(base)
+				} else {
+					mixAt(base)
+				}
+			}
+		})
+		return
+	}
+	// Runs: compressed indices below the lowest qubit map to consecutive
+	// amplitudes, so the eight slots are eight contiguous streams per run.
+	parallelFor(eighth, func(start, end int) {
+		for j := start; j < end; {
+			off := j & lowMask
+			base := int(insertZeroBits(uint64(j-off), sortedSlice)) + off
+			run := lowMask + 1 - off
+			if run > end-j {
+				run = end - j
+			}
+			if allReal {
+				for k := 0; k < run; k++ {
+					mixAtReal(base + k)
+				}
+			} else {
+				for k := 0; k < run; k++ {
+					mixAt(base + k)
+				}
+			}
+			j += run
+		}
+	})
 }
 
 // insertZeroBits expands i by inserting zero bits at the (sorted ascending)
@@ -713,6 +1442,8 @@ func (s *State) Apply(g gate.Gate) {
 		s.applyCPhase(g.Qubits[0], g.Qubits[1], -1)
 	case gate.KindCP:
 		s.applyCPhase(g.Qubits[0], g.Qubits[1], cmplx.Exp(complex(0, g.Params[0])))
+	case gate.KindSWAP:
+		s.applySwap(g.Qubits[0], g.Qubits[1])
 	default:
 		switch g.Arity() {
 		case 1:
@@ -747,8 +1478,9 @@ func (s *State) Marginal(qubits []int) []float64 {
 		masks[i] = uint64(1) << uint(q)
 	}
 	out := make([]float64, 1<<uint(len(qubits)))
-	for i, a := range s.amps {
-		p := real(a)*real(a) + imag(a)*imag(a)
+	re, im := s.re, s.im
+	for i := range re {
+		p := re[i]*re[i] + im[i]*im[i]
 		if p == 0 {
 			continue
 		}

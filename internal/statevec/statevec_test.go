@@ -276,25 +276,26 @@ func TestCloneAndCopyFrom(t *testing.T) {
 	}
 }
 
-func TestWrapSharesStorage(t *testing.T) {
-	amps := []complex128{1, 0, 0, 0}
-	s := Wrap(amps)
+func TestFromComponentsSharesStorage(t *testing.T) {
+	re := []float64{1, 0, 0, 0}
+	im := []float64{0, 0, 0, 0}
+	s := FromComponents(re, im)
 	if s.NumQubits() != 2 {
 		t.Fatalf("wrapped width %d", s.NumQubits())
 	}
 	s.Apply(gate.New(gate.KindX, 0))
-	if amps[1] != 1 {
-		t.Fatal("Wrap copied instead of sharing")
+	if re[1] != 1 {
+		t.Fatal("FromComponents copied instead of sharing")
 	}
 }
 
-func TestWrapRejectsBadLength(t *testing.T) {
+func TestFromComponentsRejectsBadLength(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("non-power-of-two accepted")
 		}
 	}()
-	Wrap(make([]complex128, 3))
+	FromComponents(make([]float64, 3), make([]float64, 3))
 }
 
 func TestBasisState(t *testing.T) {
@@ -305,8 +306,7 @@ func TestBasisState(t *testing.T) {
 }
 
 func TestNormalizePanicsOnZero(t *testing.T) {
-	amps := make([]complex128, 4)
-	s := Wrap(amps)
+	s := FromComponents(make([]float64, 4), make([]float64, 4))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("normalizing zero state did not panic")

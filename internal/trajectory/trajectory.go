@@ -53,11 +53,10 @@ type Options struct {
 // runShot executes one trajectory into the provided scratch state and
 // returns the sampled (readout-perturbed) outcome and kernel-op count.
 func runShot(c *circuit.Circuit, m *noise.Model, st *statevec.State, r *rng.RNG) (uint64, int64) {
-	// Reset scratch to |0...0>. clear compiles to memclr — the element loop
-	// it replaces was measurable at 2^n elements once per shot.
-	amps := st.Amplitudes()
-	clear(amps)
-	amps[0] = 1
+	// Reset scratch to |0...0>. ResetZero clears the SoA planes via memclr —
+	// the element loop it replaces was measurable at 2^n elements once per
+	// shot.
+	st.ResetZero()
 	var ops int64
 	for _, g := range c.Gates {
 		if g.Kind != gate.KindI {
@@ -132,7 +131,7 @@ func Run(c *circuit.Circuit, m *noise.Model, shots int, opt Options) *Result {
 		res.GateApplications += p.ops
 		res.StateCopies += p.copies
 	}
-	res.PeakStateBytes = int64(workers) * (int64(16) << uint(c.NumQubits))
+	res.PeakStateBytes = int64(workers) * statevec.StateBytes(c.NumQubits)
 	res.Elapsed = time.Since(start)
 	return res
 }
