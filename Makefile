@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-kernels bench-sweep bench bench-trajectory bench-compare ci docs-lint docs-check
+.PHONY: build vet lint test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-kernels bench-sweep bench bench-trajectory bench-compare ci docs-lint docs-check
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Determinism & serve-invariant linter suite: six project-specific
+# analyzers (detrand seedderive maporder errdrop bodydrain atomicmix) over
+# every package, plus the godoc and markdown-link contracts. Exits non-zero
+# on any finding; see docs/static-analysis.md for the invariants and the
+# //lint:allow escape hatch.
+lint:
+	$(GO) run ./cmd/tqsimlint ./...
+
 # Godoc contract: every exported symbol of the public tqsim package carries
 # a doc comment (determinism guarantees included — see docs/).
+# (Also enforced as part of `make lint`; repolint remains as a thin alias.)
 docs-lint:
 	$(GO) run ./cmd/repolint -godoc .
 
@@ -103,7 +112,7 @@ bench:
 # and the saturation knee; write BENCH_$(PR).json and gate against the
 # highest-numbered committed BENCH_*.json with noise-tolerant thresholds
 # (exit 1 on regression). Bump PR per stacked change: make bench-trajectory PR=9
-PR ?= 8
+PR ?= 10
 bench-trajectory:
 	$(GO) run ./cmd/benchreport -pr $(PR) -check -against auto
 
@@ -116,4 +125,4 @@ B ?= $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
 bench-compare:
 	$(GO) run ./cmd/benchreport -diff $(A) $(B)
 
-ci: build vet docs-lint test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-sweep bench-trajectory docs-check
+ci: build vet lint test race test-distributed test-sweep test-chaos test-store test-loadgen fuzz-smoke bench-sweep bench-trajectory docs-check

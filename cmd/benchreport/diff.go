@@ -67,5 +67,7 @@ func printDiff(a, b *Bench) {
 		fmt.Fprintf(w, "knee (req/s)\t%.1f\t%.1f\t%s\n",
 			a.KneeRPS, b.KneeRPS, ratioCell(a.KneeRPS, b.KneeRPS))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: diff table: %v\n", err)
+	}
 }

@@ -139,7 +139,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", *out)
-	os.Stdout.Write(buf)
+	_, _ = os.Stdout.Write(buf)
 
 	if baseline != nil {
 		regs, notes := Compare(baseline, bench)

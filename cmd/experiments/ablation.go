@@ -59,7 +59,7 @@ func runAblation(cfg config) {
 		for _, pr := range res.Points {
 			// Equal-size samples before comparing fidelities: thin the
 			// tree's over-provisioned outcomes down to the baseline's count.
-			thinned := tqsim.SubsampleCounts(pr.Counts, shots, opt.Seed^0xab1a)
+			thinned := tqsim.SubsampleCounts(pr.Counts, shots, tqsim.SweepSeed(opt.Seed, 0xab1a))
 			f := tqsim.NormalizedFidelity(ideal, tqsim.CountsDist(thinned, c.NumQubits))
 			d := baseF - f
 			if d < 0 {

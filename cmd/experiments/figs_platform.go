@@ -105,7 +105,7 @@ func runFig18(cfg config) {
 				gamma := -math.Pi + 2*math.Pi*float64(i)/float64(gridN-1)
 				beta := -math.Pi + 2*math.Pi*float64(j)/float64(gridN-1)
 				c := workloads.QAOA(s.graph, []workloads.QAOAParams{{Gamma: gamma, Beta: beta}})
-				seed := cfg.seed + uint64(i*gridN+j)
+				seed := tqsim.SweepSeed(cfg.seed, 2*(i*gridN+j))
 				baseOpt := opt
 				baseOpt.Seed = seed
 				base, err := tqsim.RunBaselineBackend(c, m, shots, baseOpt)
@@ -116,7 +116,7 @@ func runFig18(cfg config) {
 				baseSec += base.Elapsed.Seconds()
 				baseLand = append(baseLand, workloads.QAOAExpectedCutCounts(s.graph, base.Counts))
 				runOpt := opt
-				runOpt.Seed = seed + 1
+				runOpt.Seed = tqsim.SweepSeed(cfg.seed, 2*(i*gridN+j)+1)
 				res, err := tqsim.RunTQSim(c, m, shots, runOpt)
 				if err != nil {
 					fmt.Printf("%-12s error: %v\n", s.name, err)

@@ -142,7 +142,7 @@ func runFig14(cfg config) {
 		var baseFs, tqFs []float64
 		for rep := 0; rep < reps; rep++ {
 			o := opt
-			o.Seed = cfg.seed + uint64(rep)*7919
+			o.Seed = tqsim.SweepSeed(cfg.seed, 7919+rep)
 			cmp, err := tqsim.Compare(b.Circuit, tqsim.SycamoreNoise(), shots, o)
 			if err != nil {
 				fmt.Printf("%-14s error: %v\n", b.Circuit.Name, err)
@@ -195,7 +195,7 @@ func runFig15(cfg config) {
 		var baseFs, tqFs []float64
 		for rep := 0; rep < reps; rep++ {
 			o := opt
-			o.Seed = cfg.seed + uint64(rep)*5701
+			o.Seed = tqsim.SweepSeed(cfg.seed, 5701+rep)
 			base, err := tqsim.RunBaselineBackend(c, m, shots, o)
 			if err != nil {
 				fmt.Printf("%-12s error: %v\n", name, err)
@@ -208,7 +208,7 @@ func runFig15(cfg config) {
 				fmt.Printf("%-12s error: %v\n", name, err)
 				break
 			}
-			thinned := tqsim.SubsampleCounts(res.Counts, shots, o.Seed^0xf16)
+			thinned := tqsim.SubsampleCounts(res.Counts, shots, tqsim.SweepSeed(o.Seed, 0xf16))
 			tqFs = append(tqFs, tqsim.NormalizedFidelity(ideal,
 				tqsim.CountsDist(thinned, c.NumQubits)))
 		}
@@ -250,16 +250,16 @@ func runFig16(cfg config) {
 		m := tqsim.NoiseByName(name)
 		var baseFs, tqFs []float64
 		for rep := 0; rep < reps; rep++ {
-			seed := cfg.seed + uint64(rep)*977
+			seed := tqsim.SweepSeed(cfg.seed, 977+2*rep)
 			base := tqsim.RunBaseline(c, m, shots, tqsim.Options{Seed: seed})
 			baseFs = append(baseFs, tqsim.NormalizedFidelity(ideal,
 				tqsim.CountsDist(base.Counts, c.NumQubits)))
-			res, err := tqsim.RunPlan(dcPlan, m, tqsim.Options{Seed: seed + 1})
+			res, err := tqsim.RunPlan(dcPlan, m, tqsim.Options{Seed: tqsim.SweepSeed(cfg.seed, 977+2*rep+1)})
 			if err != nil {
 				fmt.Printf("%-6s error: %v\n", name, err)
 				continue
 			}
-			thinned := tqsim.SubsampleCounts(res.Counts, shots, seed^0xf16)
+			thinned := tqsim.SubsampleCounts(res.Counts, shots, tqsim.SweepSeed(seed, 0xf16))
 			tqFs = append(tqFs, tqsim.NormalizedFidelity(ideal,
 				tqsim.CountsDist(thinned, c.NumQubits)))
 		}
@@ -302,7 +302,7 @@ func runFig17(cfg config) {
 	fmt.Printf("%-16s %9s %9s %10s\n", "Structure", "WorkSpd", "Outcomes", "FidDiff")
 	for _, s := range structures {
 		plan := tqsim.PlanStructure(c, s.arities)
-		res, err := tqsim.RunPlan(plan, m, tqsim.Options{Seed: cfg.seed + 7})
+		res, err := tqsim.RunPlan(plan, m, tqsim.Options{Seed: tqsim.SweepSeed(cfg.seed, 7)})
 		if err != nil {
 			fmt.Printf("%-16s error: %v\n", s.label, err)
 			continue

@@ -99,12 +99,17 @@ func main() {
 	for _, e := range experiments {
 		known[e.name] = true
 	}
+	unknown := make([]string, 0)
 	for name := range want {
 		if !known[name] {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n\n", name)
-			usage()
-			os.Exit(2)
+			unknown = append(unknown, name)
 		}
+	}
+	if len(unknown) > 0 {
+		slices.Sort(unknown) // deterministic pick regardless of map order
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n\n", unknown[0])
+		usage()
+		os.Exit(2)
 	}
 	for _, e := range experiments {
 		if !want[e.name] {

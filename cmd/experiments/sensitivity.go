@@ -77,7 +77,7 @@ func runSensitivity(cfg config) {
 				// over-provisions outcomes past the requested shots, and
 				// fidelity estimates carry a sample-size bias (the same
 				// thinning tqsim.Compare applies).
-				thinned := tqsim.SubsampleCounts(tp.Counts, shots, tp.Seed^0x5eed)
+				thinned := tqsim.SubsampleCounts(tp.Counts, shots, tqsim.SweepSeed(tp.Seed, 0x5eed))
 				tqF := tqsim.NormalizedFidelity(ideal, tqsim.CountsDist(thinned, c.NumQubits))
 				fd = append(fd, math.Abs(bp.Fidelity-tqF))
 			}
@@ -109,7 +109,7 @@ func runOracle(cfg config) {
 			continue
 		}
 		sv := tqsim.RunBaseline(c, tqsim.DepolarizingNoise(p1, p2), shots,
-			tqsim.Options{Seed: cfg.seed + 1, Parallelism: 8})
+			tqsim.Options{Seed: tqsim.SweepSeed(cfg.seed, 1), Parallelism: 8})
 		a := metrics.FromCounts(stab, 1<<uint(w))
 		b := metrics.FromCounts(sv.Counts, 1<<uint(w))
 		fmt.Printf("%-10s %6d %8.4f\n", c.Name, c.Len(), metrics.TVD(a, b))

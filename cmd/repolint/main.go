@@ -1,28 +1,24 @@
-// Command repolint enforces the repository's documentation contracts in CI:
+// Command repolint is a thin back-compat alias over the documentation
+// checks that now live in internal/analysis and run as part of
+// cmd/tqsimlint (the repository's single lint gate, `make lint`):
 //
 //	repolint -godoc [pkgdir ...]   every exported symbol in the packages has
-//	                               a doc comment (make ci runs it on the
-//	                               public tqsim package)
+//	                               a doc comment
 //	repolint -links [root]         every relative link in the repo's
 //	                               markdown files resolves to an existing
-//	                               file or directory (make docs-check)
+//	                               file or directory
 //
-// Exit status is nonzero when any check fails; findings are printed one per
-// line as file:position: message, so editors and CI annotations can jump to
-// them.
+// Exit status is nonzero when any check fails; findings are printed one
+// per line as file:position: [check] message, so editors and CI
+// annotations can jump to them. Prefer `tqsimlint` for new wiring.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"regexp"
-	"strings"
+
+	"tqsim/internal/analysis"
 )
 
 func main() {
@@ -35,14 +31,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: repolint -godoc [pkgdir ...] | -links [root]")
 		os.Exit(2)
 	}
-	failures := 0
+	var diags []analysis.Diagnostic
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(1)
+	}
 	if *godoc {
 		dirs := flag.Args()
 		if len(dirs) == 0 {
 			dirs = []string{"."}
 		}
 		for _, dir := range dirs {
-			failures += checkGodoc(dir)
+			got, err := analysis.CheckGodoc(dir)
+			if err != nil {
+				fail(err)
+			}
+			diags = append(diags, got...)
 		}
 	}
 	if *links {
@@ -50,138 +54,17 @@ func main() {
 		if flag.NArg() > 0 {
 			root = flag.Arg(0)
 		}
-		failures += checkLinks(root)
+		got, err := analysis.CheckLinks(root)
+		if err != nil {
+			fail(err)
+		}
+		diags = append(diags, got...)
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", failures)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
-}
-
-// checkGodoc reports every exported top-level symbol in the package
-// directory that lacks a doc comment. Grouped const/var/type declarations
-// count as documented when the group has a doc comment.
-func checkGodoc(dir string) int {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
-		return 1
-	}
-	bad := 0
-	report := func(pos token.Pos, kind, name string) {
-		fmt.Printf("%s: exported %s %s has no doc comment\n", fset.Position(pos), kind, name)
-		bad++
-	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
-						report(d.Pos(), "function", d.Name.Name)
-					}
-				case *ast.GenDecl:
-					if d.Doc != nil {
-						continue // group comment covers every spec
-					}
-					for _, spec := range d.Specs {
-						switch sp := spec.(type) {
-						case *ast.TypeSpec:
-							if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
-								report(sp.Pos(), "type", sp.Name.Name)
-							}
-						case *ast.ValueSpec:
-							for _, name := range sp.Names {
-								if name.IsExported() && sp.Doc == nil && sp.Comment == nil {
-									report(sp.Pos(), "value", name.Name)
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return bad
-}
-
-// exportedRecv reports whether a function is package-level or a method on
-// an exported receiver type — unexported receivers keep their methods out
-// of godoc, so they are exempt.
-func exportedRecv(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
-	}
-	t := d.Recv.List[0].Type
-	for {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.IndexExpr: // generic receiver
-			t = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return true
-		}
-	}
-}
-
-// mdLink matches inline markdown links and images: [text](target).
-var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
-
-// checkLinks walks the tree for markdown files and verifies every relative
-// link target exists. External schemes and pure anchors are skipped;
-// fragments are stripped before the existence check.
-func checkLinks(root string) int {
-	bad := 0
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == ".git" || name == "testdata" || name == "node_modules" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(d.Name(), ".md") {
-			return nil
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		for i, line := range strings.Split(string(src), "\n") {
-			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
-				target := m[1]
-				if strings.Contains(target, "://") ||
-					strings.HasPrefix(target, "mailto:") ||
-					strings.HasPrefix(target, "#") {
-					continue
-				}
-				if idx := strings.IndexByte(target, '#'); idx >= 0 {
-					target = target[:idx]
-				}
-				if target == "" {
-					continue
-				}
-				resolved := filepath.Join(filepath.Dir(path), target)
-				if _, err := os.Stat(resolved); err != nil {
-					fmt.Printf("%s:%d: broken link %q (%s does not exist)\n",
-						path, i+1, m[1], resolved)
-					bad++
-				}
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
-		return bad + 1
-	}
-	return bad
 }

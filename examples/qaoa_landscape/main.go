@@ -36,12 +36,12 @@ func main() {
 			c := tqsim.QAOACircuit(g, []tqsim.QAOAParams{{Gamma: gamma, Beta: beta}})
 
 			o := opt
-			o.Seed = seed + uint64(i*grid+j)
+			o.Seed = tqsim.SweepSeed(seed, 2*(i*grid+j))
 			base := tqsim.RunBaseline(c, noise, shots, o)
 			baseSec += base.Elapsed.Seconds()
 			baseLand[i][j] = tqsim.ExpectedCut(g, base.Counts)
 
-			o.Seed++
+			o.Seed = tqsim.SweepSeed(seed, 2*(i*grid+j)+1)
 			res, err := tqsim.RunTQSim(c, noise, shots, o)
 			if err != nil {
 				log.Fatal(err)

@@ -1,0 +1,138 @@
+// Package analysistest runs tqsimlint analyzers over fixture packages and
+// checks their findings against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// A fixture is a directory under testdata/src/<name> holding one package.
+// Every line that must produce a finding carries a comment of the form
+//
+//	code() // want "regexp"
+//
+// where the quoted pattern must match the diagnostic's message (backquoted
+// strings work too). The harness fails the test when a finding has no
+// matching want on its line, or a want goes unmatched — so each fixture
+// proves both that the analyzer fires on the bug shape and that it stays
+// silent on the compliant shapes around it.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"tqsim/internal/analysis"
+)
+
+// loader is shared across the test binary: the source importer caches
+// type-checked dependencies (net/http, encoding/json, ...) so only the
+// first fixture pays the stdlib type-checking cost.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+func sharedLoader() *analysis.Loader {
+	loaderOnce.Do(func() { loader = analysis.NewLoader() })
+	return loader
+}
+
+// wantRe matches one expectation: want "pattern" or want `pattern`.
+var wantRe = regexp.MustCompile("want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one // want pattern awaiting a finding.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to the current package
+// directory, executes the analyzer, and diffs findings against the
+// fixture's // want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	l := sharedLoader()
+	pkgs, err := l.LoadDir(dir, "tqsimlint/fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s contains no Go files", fixture)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing want annotations: %v", err)
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want annotations; every fixture must prove at least one failing case", fixture)
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected finding: %s", fixture, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected finding matching %q, got none",
+				fixture, w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the finding's line whose
+// pattern matches the message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != line || w.file != file {
+			continue
+		}
+		if w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans every fixture file for // want annotations.
+func parseWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				text := m[1]
+				if text == "" {
+					text = m[2]
+				}
+				pat, err := regexp.Compile(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", path, i+1, text, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, pattern: pat})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tqsim/internal/analysis"
+	"tqsim/internal/analysis/analysistest"
+)
+
+// Each fixture contains at least one failing case per analyzer —
+// including a reproduction of every historical bug shape from CHANGES.md
+// (the PR 5 stream-header emit drop, the PR 7 hash-collision map range,
+// the PR 5 undrained stalling handler) — plus the compliant shapes the
+// analyzer must stay silent on and one //lint:allow escape-hatch case.
+
+func TestDetRandFixture(t *testing.T) {
+	analysistest.Run(t, analysis.DetRand, "detrand")
+}
+
+func TestDetRandSeedFixture(t *testing.T) {
+	analysistest.Run(t, analysis.DetRand, "detrandseed")
+}
+
+func TestSeedDeriveFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SeedDerive, "seedderive")
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop, "errdrop")
+}
+
+func TestBodyDrainFixture(t *testing.T) {
+	analysistest.Run(t, analysis.BodyDrain, "bodydrain")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix")
+}
+
+// TestAnalyzersRegistered pins the suite: all six invariants stay wired
+// into the multichecker.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"detrand", "seedderive", "maporder", "errdrop", "bodydrain", "atomicmix"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q must carry a Doc and a Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags struct fields (and package-level variables) that are
+// accessed both through sync/atomic calls and through plain loads or
+// stores in the same package. A plain read of a field that is atomically
+// written elsewhere is a data race the race detector only catches when
+// the interleaving happens in a test run; the linter catches the pattern
+// unconditionally. Latency-histogram buckets and fleet-membership
+// counters are exactly this risk surface: hot-path increments are
+// atomic, and a "harmless" plain read in a snapshot or merge path
+// reintroduces the race. The fix is to route every access through
+// sync/atomic (or the typed atomic.Uint64 family, which makes mixing
+// impossible); deliberate pre-publication initialization can carry
+// //lint:allow atomicmix. Composite-literal initialization is exempt —
+// the value is unpublished while being built.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed via sync/atomic must never also be accessed with plain " +
+		"loads/stores; route every access through atomics",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: every &x.f (or &v) handed to a sync/atomic function marks
+	// the object atomic and its node sanctioned.
+	atomicObjs := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, isUnary := arg.(*ast.UnaryExpr)
+				if !isUnary {
+					continue
+				}
+				if obj := addressedObject(pass.Info, unary.X); obj != nil {
+					atomicObjs[obj] = true
+					sanctioned[unary.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	// Pass 2: any other access to those objects is a plain (racy) access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false // the &x.f argument of the atomic call itself
+			}
+			if lit, isLit := n.(*ast.CompositeLit); isLit {
+				for _, elt := range lit.Elts {
+					if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+						sanctioned[kv.Key] = true // initialization before publication
+					}
+				}
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pass.Info.Uses[x.Sel]
+				if obj != nil && atomicObjs[obj] && !sanctioned[x] {
+					pass.Reportf(x.Pos(),
+						"plain access to %s, which is accessed atomically elsewhere in this package; use sync/atomic for every access",
+						x.Sel.Name)
+					return false
+				}
+			case *ast.Ident:
+				obj := pass.Info.Uses[x]
+				if obj != nil && atomicObjs[obj] && !sanctioned[x] {
+					pass.Reportf(x.Pos(),
+						"plain access to %s, which is accessed atomically elsewhere in this package; use sync/atomic for every access",
+						x.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call resolves to a sync/atomic
+// package-level function (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	path, name, isPkgFn := pkgFunc(info, call)
+	if !isPkgFn || path != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedObject resolves &expr to the field or variable object being
+// addressed: a struct field selection or a plain identifier.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, isSel := info.Selections[x]; isSel && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.Ident:
+		if obj, isVar := info.Uses[x].(*types.Var); isVar {
+			return obj
+		}
+	}
+	return nil
+}

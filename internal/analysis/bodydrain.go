@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BodyDrain flags HTTP handlers that return without consuming the
+// request body. net/http only detects a client disconnect — and cancels
+// the request context — once the body has been read, so a handler that
+// stalls or replies without touching r.Body silently breaks context
+// cancellation and connection reuse. This is the lease-timeout footgun:
+// a test worker that parked on r.Context().Done() without draining first
+// could never observe the coordinator hanging up.
+//
+// The check applies to the serve and faultinject packages and to every
+// _test.go file (where stub workers live). A handler passes when it
+// references r.Body (decode, drain, close), or hands the request on to
+// another function (delegation is assumed to consume it). Handlers that
+// ignore the request entirely — including a blank _ parameter — are
+// flagged; genuinely body-less endpoints can annotate with
+// //lint:allow bodydrain.
+var BodyDrain = &Analyzer{
+	Name: "bodydrain",
+	Doc: "HTTP handlers must drain r.Body (or delegate the request) before returning; " +
+		"an unread body suppresses client-disconnect context cancellation",
+	Run: runBodyDrain,
+}
+
+func runBodyDrain(pass *Pass) error {
+	pkgScoped := map[string]bool{"serve": true, "faultinject": true}[basePkgName(pass.Pkg.Name())]
+	for _, file := range pass.Files {
+		inScope := pkgScoped ||
+			strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		if !inScope {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			reqIdent, isHandler := handlerRequestParam(pass.Info, ftype)
+			if !isHandler {
+				return true
+			}
+			if reqIdent.Name == "_" {
+				pass.Reportf(ftype.Pos(),
+					"handler ignores *http.Request; name it and drain r.Body (io.Copy(io.Discard, r.Body)) before returning")
+				return true
+			}
+			obj := pass.Info.Defs[reqIdent]
+			if obj == nil {
+				return true
+			}
+			if !consumesRequest(pass.Info, body, obj) {
+				pass.Reportf(ftype.Pos(),
+					"handler returns without draining %s.Body; drain it or pass the request on", reqIdent.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// handlerRequestParam matches the (http.ResponseWriter, *http.Request)
+// signature and returns the request parameter's identifier.
+func handlerRequestParam(info *types.Info, ftype *ast.FuncType) (*ast.Ident, bool) {
+	params := ftype.Params
+	if params == nil {
+		return nil, false
+	}
+	var idents []*ast.Ident
+	var typs []types.Type
+	for _, field := range params.List {
+		tv, found := info.Types[field.Type]
+		if !found {
+			return nil, false
+		}
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{ast.NewIdent("_")}
+		}
+		for _, name := range names {
+			idents = append(idents, name)
+			typs = append(typs, tv.Type)
+		}
+	}
+	if len(typs) != 2 {
+		return nil, false
+	}
+	if !isNamedType(typs[0], "net/http", "ResponseWriter") {
+		return nil, false
+	}
+	ptr, isPtr := typs[1].(*types.Pointer)
+	if !isPtr || !isNamedType(ptr.Elem(), "net/http", "Request") {
+		return nil, false
+	}
+	return idents[1], true
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// consumesRequest reports whether the handler body references the request
+// object's Body or passes the request value onward as a call argument.
+func consumesRequest(info *types.Info, body *ast.BlockStmt, req types.Object) bool {
+	consumed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Body" && exprIsObject(info, x.X, req) {
+				consumed = true
+				return false
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if exprIsObject(info, arg, req) {
+					consumed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return consumed
+}
+
+// exprIsObject reports whether e denotes exactly the given object,
+// looking through parentheses and unary &.
+func exprIsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x] == obj
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// simPackages names the packages whose every random draw must be
+// reproducible: a simulation result is a pure function of (circuit, noise,
+// seed), so these packages may only consume randomness through
+// internal/rng streams.
+var simPackages = map[string]bool{
+	"statevec":   true,
+	"core":       true,
+	"noise":      true,
+	"stabilizer": true,
+	"sweep":      true,
+	"trajectory": true,
+	"densmat":    true,
+	"fusion":     true,
+	"cluster":    true,
+}
+
+// DetRand forbids nondeterministic randomness sources on simulation
+// paths: math/rand (global state, process-lifetime seeding) anywhere in a
+// simulation package, and wall-clock-derived seeds anywhere in the repo.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand in simulation packages and time-derived seeds anywhere: " +
+		"every draw must come from a deterministic internal/rng stream keyed by the job seed",
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	sim := simPackages[basePkgName(pass.Pkg.Name())]
+	for _, file := range pass.Files {
+		if sim {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(),
+						"%s is banned in simulation packages; draw from internal/rng streams keyed by the job seed", path)
+				}
+			}
+		}
+		walkWithParents(file, func(n ast.Node, parents []ast.Node) {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall || !isTimeNowUnix(pass.Info, call) {
+				return
+			}
+			switch {
+			case sim:
+				pass.Reportf(call.Pos(),
+					"wall-clock value in a simulation package; results must be a pure function of (circuit, noise, seed)")
+			case usedAsSeed(pass.Info, parents):
+				pass.Reportf(call.Pos(),
+					"time-derived seed; seeds must be explicit inputs so runs can be replayed byte-identically")
+			}
+		})
+	}
+	return nil
+}
+
+// isTimeNowUnix matches time.Now().UnixNano() / time.Now().Unix() /
+// time.Now().UnixMicro() / time.Now().UnixMilli().
+func isTimeNowUnix(info *types.Info, call *ast.CallExpr) bool {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || !strings.HasPrefix(sel.Sel.Name, "Unix") {
+		return false
+	}
+	inner, isCall := sel.X.(*ast.CallExpr)
+	if !isCall {
+		return false
+	}
+	innerSel, isSel := inner.Fun.(*ast.SelectorExpr)
+	if !isSel || innerSel.Sel.Name != "Now" {
+		return false
+	}
+	obj, found := info.Uses[innerSel.Sel]
+	if !found {
+		return false
+	}
+	fn, isFunc := obj.(*types.Func)
+	return isFunc && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}
+
+// usedAsSeed reports whether the expression whose parent chain is given
+// flows into a seed: converted to uint64, passed to a callee whose name
+// mentions "seed", or assigned to a seed-named variable or field.
+func usedAsSeed(info *types.Info, parents []ast.Node) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			// A conversion to uint64 (the repo's seed type) or a call to a
+			// seed-shaped function.
+			if tv, found := info.Types[p.Fun]; found && tv.IsType() {
+				if basic, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && basic.Kind() == types.Uint64 {
+					return true
+				}
+				continue
+			}
+			if name := calleeName(p); strings.Contains(strings.ToLower(name), "seed") {
+				return true
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if nameContainsSeed(lhs) {
+					return true
+				}
+			}
+			return false
+		case *ast.KeyValueExpr:
+			return nameContainsSeed(p.Key)
+		case *ast.BinaryExpr, *ast.UnaryExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// calleeName returns the called function's short name, "" if unresolvable.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// nameContainsSeed reports whether an identifier or selector is
+// seed-named.
+func nameContainsSeed(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "seed")
+	}
+	return false
+}
+
+// walkWithParents traverses the AST keeping the chain of enclosing nodes;
+// parents[len-1] is the immediate parent of n.
+func walkWithParents(root ast.Node, fn func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tqsim/internal/analysis"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckGodocFlagsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+func unexported() {}
+`)
+	diags, err := analysis.CheckGodoc(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "Undocumented") || diags[0].Analyzer != "godoc" {
+		t.Fatalf("wrong finding: %v", diags[0])
+	}
+}
+
+func TestCheckLinksFlagsBrokenRelativeLinks(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "real.md", "# target\n")
+	writeFile(t, dir, "doc.md",
+		"[ok](real.md) [external](https://example.com) [anchor](#x)\n[broken](missing.md)\n")
+	diags, err := analysis.CheckLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "links" || d.Pos.Line != 2 || !strings.Contains(d.Message, "missing.md") {
+		t.Fatalf("wrong finding: %v", d)
+	}
+}

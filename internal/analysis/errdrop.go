@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDrop flags discarded errors from stream-emit calls. A dropped
+// Encode/Write/Flush error on a response path is the header-emit bug
+// class: the server keeps computing batches into a connection that is
+// already gone, books the job as completed, and the client sees a
+// truncated stream with no error. Two forms are flagged:
+//
+//   - a bare expression statement (enc.Encode(v), w.Flush()) whose
+//     callee's final result is an error — the drop is invisible;
+//   - an all-blank assignment of an Encode or Flush result
+//     (_ = enc.Encode(v)) — explicit, but stream emits must abort, so
+//     even the explicit form needs a handler or a //lint:allow with a
+//     reason.
+//
+// Receivers documented to never fail (hash.Hash, bytes.Buffer,
+// strings.Builder) are exempt, as are deferred calls.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "stream-emit errors (Encode/Write/Flush) must be handled or explicitly " +
+		"annotated; a silent drop keeps serving into a dead connection",
+	Run: runErrDrop,
+}
+
+// emitMethods are the names treated as stream emits when the signature's
+// final result is an error.
+var emitMethods = map[string]bool{
+	"Encode": true, "EncodeToken": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Flush": true,
+}
+
+// mustHandleMethods must have their error consumed even when the drop is
+// explicit: Encode and Flush are the NDJSON stream-emit calls.
+var mustHandleMethods = map[string]bool{"Encode": true, "Flush": true}
+
+func runErrDrop(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, isCall := stmt.X.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if recv, name, drop := droppedEmit(pass.Info, call, emitMethods); drop {
+					pass.Reportf(stmt.Pos(),
+						"%s.%s error silently discarded; handle it (stream emits must abort) or assign it away explicitly",
+						types.TypeString(recv, types.RelativeTo(pass.Pkg)), name)
+				}
+			case *ast.AssignStmt:
+				if stmt.Tok != token.ASSIGN || len(stmt.Rhs) != 1 || !allBlank(stmt.Lhs) {
+					return true
+				}
+				call, isCall := stmt.Rhs[0].(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if recv, name, drop := droppedEmit(pass.Info, call, mustHandleMethods); drop {
+					pass.Reportf(stmt.Pos(),
+						"%s.%s error discarded with _; a failed stream emit must abort the response (or carry a //lint:allow errdrop reason)",
+						types.TypeString(recv, types.RelativeTo(pass.Pkg)), name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// droppedEmit reports whether the call is a fallible stream emit from the
+// given method set on a receiver that can actually fail.
+func droppedEmit(info *types.Info, call *ast.CallExpr, methods map[string]bool) (recv types.Type, name string, drop bool) {
+	recv, name, sig, isMethod := methodCall(info, call)
+	if !isMethod || !methods[name] || !lastResultIsError(sig) {
+		return nil, "", false
+	}
+	if implementsHash(recv) || isInfallibleBuffer(recv) {
+		return nil, "", false
+	}
+	return recv, name, true
+}
+
+// isInfallibleBuffer matches in-memory writers whose Write-family methods
+// are documented to always return a nil error.
+func isInfallibleBuffer(t types.Type) bool {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "bytes" && name == "Buffer") || (pkg == "strings" && name == "Builder")
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, isIdent := e.(*ast.Ident)
+		if !isIdent || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

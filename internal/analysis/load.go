@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: a directory's package
+// (including its in-package _test.go files) or, separately, the
+// directory's external foo_test package.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// ImportPath is the module-relative import path of the unit; the
+	// external test unit carries a "_test" suffix.
+	ImportPath string
+	// Fset is the file set shared by every unit of one Loader.
+	Fset *token.FileSet
+	// Files are the parsed sources of this unit, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the unit's type facts.
+	Info *types.Info
+}
+
+// Loader parses and type-checks package units using only the standard
+// library: imports (both standard-library and module-internal) resolve
+// through go/importer's source importer, so loading works offline with no
+// compiled export data and no third-party dependency.
+type Loader struct {
+	// Fset is shared across every unit the loader produces.
+	Fset *token.FileSet
+	// TypeErrors collects non-fatal type-checking problems; analyzers
+	// still run on partially checked units, so one broken file degrades
+	// rather than disables the sweep.
+	TypeErrors []error
+
+	imp types.Importer
+}
+
+// NewLoader constructs a loader. Cgo is disabled on the default build
+// context so packages with pure-Go fallbacks (net, os/user) type-check
+// from source everywhere.
+func NewLoader() *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir loads the package units in one directory: the package itself
+// (with in-package test files) and, when present, the external _test
+// package. Directories with no Go files return no units and no error.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, e.Name()), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// Split into check units by package clause: in-package files (and
+	// their _test.go siblings) check together; an external foo_test
+	// package is its own unit.
+	byName := map[string][]*ast.File{}
+	var names []string
+	for _, f := range files {
+		name := f.Name.Name
+		if _, seen := byName[name]; !seen {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], f)
+	}
+	sort.Strings(names)
+	var pkgs []*Package
+	for _, name := range names {
+		unit := byName[name]
+		path := importPath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{
+			Importer: l.imp,
+			Error:    func(err error) { l.TypeErrors = append(l.TypeErrors, err) },
+		}
+		pkg, _ := conf.Check(path, l.Fset, unit, info)
+		pkgs = append(pkgs, &Package{
+			Dir:        dir,
+			ImportPath: path,
+			Fset:       l.Fset,
+			Files:      unit,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadTree loads every package unit under root, skipping .git, testdata
+// and hidden directories. importPrefix is the module path mapped to root.
+func (l *Loader) LoadTree(root, importPrefix string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := importPrefix
+		if rel != "." {
+			importPath = importPrefix + "/" + filepath.ToSlash(rel)
+		}
+		units, err := l.LoadDir(path, importPath)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, units...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot walks upward from dir to the directory containing go.mod and
+// returns it with the declared module path.
+func ModuleRoot(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` loops over maps whose body feeds an
+// order-sensitive sink: a hash or io.Writer, a stream encoder, fmt
+// output, or a non-commutative accumulator (string concatenation,
+// floating-point summation). Go randomizes map iteration order per run,
+// so such a loop produces different bytes on every execution — the exact
+// shape of the circuitHash collision class, where digest input order
+// must be canonical for content-addressed replay to be sound. Writing
+// into another map, counting, or integer summation is commutative and is
+// not flagged; the idiomatic fix is to collect and sort the keys first.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "a range over a map must not write into a hash, stream encoder or other " +
+		"order-sensitive sink; map iteration order is randomized per run",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, isRange := n.(*ast.RangeStmt)
+			if !isRange {
+				return true
+			}
+			tv, found := pass.Info.Types[rs.X]
+			if !found || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, what := findOrderSink(pass.Info, rs.Body, rangeKeyObject(pass.Info, rs)); sink != nil {
+				pass.Reportf(rs.Pos(),
+					"range over a map %s (line %d); iteration order is randomized — sort the keys first",
+					what, pass.Fset.Position(sink.Pos()).Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findOrderSink scans a range body for the first order-sensitive write
+// and describes it. Nested function literals are included: they run (or
+// capture state) per iteration.
+func findOrderSink(info *types.Info, body *ast.BlockStmt, keyObj types.Object) (sink ast.Node, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if recv, name, _, isMethod := methodCall(info, x); isMethod {
+				switch name {
+				case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+					if implementsWriter(recv) || implementsHash(recv) {
+						sink, what = x, "writes into a hash/io.Writer"
+						return false
+					}
+				case "Encode", "EncodeToken":
+					sink, what = x, "encodes onto a stream"
+					return false
+				}
+				return true
+			}
+			if path, name, isPkgFn := pkgFunc(info, x); isPkgFn && path == "fmt" &&
+				(name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+				sink, what = x, "prints to a writer"
+				return false
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isOrderSensitiveAccum(info, x.Lhs[0]) {
+				// Accumulating into a slot selected by the range key
+				// (p[k] += v) touches a distinct cell per iteration — the
+				// result is a set of independent sums, order-insensitive.
+				if ix, isIndex := x.Lhs[0].(*ast.IndexExpr); isIndex &&
+					keyObj != nil && exprUsesObject(info, ix.Index, keyObj) {
+					return true
+				}
+				sink, what = x, "accumulates into an order-sensitive value (string/float +=)"
+				return false
+			}
+		}
+		return true
+	})
+	return sink, what
+}
+
+// rangeKeyObject resolves the object bound to the range statement's key
+// variable, or nil when the key is blank or absent.
+func rangeKeyObject(info *types.Info, rs *ast.RangeStmt) types.Object {
+	id, isIdent := rs.Key.(*ast.Ident)
+	if !isIdent || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj // for k := range m
+	}
+	return info.Uses[id] // for k = range m
+}
+
+// exprUsesObject reports whether any identifier inside e resolves to obj.
+func exprUsesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isOrderSensitiveAccum reports whether += on this operand depends on
+// iteration order: string concatenation always, floating-point summation
+// because rounding is not associative. Integer summation is commutative
+// and exact, so it is exempt.
+func isOrderSensitiveAccum(info *types.Info, e ast.Expr) bool {
+	tv, found := info.Types[e]
+	if !found || tv.Type == nil {
+		return false
+	}
+	basic, isBasic := tv.Type.Underlying().(*types.Basic)
+	if !isBasic {
+		return false
+	}
+	return basic.Info()&(types.IsString|types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedDerive enforces the one shared seed-derivation rule: child seeds
+// come from rng.SeedAt(seed, index), never from arithmetic on the seed
+// value. Ad-hoc derivations (seed+i, seed^0xabc, seed*7919) were how
+// batch seeds and sweep seeds diverged before rng.SeedAt became
+// canonical: two layers deriving "the seed for unit i" differently makes
+// the same request produce different histograms depending on which layer
+// ran it. internal/rng itself is exempt — it implements the derivation.
+var SeedDerive = &Analyzer{
+	Name: "seedderive",
+	Doc: "derived seeds must flow through rng.SeedAt(seed, index); " +
+		"arithmetic on a seed value (seed+i, seed^const) forks the stream ad hoc",
+	Run: runSeedDerive,
+}
+
+// seedArithOps are the operators that constitute an ad-hoc derivation
+// when applied to a seed. Comparisons are fine.
+var seedArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.XOR: true, token.OR: true, token.AND: true,
+	token.AND_NOT: true, token.SHL: true, token.SHR: true,
+}
+
+// seedAssignOps are the compound-assignment forms of seedArithOps.
+var seedAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.XOR_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+}
+
+const seedDeriveFix = "derive child seeds with rng.SeedAt(seed, index) instead"
+
+func runSeedDerive(pass *Pass) error {
+	if basePkgName(pass.Pkg.Name()) == "rng" {
+		return nil // the package that implements the derivation
+	}
+	for _, file := range pass.Files {
+		// A for-loop post statement over a seed variable enumerates
+		// distinct base seeds (for seed := 1; seed <= 8; seed++) — that is
+		// iteration, not child-stream derivation. ast.Inspect visits the
+		// ForStmt before its children, so the set fills in time.
+		forPosts := map[ast.Stmt]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if f, isFor := n.(*ast.ForStmt); isFor && f.Post != nil {
+				forPosts[f.Post] = true
+			}
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if !seedArithOps[x.Op] || !isIntExpr(pass.Info, x) {
+					return true
+				}
+				if seedOperand(x.X) || seedOperand(x.Y) {
+					pass.Reportf(x.Pos(), "arithmetic on a seed (%s); %s", x.Op, seedDeriveFix)
+				}
+			case *ast.AssignStmt:
+				if !seedAssignOps[x.Tok] || len(x.Lhs) != 1 || forPosts[x] {
+					return true
+				}
+				if seedOperand(x.Lhs[0]) && isIntExpr(pass.Info, x.Lhs[0]) {
+					pass.Reportf(x.Pos(), "in-place arithmetic on a seed (%s); %s", x.Tok, seedDeriveFix)
+				}
+			case *ast.IncDecStmt:
+				if !forPosts[x] && seedOperand(x.X) && isIntExpr(pass.Info, x.X) {
+					pass.Reportf(x.Pos(), "in-place arithmetic on a seed (%s); %s", x.Tok, seedDeriveFix)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedOperand reports whether the expression denotes a seed value: an
+// identifier, selector or index expression whose name mentions "seed",
+// looked at through parentheses and type conversions.
+func seedOperand(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// A single-argument call is unwrapped as a potential
+			// conversion (uint64(seed)); anything else breaks the chain.
+			if len(x.Args) != 1 {
+				return false
+			}
+			if id, isIdent := x.Fun.(*ast.Ident); isIdent && id.Name == "len" {
+				return false // len(seeds) is a count, not a seed
+			}
+			e = x.Args[0]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return strings.Contains(strings.ToLower(x.Name), "seed")
+		case *ast.SelectorExpr:
+			return strings.Contains(strings.ToLower(x.Sel.Name), "seed")
+		default:
+			return false
+		}
+	}
+}
+
+// isIntExpr reports whether the expression type-checks to an integer:
+// seed streams are integers, so float and string arithmetic never counts.
+func isIntExpr(info *types.Info, e ast.Expr) bool {
+	tv, found := info.Types[e]
+	if !found || tv.Type == nil {
+		return false
+	}
+	basic, isBasic := tv.Type.Underlying().(*types.Basic)
+	return isBasic && basic.Info()&types.IsInteger != 0
+}

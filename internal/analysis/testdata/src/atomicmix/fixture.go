@@ -1,0 +1,55 @@
+// Fixture for the atomicmix analyzer: a field accessed through
+// sync/atomic anywhere in the package must never also see plain loads or
+// stores — that is a data race the race detector only catches when a
+// test happens to interleave it. Histogram buckets and membership
+// counters are the repo's risk surface for this shape.
+package fixture
+
+import "sync/atomic"
+
+type hist struct {
+	count   uint64
+	dropped uint64
+	name    string
+}
+
+// record is the hot path: atomic increments.
+func record(h *hist) {
+	atomic.AddUint64(&h.count, 1)
+}
+
+// badSnapshot reads the atomically written counter with a plain load.
+func badSnapshot(h *hist) uint64 {
+	return h.count // want `plain access to count`
+}
+
+// badReset stores over the atomically written counter plainly.
+func badReset(h *hist) {
+	h.count = 0 // want `plain access to count`
+}
+
+// goodSnapshot routes every access through sync/atomic.
+func goodSnapshot(h *hist) uint64 {
+	return atomic.LoadUint64(&h.count)
+}
+
+// goodPlainField never touches the counter family: plain access to a
+// plain field is fine.
+func goodPlainField(h *hist) string {
+	h.dropped = 0 // dropped is never accessed atomically
+	return h.name
+}
+
+// goodInit builds an unpublished value: composite-literal initialization
+// is exempt.
+func goodInit() *hist {
+	return &hist{count: 0, name: "fresh"}
+}
+
+// allowedPrePublish shows the escape hatch for deliberate
+// pre-publication initialization.
+func allowedPrePublish() *hist {
+	h := new(hist)
+	h.count = 1 //lint:allow atomicmix -- fixture: proves the escape hatch
+	return h
+}

@@ -1,0 +1,71 @@
+// Fixture for the bodydrain analyzer. The package is named serve so the
+// check applies to non-test files. badStallingLease reproduces the PR 5
+// lease-timeout footgun: a handler that parks on the request context
+// without consuming the body never observes the client hanging up,
+// because net/http only cancels r.Context() once the body is read.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// badStallingLease is the historical stalled-worker shape: waits for
+// cancellation that can never arrive.
+func badStallingLease(w http.ResponseWriter, r *http.Request) { // want `returns without draining`
+	<-r.Context().Done()
+	w.WriteHeader(http.StatusServiceUnavailable)
+}
+
+// badIgnoresRequest replies without ever consuming the request.
+func badIgnoresRequest(w http.ResponseWriter, _ *http.Request) { // want `handler ignores \*http.Request`
+	w.WriteHeader(http.StatusOK)
+}
+
+// badOnlyURL routes on the URL but leaves the body unread.
+func badOnlyURL(w http.ResponseWriter, r *http.Request) { // want `returns without draining`
+	if r.URL.Path == "/v1/thing" {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// badLiteral flags handler literals too.
+var badLiteral = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { // want `returns without draining`
+	w.WriteHeader(http.StatusTeapot)
+})
+
+// goodDrains consumes the body explicitly before stalling.
+func goodDrains(w http.ResponseWriter, r *http.Request) {
+	_, _ = io.Copy(io.Discard, r.Body)
+	<-r.Context().Done()
+	w.WriteHeader(http.StatusServiceUnavailable)
+}
+
+// goodDecodes consumes the body by decoding it.
+func goodDecodes(w http.ResponseWriter, r *http.Request) {
+	var v struct{}
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// goodDelegates hands the request on; the delegate owns the drain.
+type goodDelegates struct{ inner http.Handler }
+
+// ServeHTTP forwards every request to the wrapped handler.
+func (g *goodDelegates) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.inner.ServeHTTP(w, r)
+}
+
+// allowedNoBody shows the escape hatch for a genuinely body-less
+// endpoint.
+//
+//lint:allow bodydrain -- fixture: proves the escape hatch
+func allowedNoBody(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}

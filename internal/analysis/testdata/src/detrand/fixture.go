@@ -1,0 +1,37 @@
+// Fixture for the detrand analyzer. The package is named statevec so it
+// counts as a simulation package: math/rand and wall-clock values are
+// banned outright here, and time-derived seeds are banned everywhere.
+package statevec
+
+import (
+	"math/rand" // want `math/rand is banned in simulation packages`
+	"time"
+)
+
+// badGlobalRand draws from the process-global generator: irreproducible.
+func badGlobalRand() int {
+	return rand.Int()
+}
+
+// badWallClockSeed seeds from the clock inside a simulation package.
+func badWallClockSeed() uint64 {
+	return uint64(time.Now().UnixNano()) // want `wall-clock value in a simulation package`
+}
+
+// goodExplicitSeed threads a caller-provided seed: reproducible.
+func goodExplicitSeed(seed uint64) uint64 {
+	return seed
+}
+
+// goodProfiling measures elapsed wall time without touching any seed:
+// timing instrumentation stays legal in simulation packages.
+func goodProfiling() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// allowedWallClock shows the auditable escape hatch.
+func allowedWallClock() uint64 {
+	//lint:allow detrand -- fixture: proves the escape hatch suppresses
+	return uint64(time.Now().UnixNano())
+}

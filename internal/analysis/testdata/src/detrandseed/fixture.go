@@ -1,0 +1,33 @@
+// Fixture for detrand's repo-wide rule: outside simulation packages the
+// clock is fine for timing, but never as a seed — a time-derived seed
+// makes the run impossible to replay.
+package loadtool
+
+import "time"
+
+type options struct {
+	Seed uint64
+}
+
+// badSeedFromClock converts the clock into the repo's uint64 seed type.
+func badSeedFromClock() uint64 {
+	return uint64(time.Now().UnixNano()) // want `time-derived seed`
+}
+
+// badSeedField assigns the clock to a seed-named field.
+func badSeedField(o *options) {
+	o.Seed = uint64(time.Now().UnixNano()) // want `time-derived seed`
+}
+
+// goodElapsed uses the clock for what it is for.
+func goodElapsed() int64 {
+	start := time.Now()
+	return time.Since(start).Nanoseconds()
+}
+
+// goodTimestamp records a non-seed timestamp; Unix values that do not
+// flow into seeds are legal outside simulation packages.
+func goodTimestamp() (ts int64) {
+	ts = time.Now().Unix()
+	return ts
+}

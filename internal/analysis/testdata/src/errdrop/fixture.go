@@ -1,0 +1,83 @@
+// Fixture for the errdrop analyzer: discarded stream-emit errors.
+// badStreamHeader reproduces the PR 5 runStreaming bug shape — the NDJSON
+// plan-header emit error was dropped, so a client that disconnected
+// before the first byte still had every batch computed into a dead
+// connection.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+type header struct {
+	Batches int
+}
+
+// badStreamHeader drops the header-emit error and keeps going: the
+// historical header-emit bug.
+func badStreamHeader(w io.Writer, batches []int) {
+	enc := json.NewEncoder(w)
+	enc.Encode(&header{Batches: len(batches)}) // want `error silently discarded`
+	for range batches {
+		_ = enc.Encode(struct{}{}) // want `error discarded with _`
+	}
+}
+
+// badFlush drops a buffered-writer flush error: bytes written so far may
+// never reach the underlying stream.
+func badFlush(bw *bufio.Writer) {
+	bw.Flush() // want `error silently discarded`
+}
+
+// badWrite drops a write result entirely.
+func badWrite(w io.Writer, b []byte) {
+	w.Write(b) // want `error silently discarded`
+}
+
+// goodStreamHeader is the post-fix shape: a failed header emit aborts
+// before any batch runs.
+func goodStreamHeader(w io.Writer, batches []int) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&header{Batches: len(batches)}); err != nil {
+		return err
+	}
+	for range batches {
+		if err := enc.Encode(struct{}{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodExplicitWrite may discard a write result visibly: unlike Encode and
+// Flush, a deliberate `_, _ =` on Write is legal because the drop is in
+// the reader's face.
+func goodExplicitWrite(w io.Writer, b []byte) {
+	_, _ = w.Write(b)
+}
+
+// goodInfallible writes to receivers documented never to fail: hashes and
+// in-memory buffers.
+func goodInfallible(buf *bytes.Buffer, sb *strings.Builder, b []byte) {
+	h := sha256.New()
+	h.Write(b)
+	buf.Write(b)
+	sb.WriteString("x")
+}
+
+// goodDeferredFlush defers the flush: deferred emits are a terminal
+// best-effort by construction.
+func goodDeferredFlush(bw *bufio.Writer) {
+	defer bw.Flush()
+}
+
+// allowedEncode shows the escape hatch for a terminal response write
+// where nothing can be done about a failure.
+func allowedEncode(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v) //lint:allow errdrop -- fixture: proves the escape hatch
+}

@@ -1,0 +1,113 @@
+// Fixture for the maporder analyzer: a range over a map must never feed
+// an order-sensitive sink, because Go randomizes map iteration order per
+// run. badDigest reproduces the circuitHash bug class: hashing map
+// entries in iteration order makes the same logical content produce a
+// different digest on every run, which breaks content-addressed replay.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// badDigest is the historical hash-collision shape: map entries written
+// into a digest in random iteration order.
+func badDigest(counts map[uint64]int) [32]byte {
+	h := sha256.New()
+	for k, v := range counts { // want `range over a map writes into a hash`
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], k)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(v))
+		h.Write(buf[:])
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// badStream emits one NDJSON line per map entry: the wire order changes
+// every run.
+func badStream(w io.Writer, points map[string]float64) {
+	enc := json.NewEncoder(w)
+	for name, v := range points { // want `range over a map encodes onto a stream`
+		_ = enc.Encode(map[string]any{"name": name, "v": v})
+	}
+}
+
+// badPrint writes formatted entries straight to a writer.
+func badPrint(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over a map prints to a writer`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// badAccumulate concatenates strings and sums floats: neither is
+// commutative, so the result depends on iteration order.
+func badAccumulate(m map[string]float64) (string, float64) {
+	var keys string
+	var total float64
+	for k := range m { // want `order-sensitive value`
+		keys += k
+	}
+	for _, v := range m { // want `order-sensitive value`
+		total += v
+	}
+	return keys, total
+}
+
+// goodSortedDigest is the idiomatic fix: collect, sort, then hash.
+func goodSortedDigest(counts map[uint64]int) [32]byte {
+	keys := make([]uint64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := sha256.New()
+	for _, k := range keys {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], k)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(counts[k]))
+		h.Write(buf[:])
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// goodCommutative sums integers and rebuilds maps: both are
+// order-insensitive.
+func goodCommutative(m map[string]int) (int, map[string]int) {
+	total := 0
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		total += v
+		out[k] = v
+	}
+	return total, out
+}
+
+// goodPerSlot accumulates into a distinct slot per key: each iteration
+// touches its own cell, so the result is order-insensitive even though
+// the element type is float.
+func goodPerSlot(counts map[int]int, inv float64) []float64 {
+	p := make([]float64, 8)
+	for k, c := range counts {
+		if k < len(p) {
+			p[k] += float64(c) * inv
+		}
+	}
+	return p
+}
+
+// allowedStream shows the escape hatch for a sink that is genuinely
+// order-insensitive downstream.
+func allowedStream(w io.Writer, m map[string]int) {
+	//lint:allow maporder -- fixture: proves the escape hatch
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,73 @@
+// Fixture for the seedderive analyzer: derived seeds must flow through
+// rng.SeedAt. Ad-hoc arithmetic (seed+i, seed^const) is how batch and
+// sweep seed derivations diverged before SeedAt became canonical.
+package fixture
+
+import "tqsim/internal/rng"
+
+type opts struct {
+	Seed uint64
+	seed uint64
+}
+
+// badOffsets reproduces the pre-SeedAt derivations.
+func badOffsets(seed uint64, i int) []uint64 {
+	out := []uint64{
+		seed + uint64(i),       // want `arithmetic on a seed`
+		seed ^ 0xc11f,          // want `arithmetic on a seed`
+		seed * 7919,            // want `arithmetic on a seed`
+		1 + seed,               // want `arithmetic on a seed`
+		uint64(int(seed) + 42), // want `arithmetic on a seed`
+	}
+	return out
+}
+
+// badFieldArith derives from seed-named fields and elements.
+func badFieldArith(o opts, seeds []uint64, i int) uint64 {
+	a := o.Seed + 7     // want `arithmetic on a seed`
+	b := o.seed ^ 0xf16 // want `arithmetic on a seed`
+	c := seeds[i] + 1   // want `arithmetic on a seed`
+	return a + b + c
+}
+
+// badInPlace mutates a seed in place.
+func badInPlace(o *opts) {
+	o.Seed++        // want `in-place arithmetic on a seed`
+	o.Seed += 3     // want `in-place arithmetic on a seed`
+	o.seed ^= 0xabc // want `in-place arithmetic on a seed`
+}
+
+// goodSeedAt is the canonical derivation: every child stream is keyed by
+// (base seed, index) through the one shared rule.
+func goodSeedAt(seed uint64, i int) uint64 {
+	return rng.SeedAt(seed, uint64(i))
+}
+
+// goodIndexArith does arithmetic on the index, not the seed — SeedAt
+// consumes indices, so offsetting them is fine.
+func goodIndexArith(seed uint64, i int) uint64 {
+	return rng.SeedAt(seed, 1000+uint64(i))
+}
+
+// goodEnumeration iterates distinct base seeds: a for-loop post statement
+// is enumeration, not child-stream derivation.
+func goodEnumeration() uint64 {
+	var acc uint64
+	for seed := uint64(1); seed <= 8; seed++ {
+		acc ^= rng.SeedAt(seed, 0)
+	}
+	for seed := uint64(0); seed < 64; seed += 7 {
+		acc ^= rng.SeedAt(seed, 0)
+	}
+	return acc
+}
+
+// goodComparisons compares seeds without deriving from them.
+func goodComparisons(seed uint64, seeds []uint64) bool {
+	return seed == 0 || len(seeds) > 1
+}
+
+// allowedArith shows the escape hatch for a justified exception.
+func allowedArith(seed uint64) uint64 {
+	return seed + 1 //lint:allow seedderive -- fixture: proves the escape hatch
+}

@@ -31,7 +31,7 @@ func RunCounts(c *circuit.Circuit, m *noise.Model, outcomes int, seed uint64) (m
 		acc += p
 		cum[i] = acc
 	}
-	r := rng.New(seed ^ 0xdea5ed)
+	r := rng.New(rng.SeedAt(seed, 0xdea5ed))
 	counts := make(map[uint64]int)
 	for i := 0; i < outcomes; i++ {
 		target := r.Float64() * acc

@@ -289,7 +289,7 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 				w.Header()[k] = v
 			}
 			w.WriteHeader(rec.statusOr200())
-			w.Write(body)
+			_, _ = w.Write(body)
 		default:
 			next.ServeHTTP(w, req)
 		}

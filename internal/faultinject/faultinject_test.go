@@ -85,6 +85,7 @@ func TestPathFilterAndFirstRuleWins(t *testing.T) {
 // echoHandler answers a small JSON document resembling a shard response.
 func echoHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, `{"backend":"statevec","batches":[{"batch":3,"counts":{"5":17}}]}`)
 	})
@@ -129,6 +130,7 @@ func TestMiddlewareDropAbortsConnection(t *testing.T) {
 func TestMiddlewareKillMidLeaseRunsHandlerThenAborts(t *testing.T) {
 	var ran atomic.Int32
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
 		ran.Add(1)
 		io.WriteString(w, "done")
 	})

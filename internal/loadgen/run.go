@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -317,12 +318,17 @@ func (r *Report) String() string {
 	for _, k := range []string{"2xx", "413", "429", "503"} {
 		fmt.Fprintf(&b, " %s=%d", k, r.Status[k])
 	}
-	for k, v := range r.Status {
+	extra := make([]string, 0, len(r.Status))
+	for k := range r.Status {
 		switch k {
 		case "2xx", "413", "429", "503":
 		default:
-			fmt.Fprintf(&b, " %s=%d", k, v)
+			extra = append(extra, k)
 		}
+	}
+	sort.Strings(extra) // deterministic report bytes regardless of map order
+	for _, k := range extra {
+		fmt.Fprintf(&b, " %s=%d", k, r.Status[k])
 	}
 	fmt.Fprintf(&b, "\nlatency p50 %v p95 %v p99 %v mean %v\n", r.P50, r.P95, r.P99, r.Mean)
 	fmt.Fprintf(&b, "throughput %.1f/s goodput %.1f/s", r.Throughput, r.Goodput)

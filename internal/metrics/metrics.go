@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Dist is a dense probability distribution over 2^n basis outcomes.
@@ -131,14 +132,22 @@ func TVD(a, b Dist) float64 {
 // the cross-backend conformance comparisons use it on wide registers where
 // a Dist would be infeasible.
 func TVDCounts(a, b map[uint64]int, total int) float64 {
-	var s float64
-	for k, va := range a {
-		s += math.Abs(float64(va - b[k]))
+	// Accumulate in sorted key order: float addition is not associative,
+	// so summing in randomized map order would make the distance drift in
+	// the last bits from run to run.
+	keys := make([]uint64, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
 	}
-	for k, vb := range b {
+	for k := range b {
 		if _, seen := a[k]; !seen {
-			s += float64(vb)
+			keys = append(keys, k)
 		}
+	}
+	slices.Sort(keys)
+	var s float64
+	for _, k := range keys {
+		s += math.Abs(float64(a[k] - b[k]))
 	}
 	return s / (2 * float64(total))
 }

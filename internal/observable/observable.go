@@ -172,9 +172,17 @@ func (p PauliString) ExpectationCounts(counts map[uint64]int) (float64, error) {
 			return 0, fmt.Errorf("observable: %s is not Z-diagonal; measure in a rotated basis", p)
 		}
 	}
+	// Sum in sorted outcome order so the float accumulation is
+	// reproducible: map iteration order is randomized per run.
+	outcomes := make([]uint64, 0, len(counts))
+	for bits := range counts {
+		outcomes = append(outcomes, bits)
+	}
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i] < outcomes[j] })
 	total := 0
 	var acc float64
-	for bits, n := range counts {
+	for _, bits := range outcomes {
+		n := counts[bits]
 		sign := 1.0
 		for i, q := range p.Qubits {
 			if p.Ops[i] == Z && bits>>uint(q)&1 == 1 {

@@ -216,9 +216,9 @@ func TestDCPTheoreticalSpeedupNearPaper(t *testing.T) {
 
 func TestDCPPropertyAcrossWorkloads(t *testing.T) {
 	m := noise.NewSycamore()
-	check := func(seedByte uint8, shots16 uint16) bool {
+	check := func(pick uint8, shots16 uint16) bool {
 		widths := []int{6, 8, 10}
-		w := widths[int(seedByte)%len(widths)]
+		w := widths[int(pick)%len(widths)]
 		shots := 100 + int(shots16)%4000
 		c := workloads.QFT(w, true)
 		p := Dynamic(c, m, shots, DCPOptions{CopyCost: 20})

@@ -10,6 +10,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -243,6 +244,7 @@ func TestDistributedLocalFallbackWhenPoolIsDown(t *testing.T) {
 	// Both workers are unreachable from the start: the coordinator must
 	// finish the job locally with the identical histogram.
 	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
 		http.Error(w, "down", http.StatusInternalServerError)
 	}))
 	dead.Close() // closed listener: connection refused

@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"slices"
@@ -1222,7 +1223,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	drainRequest(r)
 	if s.Draining() {
 		// Health checks fail during drain so load balancers stop routing
 		// new traffic while in-flight jobs finish.
@@ -1232,7 +1234,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "worker": s.cfg.WorkerMode})
 }
 
-func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	drainRequest(r)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"backends": append([]string{tqsim.AutoBackend}, tqsim.Backends()...),
 	})
@@ -1300,7 +1303,8 @@ func (s *Server) Snapshot() Stats {
 // latMS renders a histogram duration as fractional milliseconds.
 func latMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	drainRequest(r)
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
@@ -1315,10 +1319,18 @@ func countsJSON(counts map[uint64]int) map[string]int {
 	return out
 }
 
+// drainRequest consumes any unread request body. net/http only cancels
+// r.Context() on client disconnect once the body has been read, so a
+// handler that never touches it can park forever on a dead connection —
+// the PR 5 lease-timeout footgun. Harmless on body-less GETs.
+func drainRequest(r *http.Request) {
+	_, _ = io.Copy(io.Discard, r.Body)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //lint:allow errdrop -- terminal response write: the status is already committed, nothing to abort
 }
 
 // writeError renders an error body. Every 503 carries a Retry-After

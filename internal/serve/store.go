@@ -137,18 +137,26 @@ func (s *Server) replayJob(w http.ResponseWriter, j *job, blob []byte) bool {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	_ = enc.Encode(&batchLine{
+	// A failed emit means the client hung up mid-replay: the response is
+	// already committed, so stop writing the remaining lines — but report
+	// the replay as handled either way.
+	emit := func(line *batchLine) bool { return enc.Encode(line) == nil }
+	if !emit(&batchLine{
 		Type:      "plan",
 		Batches:   j.numBatches(),
 		Structure: j.planFor(0).plan.Structure(),
 		Backend:   j.decision.Backend,
 		Decision:  decisionJSON(j.decision),
-	})
+	}) {
+		return true
+	}
 	for i := range rec.Batches {
 		b := &rec.Batches[i]
-		_ = enc.Encode(&batchLine{Type: "batch", Batch: b.Batch, Shots: b.Shots, Seed: b.Seed, Counts: b.Counts})
+		if !emit(&batchLine{Type: "batch", Batch: b.Batch, Shots: b.Shots, Seed: b.Seed, Counts: b.Counts}) {
+			return true
+		}
 	}
-	_ = enc.Encode(&batchLine{
+	emit(&batchLine{
 		Type:      "done",
 		Batches:   resp.Batches,
 		Outcomes:  resp.Outcomes,
@@ -185,11 +193,18 @@ func (s *Server) replaySweep(w http.ResponseWriter, sj *sweepJob, blob []byte) b
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	_ = enc.Encode(&sweepLine{Type: "sweep", Points: resp.Points, Distributed: resp.Distributed})
-	for i := range resp.Results {
-		_ = enc.Encode(&sweepLine{Type: "point", SweepPointJSON: &resp.Results[i]})
+	// As in replayJob: a failed emit means the client hung up, so stop
+	// writing but report the replay handled.
+	emit := func(line *sweepLine) bool { return enc.Encode(line) == nil }
+	if !emit(&sweepLine{Type: "sweep", Points: resp.Points, Distributed: resp.Distributed}) {
+		return true
 	}
-	_ = enc.Encode(&sweepLine{
+	for i := range resp.Results {
+		if !emit(&sweepLine{Type: "point", SweepPointJSON: &resp.Results[i]}) {
+			return true
+		}
+	}
+	emit(&sweepLine{
 		Type:            "done",
 		Points:          resp.Points,
 		TotalOps:        resp.Ops,

@@ -149,6 +149,7 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request, sr *Sh
 // handleWorkerInfo serves the capacity advertisement; coordinators poll it
 // as the health check and placement input. The same payload rides inside
 // WorkerAnnounce heartbeats.
-func (s *Server) handleWorkerInfo(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleWorkerInfo(w http.ResponseWriter, r *http.Request) {
+	drainRequest(r)
 	writeJSON(w, http.StatusOK, s.workerInfo())
 }

@@ -41,7 +41,7 @@ func Clifford(width, depth int, seed uint64) *circuit.Circuit {
 		panic("workloads: Clifford needs at least two qubits")
 	}
 	c := circuit.New(fmt.Sprintf("clifford_n%d_d%d", width, depth), width)
-	r := rng.New(seed ^ 0xc11f)
+	r := rng.New(rng.SeedAt(seed, 0xc11f))
 	for d := 0; d < depth; d++ {
 		for q := 0; q < width; q++ {
 			c.Append(gate.New(cliffordOneQubit[r.Intn(len(cliffordOneQubit))], q))
@@ -70,7 +70,7 @@ func Clifford(width, depth int, seed uint64) *circuit.Circuit {
 func CliffordPrefix(width, cliffordDepth int, seed uint64) *circuit.Circuit {
 	c := Clifford(width, cliffordDepth, seed)
 	c.Name = fmt.Sprintf("cliffpfx_n%d_d%d", width, cliffordDepth)
-	r := rng.New(seed ^ 0x7a11)
+	r := rng.New(rng.SeedAt(seed, 0x7a11))
 	for q := 0; q < width; q++ {
 		c.Append(gate.New(gate.KindT, q))
 	}

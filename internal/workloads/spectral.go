@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"math"
+	"slices"
 
 	"tqsim/internal/circuit"
 	"tqsim/internal/graphs"
@@ -112,9 +113,16 @@ func QAOAExpectedCut(g *graphs.Graph, probs []float64) float64 {
 
 // QAOAExpectedCutCounts computes the expected cut from a shot histogram.
 func QAOAExpectedCutCounts(g *graphs.Graph, counts map[uint64]int) float64 {
+	// Sorted outcome order keeps the float sum reproducible across runs.
+	outcomes := make([]uint64, 0, len(counts))
+	for x := range counts {
+		outcomes = append(outcomes, x)
+	}
+	slices.Sort(outcomes)
 	var e float64
 	total := 0
-	for x, n := range counts {
+	for _, x := range outcomes {
+		n := counts[x]
 		e += float64(n) * float64(g.CutValue(x))
 		total += n
 	}

@@ -582,7 +582,7 @@ func Compare(c *Circuit, m *NoiseModel, shots int, opt Options) (*Comparison, er
 	// the requested shots). Fidelity estimated from a histogram carries a
 	// sample-size-dependent bias, so compare equal-size samples: thin the
 	// tree's outcomes down to the baseline's shot count.
-	tqCounts := SubsampleCounts(tq.Counts, shots, opt.Seed^0x5eed)
+	tqCounts := SubsampleCounts(tq.Counts, shots, rng.SeedAt(opt.Seed, 0x5eed))
 	tqF := NormalizedFidelity(ideal, CountsDist(tqCounts, c.NumQubits))
 	diff := baseF - tqF
 	if diff < 0 {
